@@ -1,0 +1,304 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (reduced problem sizes; use cmd/tokensim for full-size
+// runs) plus ablation studies over the design choices DESIGN.md calls
+// out. Custom metrics are attached with b.ReportMetric so `go test
+// -bench=.` prints the quantities the paper reports next to the usual
+// ns/op.
+package tokencoherence
+
+import (
+	"fmt"
+	"testing"
+
+	"tokencoherence/internal/harness"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/workload"
+)
+
+// benchOpt keeps one benchmark iteration around a hundred milliseconds.
+func benchOpt() harness.Options {
+	return harness.Options{Ops: 800, Warmup: 2500, Seeds: []uint64{1}}
+}
+
+// benchPoint builds a reduced-size point.
+func benchPoint(proto, topo, wl string, seed uint64) harness.Point {
+	return harness.Point{
+		Protocol: proto, Topo: topo, Workload: wl,
+		Ops: 800, Warmup: 2500, Seed: seed,
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the fraction of TokenB misses
+// that are reissued or escalate to persistent requests.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table2(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var once, pers float64
+		for _, r := range rows {
+			once += r.ReissuedOnce / float64(len(rows))
+			pers += r.Persistent / float64(len(rows))
+		}
+		b.ReportMetric(once, "%reissued-once")
+		b.ReportMetric(pers, "%persistent")
+	}
+}
+
+// BenchmarkFig4a regenerates Figure 4a: Snooping (tree) vs TokenB (tree
+// and torus) runtime. The reported metric is TokenB-torus runtime
+// normalized to Snooping-tree (the paper: 0.74-0.85 with unlimited
+// bandwidth, lower with limited).
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bars, err := harness.Fig4a(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		norm := normalizedMean(bars, "tokenb-torus", "snooping-tree")
+		b.ReportMetric(norm, "tokenb-torus/snooping-tree")
+	}
+}
+
+// BenchmarkFig4b regenerates Figure 4b: TokenB vs Snooping traffic on
+// the tree (the paper: approximately equal).
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bars, err := harness.Fig4b(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tokenb, snooping float64
+		for _, bar := range bars {
+			switch bar.Config {
+			case "tokenb":
+				tokenb += bar.Total
+			case "snooping":
+				snooping += bar.Total
+			}
+		}
+		b.ReportMetric(tokenb/snooping, "traffic-ratio")
+	}
+}
+
+// BenchmarkFig5a regenerates Figure 5a: TokenB vs Hammer vs Directory
+// runtime on the torus (the paper: TokenB 17-54% faster than Directory,
+// 8-29% faster than Hammer).
+func BenchmarkFig5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bars, err := harness.Fig5a(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(normalizedMean(bars, "directory", "tokenb"), "directory/tokenb")
+		b.ReportMetric(normalizedMean(bars, "hammer", "tokenb"), "hammer/tokenb")
+	}
+}
+
+// BenchmarkFig5b regenerates Figure 5b: traffic on the torus (the
+// paper: Hammer 1.79-1.90x TokenB; Directory 0.75-0.79x TokenB).
+func BenchmarkFig5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bars, err := harness.Fig5b(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		totals := map[string]float64{}
+		for _, bar := range bars {
+			totals[bar.Config] += bar.Total
+		}
+		b.ReportMetric(totals["hammer"]/totals["tokenb"], "hammer/tokenb")
+		b.ReportMetric(totals["directory"]/totals["tokenb"], "directory/tokenb")
+	}
+}
+
+// BenchmarkScaling regenerates the §6 question 5 microbenchmark: TokenB
+// vs Directory traffic from 4 to 64 processors (the paper: roughly 2x
+// at 64).
+func BenchmarkScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Scaling(harness.Options{Ops: 500, Warmup: 1200}, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.TrafficRatio, fmt.Sprintf("ratio@%dp", r.Procs))
+		}
+	}
+}
+
+// normalizedMean averages cfg's runtime normalized to base per workload.
+func normalizedMean(bars []harness.RuntimeBar, cfg, base string) float64 {
+	baseline := map[string]float64{}
+	for _, bar := range bars {
+		if bar.Config == base {
+			baseline[bar.Workload] = bar.Cycles
+		}
+	}
+	var sum float64
+	var n int
+	for _, bar := range bars {
+		if bar.Config == cfg && baseline[bar.Workload] > 0 {
+			sum += bar.Cycles / baseline[bar.Workload]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// --- Ablations ----------------------------------------------------------
+
+// BenchmarkAblationTokenCount varies T, the tokens per block (DESIGN.md
+// decision 3). More tokens allow more concurrent readers per block but
+// cost nothing on this metric scale; fewer than Procs is illegal.
+func BenchmarkAblationTokenCount(b *testing.B) {
+	for _, tokens := range []int{16, 32, 64, 128} {
+		tokens := tokens
+		b.Run(fmt.Sprintf("T=%d", tokens), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt := benchPoint(harness.ProtoTokenB, harness.TopoTorus, "oltp", 1)
+				pt.Mutate = func(c *machine.Config) { c.TokensPerBlock = tokens }
+				run, err := harness.Run(pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(run.CyclesPerTransaction(), "cyc/txn")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReissuePolicy varies the reissue policy (DESIGN.md
+// decision 4): how many reissues before a persistent request, and the
+// timeout multiplier.
+func BenchmarkAblationReissuePolicy(b *testing.B) {
+	cases := []struct {
+		name        string
+		maxReissues int
+		factor      int
+	}{
+		{"persistent-immediately", 0, 2},
+		{"one-reissue", 1, 2},
+		{"paper-4-reissues", 4, 2},
+		{"aggressive-timeout", 4, 1},
+		{"patient-timeout", 4, 4},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt := benchPoint(harness.ProtoTokenB, harness.TopoTorus, "apache", 1)
+				pt.Mutate = func(cfg *machine.Config) {
+					cfg.MaxReissues = c.maxReissues
+					cfg.BackoffFactor = c.factor
+				}
+				run, err := harness.Run(pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := run.Misses
+				b.ReportMetric(run.CyclesPerTransaction(), "cyc/txn")
+				b.ReportMetric(m.Frac(m.ReissuedOnce+m.ReissuedMore), "%reissued")
+				b.ReportMetric(m.Frac(m.Persistent), "%persistent")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMigratory toggles the migratory-sharing optimization
+// (DESIGN.md decision 5) for TokenB on the migratory-heavy OLTP
+// workload.
+func BenchmarkAblationMigratory(b *testing.B) {
+	for _, enabled := range []bool{true, false} {
+		enabled := enabled
+		b.Run(fmt.Sprintf("migratory=%v", enabled), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt := benchPoint(harness.ProtoTokenB, harness.TopoTorus, "oltp", 1)
+				pt.Mutate = func(c *machine.Config) { c.Migratory = enabled }
+				run, err := harness.Run(pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(run.CyclesPerTransaction(), "cyc/txn")
+				b.ReportMetric(float64(run.Misses.Issued), "misses")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProcessorMLP varies the processor's outstanding-load
+// bound, which controls how much miss latency is exposed.
+func BenchmarkAblationProcessorMLP(b *testing.B) {
+	for _, loads := range []int{1, 2, 4, 16} {
+		loads := loads
+		b.Run(fmt.Sprintf("maxloads=%d", loads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt := benchPoint(harness.ProtoTokenB, harness.TopoTorus, "apache", 1)
+				pt.Mutate = func(c *machine.Config) { c.MaxLoads = loads }
+				run, err := harness.Run(pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(run.CyclesPerTransaction(), "cyc/txn")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPerformancePolicy compares the three performance
+// protocols on the same substrate (paper §7).
+func BenchmarkAblationPerformancePolicy(b *testing.B) {
+	for _, proto := range []string{harness.ProtoTokenB, harness.ProtoTokenM, harness.ProtoTokenD} {
+		proto := proto
+		b.Run(proto, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := harness.Run(benchPoint(proto, harness.TopoTorus, "specjbb", 1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(run.CyclesPerTransaction(), "cyc/txn")
+				b.ReportMetric(run.BytesPerMiss(), "B/miss")
+			}
+		})
+	}
+}
+
+// --- Microbenchmarks of the substrate -----------------------------------
+
+// BenchmarkSimKernel measures raw event throughput of the DES kernel.
+func BenchmarkSimKernel(b *testing.B) {
+	k := sim.NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			k.After(sim.Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, tick)
+	k.Run()
+}
+
+// BenchmarkUniformTokenB measures end-to-end simulation speed: simulated
+// operations per host second for the uniform microbenchmark.
+func BenchmarkUniformTokenB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pt := harness.Point{
+			Protocol: harness.ProtoTokenB, Topo: harness.TopoTorus,
+			Gen: workload.NewUniform(1024, 0.3, 6*sim.Nanosecond, 16),
+			Ops: 2000, Warmup: 0, Seed: 1,
+		}
+		run, err := harness.Run(pt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(run.Accesses), "ops/iter")
+	}
+}

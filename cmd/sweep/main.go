@@ -1,0 +1,138 @@
+// Command sweep runs parameter sweeps over the simulator and emits CSV,
+// for studies beyond the paper's fixed design points:
+//
+//	sweep -kind bandwidth   # runtime vs link bandwidth per protocol
+//	sweep -kind procs       # runtime and traffic vs system size
+//	sweep -kind tokens      # TokenB sensitivity to tokens per block
+//	sweep -kind mshr        # sensitivity to memory-level parallelism
+//
+// Each row is one simulation point; pipe the output to a plotting tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tokencoherence/internal/harness"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "bandwidth", "sweep kind: bandwidth, procs, tokens, mshr")
+		wl     = flag.String("workload", "oltp", "workload for the sweep")
+		ops    = flag.Int("ops", 2000, "measured operations per processor")
+		warmup = flag.Int("warmup", 5000, "warmup operations per processor")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch *kind {
+	case "bandwidth":
+		err = sweepBandwidth(*wl, *ops, *warmup, *seed)
+	case "procs":
+		err = sweepProcs(*ops, *warmup, *seed)
+	case "tokens":
+		err = sweepTokens(*wl, *ops, *warmup, *seed)
+	case "mshr":
+		err = sweepMSHR(*wl, *ops, *warmup, *seed)
+	default:
+		err = fmt.Errorf("unknown sweep kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func point(proto, wl string, ops, warmup int, seed uint64) harness.Point {
+	return harness.Point{
+		Protocol: proto, Topo: harness.TopoTorus, Workload: wl,
+		Ops: ops, Warmup: warmup, Seed: seed,
+	}
+}
+
+// sweepBandwidth shows where each protocol becomes bandwidth-bound: the
+// paper argues TokenB's extra traffic is harmless on high-bandwidth
+// links but matters on starved ones.
+func sweepBandwidth(wl string, ops, warmup int, seed uint64) error {
+	fmt.Println("protocol,bandwidth_gbps,cycles_per_txn,avg_miss_ns,bytes_per_miss")
+	for _, proto := range []string{harness.ProtoTokenB, harness.ProtoDirectory, harness.ProtoHammer} {
+		for _, gbps := range []float64{0.4, 0.8, 1.6, 3.2, 6.4, 12.8} {
+			pt := point(proto, wl, ops, warmup, seed)
+			bw := gbps
+			pt.Mutate = func(c *machine.Config) { c.Net.LinkBandwidth = bw * 1e9 }
+			run, err := harness.Run(pt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s,%.1f,%.2f,%.1f,%.1f\n", proto, gbps,
+				run.CyclesPerTransaction(), run.AvgMissLatency().Nanoseconds(), run.BytesPerMiss())
+		}
+	}
+	return nil
+}
+
+// sweepProcs extends the question 5 scalability study with runtime.
+func sweepProcs(ops, warmup int, seed uint64) error {
+	fmt.Println("protocol,procs,cycles_per_txn,bytes_per_miss")
+	for _, proto := range []string{harness.ProtoTokenB, harness.ProtoDirectory} {
+		for procs := 4; procs <= 64; procs *= 2 {
+			pt := harness.Point{
+				Protocol: proto, Topo: harness.TopoTorus,
+				Gen:   workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, procs),
+				Procs: procs, Ops: ops, Warmup: warmup, Seed: seed,
+			}
+			run, err := harness.Run(pt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s,%d,%.2f,%.1f\n", proto, procs, run.CyclesPerTransaction(), run.BytesPerMiss())
+		}
+	}
+	return nil
+}
+
+// sweepTokens varies T per block for TokenB.
+func sweepTokens(wl string, ops, warmup int, seed uint64) error {
+	fmt.Println("tokens_per_block,cycles_per_txn,reissued_pct,persistent_pct")
+	for _, tokens := range []int{16, 24, 32, 64, 128, 256} {
+		pt := point(harness.ProtoTokenB, wl, ops, warmup, seed)
+		tk := tokens
+		pt.Mutate = func(c *machine.Config) { c.TokensPerBlock = tk }
+		run, err := harness.Run(pt)
+		if err != nil {
+			return err
+		}
+		m := run.Misses
+		fmt.Printf("%d,%.2f,%.2f,%.3f\n", tokens, run.CyclesPerTransaction(),
+			m.Frac(m.ReissuedOnce+m.ReissuedMore), m.Frac(m.Persistent))
+	}
+	return nil
+}
+
+// sweepMSHR varies the processor's miss- and load-level parallelism.
+func sweepMSHR(wl string, ops, warmup int, seed uint64) error {
+	fmt.Println("mshrs,max_loads,cycles_per_txn,avg_miss_ns")
+	for _, mshrs := range []int{2, 4, 8, 16} {
+		for _, loads := range []int{1, 2, 4} {
+			pt := point(harness.ProtoTokenB, wl, ops, warmup, seed)
+			ms, ld := mshrs, loads
+			pt.Mutate = func(c *machine.Config) {
+				c.MSHRs = ms
+				c.MaxLoads = ld
+			}
+			run, err := harness.Run(pt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d,%d,%.2f,%.1f\n", mshrs, loads,
+				run.CyclesPerTransaction(), run.AvgMissLatency().Nanoseconds())
+		}
+	}
+	return nil
+}

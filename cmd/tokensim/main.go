@@ -1,0 +1,134 @@
+// Command tokensim runs the Token Coherence reproduction's experiments
+// and custom simulation points from the command line.
+//
+// Usage:
+//
+//	tokensim -experiment table2|fig4a|fig4b|fig5a|fig5b|scaling|all
+//	tokensim -protocol tokenb -topo torus -workload oltp -ops 4000
+//	tokensim -list-config
+//
+// Experiments print the corresponding paper table/figure rows; a custom
+// point prints its full statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tokencoherence/internal/harness"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment to reproduce: "+strings.Join(harness.Experiments(), ", ")+", or 'all'")
+		protocol   = flag.String("protocol", "tokenb", "protocol for a custom run: tokenb, snooping, directory, hammer, tokend, tokenm")
+		topo       = flag.String("topo", "torus", "interconnect: torus or tree")
+		wl         = flag.String("workload", "oltp", "workload: apache, oltp, specjbb")
+		procs      = flag.Int("procs", 16, "number of processors")
+		ops        = flag.Int("ops", 4000, "measured operations per processor")
+		warmup     = flag.Int("warmup", 0, "warmup operations per processor (default 2x ops)")
+		seeds      = flag.String("seeds", "1", "comma-separated seeds")
+		unlimited  = flag.Bool("unlimited", false, "unlimited link bandwidth")
+		perfectDir = flag.Bool("perfect-dir", false, "zero-latency directory lookup")
+		listConfig = flag.Bool("list-config", false, "print the Table 1 system parameters and exit")
+	)
+	flag.Parse()
+
+	if *listConfig {
+		printConfig()
+		return
+	}
+
+	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, Seeds: parseSeeds(*seeds)}
+	if *experiment != "" {
+		names := []string{*experiment}
+		if *experiment == "all" {
+			names = harness.Experiments()
+		}
+		for _, name := range names {
+			if err := harness.RunExperiment(os.Stdout, name, opt); err != nil {
+				fmt.Fprintln(os.Stderr, "tokensim:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	w := *warmup
+	if w == 0 {
+		w = 2 * *ops
+	}
+	for _, seed := range opt.Seeds {
+		run, err := harness.Run(harness.Point{
+			Protocol: *protocol, Topo: *topo, Workload: *wl,
+			Procs: *procs, Ops: *ops, Warmup: w, Seed: seed,
+			Unlimited: *unlimited, PerfectDir: *perfectDir,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tokensim:", err)
+			os.Exit(1)
+		}
+		printRun(fmt.Sprintf("%s/%s/%s seed=%d", *protocol, *topo, *wl, seed), run)
+	}
+}
+
+func parseSeeds(s string) []uint64 {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tokensim: bad seed %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func printRun(label string, run *stats.Run) {
+	m := run.Misses
+	fmt.Printf("%s\n", label)
+	fmt.Printf("  elapsed          %v\n", run.Elapsed)
+	fmt.Printf("  transactions     %d (%.1f cycles/txn)\n", run.Transactions, run.CyclesPerTransaction())
+	fmt.Printf("  accesses         %d (L1 %.1f%%, L2 %.1f%%, miss %.2f%%)\n",
+		run.Accesses,
+		pct(run.L1Hits, run.Accesses), pct(run.L2Hits, run.Accesses), pct(m.Issued, run.Accesses))
+	fmt.Printf("  avg miss latency %v\n", run.AvgMissLatency())
+	fmt.Printf("  misses           %d: %.2f%% first try, %.2f%% reissued once, %.2f%% more, %.3f%% persistent\n",
+		m.Issued, m.Frac(m.NotReissued()), m.Frac(m.ReissuedOnce), m.Frac(m.ReissuedMore), m.Frac(m.Persistent))
+	fmt.Printf("  traffic          %.1f bytes/miss (requests %.1f, reissue+persistent %.1f, control %.1f, data %.1f)\n",
+		run.BytesPerMiss(),
+		run.CategoryBytesPerMiss(msg.CatRequest), run.CategoryBytesPerMiss(msg.CatReissue),
+		run.CategoryBytesPerMiss(msg.CatControl), run.CategoryBytesPerMiss(msg.CatData))
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func printConfig() {
+	c := machine.DefaultConfig()
+	fmt.Println("Target system parameters (paper Table 1):")
+	fmt.Printf("  processors          %d in-order-issue models, MSHRs=%d, max outstanding loads=%d\n", c.Procs, c.MSHRs, c.MaxLoads)
+	fmt.Printf("  L1 cache            %d kB, %d-way, %v\n", c.L1Size>>10, c.L1Assoc, c.L1Latency)
+	fmt.Printf("  L2 cache            %d MB, %d-way, %v\n", c.L2Size>>20, c.L2Assoc, c.L2Latency)
+	fmt.Printf("  block size          %d bytes\n", msg.BlockSize)
+	fmt.Printf("  DRAM latency        %v\n", c.MemLatency)
+	fmt.Printf("  controller latency  %v\n", c.CtrlLatency)
+	fmt.Printf("  directory latency   %v (DRAM full map)\n", c.DirLatency)
+	fmt.Printf("  link bandwidth      %.1f GB/s\n", c.Net.LinkBandwidth/1e9)
+	fmt.Printf("  link latency        %v\n", c.Net.LinkLatency)
+	fmt.Printf("  tokens per block    %d\n", c.TokensPerBlock)
+	fmt.Printf("  reissue policy      %dx avg miss latency + backoff (base %v), persistent after %d reissues\n",
+		c.BackoffFactor, c.BackoffBase, c.MaxReissues)
+}

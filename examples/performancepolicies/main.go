@@ -1,0 +1,52 @@
+// Performancepolicies demonstrates the decoupling that gives the paper
+// its title: three different performance protocols — TokenB (broadcast),
+// TokenD (home-redirected, directory-like traffic) and TokenM
+// (destination-set prediction) — run on the *same unmodified correctness
+// substrate*. Changing the request policy trades latency against
+// bandwidth but can never break safety: every run below passes the token
+// conservation audit and the coherence oracle.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"tokencoherence"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tcycles/txn\tavg miss\trequest bytes/miss\ttotal bytes/miss\treissued")
+	for _, proto := range []string{
+		tokencoherence.ProtoTokenB,
+		tokencoherence.ProtoTokenM,
+		tokencoherence.ProtoTokenD,
+	} {
+		run, err := tokencoherence.Simulate(tokencoherence.Point{
+			Protocol: proto,
+			Topo:     tokencoherence.TopoTorus,
+			Workload: "specjbb",
+			Ops:      2500,
+			Warmup:   6000,
+			Seed:     9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := run.Misses
+		fmt.Fprintf(w, "%s\t%.1f\t%v\t%.1f\t%.1f\t%.2f%%\n",
+			proto, run.CyclesPerTransaction(), run.AvgMissLatency(),
+			run.CategoryBytesPerMiss(0), // requests
+			run.BytesPerMiss(),
+			m.Frac(m.ReissuedOnce+m.ReissuedMore+m.Persistent))
+	}
+	w.Flush()
+
+	fmt.Println("\nAll three policies ran on the identical correctness substrate;")
+	fmt.Println("the audit verified token conservation and coherent data in every case.")
+	fmt.Println("TokenB buys the lowest latency with broadcast bandwidth; TokenD")
+	fmt.Println("approaches directory-protocol traffic; TokenM sits in between —")
+	fmt.Println("exactly the design space §7 of the paper describes.")
+}

@@ -1,0 +1,37 @@
+// Quickstart: simulate the paper's 16-processor system running the OLTP
+// workload under TokenB on the unordered torus, and print the headline
+// statistics. This is the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tokencoherence"
+)
+
+func main() {
+	run, err := tokencoherence.Simulate(tokencoherence.Point{
+		Protocol: tokencoherence.ProtoTokenB,
+		Topo:     tokencoherence.TopoTorus,
+		Workload: "oltp",
+		Ops:      3000,
+		Warmup:   6000,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := run.Misses
+	fmt.Println("TokenB / torus / OLTP (16 processors)")
+	fmt.Printf("  runtime:           %.1f cycles per transaction\n", run.CyclesPerTransaction())
+	fmt.Printf("  avg miss latency:  %v\n", run.AvgMissLatency())
+	fmt.Printf("  traffic:           %.1f bytes per miss\n", run.BytesPerMiss())
+	fmt.Printf("  transient success: %.2f%% of %d misses on first attempt\n",
+		m.Frac(m.NotReissued()), m.Issued)
+	fmt.Printf("  reissued:          %.2f%% once, %.2f%% more than once\n",
+		m.Frac(m.ReissuedOnce), m.Frac(m.ReissuedMore))
+	fmt.Printf("  persistent:        %.3f%% fell back to the correctness substrate\n",
+		m.Frac(m.Persistent))
+}

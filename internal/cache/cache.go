@@ -1,0 +1,199 @@
+// Package cache implements the set-associative cache structures used by
+// every coherence controller: LRU replacement, per-line coherence
+// metadata (protocol-defined state plus token-coherence token counts),
+// and the two-level (L1 filter over L2) latency hierarchy of Table 1.
+package cache
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/msg"
+)
+
+// Line is one cache line. The coherence protocol owns the interpretation
+// of State; Token Coherence additionally uses Tokens/Owner/Valid.
+type Line struct {
+	Block msg.Block
+	// State is a protocol-defined stable-state tag (MOSI etc.).
+	State int
+	// Tokens is the token count held for the block, including the owner
+	// token when Owner is set (Token Coherence only).
+	Tokens int
+	// Owner marks possession of the owner token.
+	Owner bool
+	// Valid marks that Data holds a valid copy (distinct from tag
+	// validity; a line may hold tokens without data under the optimized
+	// invariants).
+	Valid bool
+	// Dirty marks data modified relative to memory (drives writeback
+	// decisions); it travels with the owner token.
+	Dirty bool
+	// Written marks that this node itself wrote the block while holding
+	// it. The migratory-sharing optimization triggers only on blocks the
+	// responder wrote, so Written never travels in messages.
+	Written bool
+	// Epoch is a protocol-defined ordering tag (the directory protocol
+	// stores the home transaction number of the fill so stale
+	// invalidations can be recognized).
+	Epoch uint64
+	// Data is the block payload, modelled as a write version.
+	Data uint64
+
+	lru  uint64
+	used bool
+}
+
+// Reset clears a line for reuse, preserving nothing.
+func (l *Line) Reset() {
+	*l = Line{}
+}
+
+// Cache is a set-associative cache with LRU replacement. It tracks tags
+// and metadata only; timing is the caller's concern.
+type Cache struct {
+	sets    int
+	assoc   int
+	lines   []Line // sets*assoc, set-major
+	tick    uint64
+	entries int
+}
+
+// New builds a cache of the given total size in bytes and associativity,
+// with msg.BlockSize lines. Size must divide evenly into sets.
+func New(sizeBytes, assoc int) *Cache {
+	if sizeBytes <= 0 || assoc <= 0 {
+		panic("cache: size and associativity must be positive")
+	}
+	blocks := sizeBytes / msg.BlockSize
+	if blocks == 0 || blocks%assoc != 0 {
+		panic(fmt.Sprintf("cache: %d bytes / %d-way does not form whole sets", sizeBytes, assoc))
+	}
+	return &Cache{
+		sets:  blocks / assoc,
+		assoc: assoc,
+		lines: make([]Line, blocks),
+	}
+}
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc reports the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Len reports the number of resident lines.
+func (c *Cache) Len() int { return c.entries }
+
+func (c *Cache) set(b msg.Block) []Line {
+	s := int(uint64(b) % uint64(c.sets))
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
+}
+
+// Lookup returns the line holding b, or nil. It does not update LRU
+// state; call Touch on use.
+func (c *Cache) Lookup(b msg.Block) *Line {
+	set := c.set(b)
+	for i := range set {
+		if set[i].used && set[i].Block == b {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the line most-recently-used.
+func (c *Cache) Touch(l *Line) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// Allocate returns a line for b, evicting the LRU line of the set if the
+// set is full. The returned victim holds the evicted line's contents (or
+// ok=false if no eviction occurred). The new line is zeroed apart from
+// its Block and is already touched. Allocating a block that is present
+// panics — the caller must Lookup first.
+func (c *Cache) Allocate(b msg.Block) (line *Line, victim Line, evicted bool) {
+	return c.AllocateAvoiding(b, nil)
+}
+
+// AllocateAvoiding is Allocate with a victim-selection filter: lines for
+// which avoid returns true are evicted only when every line of the set
+// is marked avoid. Coherence controllers use it to keep lines with
+// in-flight transactions resident when possible.
+func (c *Cache) AllocateAvoiding(b msg.Block, avoid func(msg.Block) bool) (line *Line, victim Line, evicted bool) {
+	set := c.set(b)
+	var free *Line
+	var lruPreferred, lruAny *Line
+	for i := range set {
+		l := &set[i]
+		if l.used && l.Block == b {
+			panic(fmt.Sprintf("cache: Allocate of resident block %d", b))
+		}
+		if !l.used {
+			if free == nil {
+				free = l
+			}
+			continue
+		}
+		if lruAny == nil || l.lru < lruAny.lru {
+			lruAny = l
+		}
+		if avoid == nil || !avoid(l.Block) {
+			if lruPreferred == nil || l.lru < lruPreferred.lru {
+				lruPreferred = l
+			}
+		}
+	}
+	if free == nil {
+		lru := lruPreferred
+		if lru == nil {
+			lru = lruAny
+		}
+		victim = *lru
+		evicted = true
+		lru.Reset()
+		free = lru
+		c.entries--
+	}
+	free.used = true
+	free.Block = b
+	c.entries++
+	c.Touch(free)
+	return free, victim, evicted
+}
+
+// Remove evicts b without replacement (e.g., on invalidation). It is a
+// no-op if b is absent.
+func (c *Cache) Remove(b msg.Block) {
+	if l := c.Lookup(b); l != nil {
+		l.Reset()
+		c.entries--
+	}
+}
+
+// VictimFor returns the line that Allocate(b) would evict, or nil when a
+// free way exists. Callers use it to issue writebacks before allocating.
+func (c *Cache) VictimFor(b msg.Block) *Line {
+	set := c.set(b)
+	var lru *Line
+	for i := range set {
+		l := &set[i]
+		if !l.used {
+			return nil
+		}
+		if lru == nil || l.lru < lru.lru {
+			lru = l
+		}
+	}
+	return lru
+}
+
+// ForEach visits every resident line. The callback must not allocate or
+// remove lines.
+func (c *Cache) ForEach(f func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].used {
+			f(&c.lines[i])
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tokencoherence/internal/msg"
+)
+
+func TestNewGeometry(t *testing.T) {
+	c := New(4<<20, 4) // the paper's L2: 4MB 4-way
+	if c.Sets() != 16384 {
+		t.Errorf("Sets() = %d, want 16384", c.Sets())
+	}
+	if c.Assoc() != 4 {
+		t.Errorf("Assoc() = %d, want 4", c.Assoc())
+	}
+}
+
+func TestLookupMissOnEmpty(t *testing.T) {
+	c := New(1024, 2)
+	if c.Lookup(5) != nil {
+		t.Error("Lookup on empty cache returned a line")
+	}
+}
+
+func TestAllocateThenLookup(t *testing.T) {
+	c := New(1024, 2)
+	l, _, evicted := c.Allocate(5)
+	if evicted {
+		t.Error("unexpected eviction in empty cache")
+	}
+	l.State = 3
+	l.Tokens = 7
+	got := c.Lookup(5)
+	if got == nil || got.State != 3 || got.Tokens != 7 {
+		t.Fatalf("Lookup after Allocate = %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", c.Len())
+	}
+}
+
+func TestAllocateResidentPanics(t *testing.T) {
+	c := New(1024, 2)
+	c.Allocate(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("Allocate of resident block did not panic")
+		}
+	}()
+	c.Allocate(5)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2*msg.BlockSize, 2) // one set, two ways
+	a, _, _ := c.Allocate(0)
+	_ = a
+	c.Allocate(1)
+	// Touch block 0 so block 1 becomes LRU.
+	c.Touch(c.Lookup(0))
+	_, victim, evicted := c.Allocate(2)
+	if !evicted {
+		t.Fatal("expected an eviction from a full set")
+	}
+	if victim.Block != 1 {
+		t.Errorf("evicted block %d, want 1 (LRU)", victim.Block)
+	}
+	if c.Lookup(1) != nil {
+		t.Error("evicted block still resident")
+	}
+	if c.Lookup(0) == nil || c.Lookup(2) == nil {
+		t.Error("resident blocks missing after eviction")
+	}
+}
+
+func TestVictimContentsPreserved(t *testing.T) {
+	c := New(msg.BlockSize, 1) // single line
+	l, _, _ := c.Allocate(10)
+	l.Dirty = true
+	l.Data = 42
+	l.Tokens = 3
+	l.Owner = true
+	_, victim, evicted := c.Allocate(11)
+	if !evicted {
+		t.Fatal("expected eviction")
+	}
+	if !victim.Dirty || victim.Data != 42 || victim.Tokens != 3 || !victim.Owner {
+		t.Errorf("victim lost contents: %+v", victim)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(1024, 2)
+	c.Allocate(9)
+	c.Remove(9)
+	if c.Lookup(9) != nil {
+		t.Error("Remove left block resident")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", c.Len())
+	}
+	c.Remove(9) // no-op must not panic
+}
+
+func TestVictimFor(t *testing.T) {
+	c := New(2*msg.BlockSize, 2)
+	if c.VictimFor(0) != nil {
+		t.Error("VictimFor on empty set should be nil")
+	}
+	c.Allocate(0)
+	c.Allocate(1)
+	c.Touch(c.Lookup(1)) // 0 is now LRU... touch order: 0,1,1 -> LRU is 0
+	v := c.VictimFor(2)
+	if v == nil || v.Block != 0 {
+		t.Errorf("VictimFor = %+v, want block 0", v)
+	}
+}
+
+func TestConflictOnlyWithinSet(t *testing.T) {
+	c := New(4*msg.BlockSize, 1) // 4 sets, direct-mapped
+	// Blocks 0..3 map to distinct sets; no evictions.
+	for b := msg.Block(0); b < 4; b++ {
+		if _, _, evicted := c.Allocate(b); evicted {
+			t.Errorf("block %d evicted something in a distinct set", b)
+		}
+	}
+	// Block 4 conflicts with block 0.
+	_, victim, evicted := c.Allocate(4)
+	if !evicted || victim.Block != 0 {
+		t.Errorf("expected block 0 evicted, got %+v (evicted=%v)", victim, evicted)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	c := New(1024, 4)
+	want := map[msg.Block]bool{2: true, 7: true, 11: true}
+	for b := range want {
+		c.Allocate(b)
+	}
+	got := map[msg.Block]bool{}
+	c.ForEach(func(l *Line) { got[l.Block] = true })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d lines, want %d", len(got), len(want))
+	}
+	for b := range want {
+		if !got[b] {
+			t.Errorf("ForEach missed block %d", b)
+		}
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4) },
+		func() { New(1024, 0) },
+		func() { New(msg.BlockSize*3, 2) }, // 3 blocks, 2-way: ragged
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: after any sequence of allocations the cache never exceeds
+// capacity, Len matches residency, and every resident block is findable.
+func TestPropertyCapacityAndResidency(t *testing.T) {
+	f := func(blocks []uint16) bool {
+		c := New(16*msg.BlockSize, 2) // 8 sets x 2 ways = 16 lines
+		resident := map[msg.Block]bool{}
+		for _, raw := range blocks {
+			b := msg.Block(raw % 64)
+			if c.Lookup(b) != nil {
+				c.Touch(c.Lookup(b))
+				continue
+			}
+			_, victim, evicted := c.Allocate(b)
+			if evicted {
+				delete(resident, victim.Block)
+			}
+			resident[b] = true
+		}
+		if c.Len() != len(resident) {
+			return false
+		}
+		count := 0
+		c.ForEach(func(*Line) { count++ })
+		if count != len(resident) || count > 16 {
+			return false
+		}
+		for b := range resident {
+			if c.Lookup(b) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU evicts the least-recently-used line in a fully touched set.
+func TestPropertyLRUOrder(t *testing.T) {
+	f := func(touches []uint8) bool {
+		c := New(4*msg.BlockSize, 4) // one set of 4 ways
+		for b := msg.Block(0); b < 4; b++ {
+			c.Allocate(b)
+		}
+		last := map[msg.Block]int{0: 0, 1: 1, 2: 2, 3: 3}
+		step := 4
+		for _, raw := range touches {
+			b := msg.Block(raw % 4)
+			c.Touch(c.Lookup(b))
+			last[b] = step
+			step++
+		}
+		// Expected LRU: the block with smallest last-touch step.
+		wantVictim := msg.Block(0)
+		for b, s := range last {
+			if s < last[wantVictim] {
+				wantVictim = b
+			}
+		}
+		_, victim, evicted := c.Allocate(99)
+		return evicted && victim.Block == wantVictim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

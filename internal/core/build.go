@@ -1,0 +1,102 @@
+package core
+
+import (
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+)
+
+// TokenSystem bundles the per-node components of a Token Coherence
+// machine so tests and the harness can audit them after a run.
+type TokenSystem struct {
+	Caches   []*TokenB
+	Mems     []*Memory
+	Arbiters []*Arbiter
+	Ledger   *Ledger
+}
+
+// BuildTokenB constructs the complete Token Coherence system on sys: a
+// TokenB cache controller, a token-holding home memory controller, and a
+// persistent-request arbiter per node, all registered on the network.
+func BuildTokenB(sys *machine.System) *TokenSystem {
+	return build(sys, func() Policy { return broadcastPolicy{} }, false)
+}
+
+// BuildTokenD constructs the directory-like performance protocol of §7:
+// transient requests go to the home, whose soft-state hints redirect
+// them to probable holders. Same substrate, a fraction of the request
+// bandwidth.
+func BuildTokenD(sys *machine.System) *TokenSystem {
+	return build(sys, func() Policy { return homePolicy{} }, true)
+}
+
+// BuildTokenM constructs the destination-set-prediction performance
+// protocol of §7: multicast to predicted holders plus the home, with
+// broadcast fallback on reissue.
+func BuildTokenM(sys *machine.System) *TokenSystem {
+	return build(sys, func() Policy { return newPredictPolicy() }, true)
+}
+
+func build(sys *machine.System, policy func() Policy, hints bool) *TokenSystem {
+	n := sys.Cfg.Procs
+	ts := &TokenSystem{Ledger: NewLedger(sys.Cfg.TokensPerBlock)}
+	for i := 0; i < n; i++ {
+		id := msg.NodeID(i)
+		ts.Caches = append(ts.Caches, NewTokenController(sys, id, ts.Ledger, policy()))
+		mem := NewMemory(sys, id, ts.Ledger)
+		if hints {
+			mem.EnableHints()
+		}
+		ts.Mems = append(ts.Mems, mem)
+		ts.Arbiters = append(ts.Arbiters, NewArbiter(sys, id))
+	}
+	return ts
+}
+
+// Controllers adapts the cache controllers for machine.System.Execute.
+func (ts *TokenSystem) Controllers() []machine.Controller {
+	out := make([]machine.Controller, len(ts.Caches))
+	for i, c := range ts.Caches {
+		out[i] = c
+	}
+	return out
+}
+
+// Audit verifies global token conservation (invariant #1') for every
+// block the system touched: tokens held in caches and memories plus
+// tokens in flight must equal T, with exactly one owner token. Combined
+// with the per-message checks, a nil result means the substrate's safety
+// invariants held for the whole run.
+func (ts *TokenSystem) Audit() error {
+	type held struct {
+		tokens int
+		owners int
+	}
+	sums := make(map[msg.Block]held)
+	// Gather cache-held tokens.
+	for _, c := range ts.Caches {
+		c.ForEachLine(func(b msg.Block, tokens int, owner bool) {
+			h := sums[b]
+			h.tokens += tokens
+			if owner {
+				h.owners++
+			}
+			sums[b] = h
+		})
+	}
+	// Gather memory-held tokens.
+	for _, m := range ts.Mems {
+		for b, l := range m.lines {
+			h := sums[b]
+			h.tokens += l.tokens
+			if l.owner {
+				h.owners++
+			}
+			sums[b] = h
+		}
+	}
+	for _, b := range ts.Ledger.Blocks() {
+		h := sums[b]
+		ts.Ledger.CheckConservation(b, h.tokens, h.owners)
+	}
+	return ts.Ledger.Err()
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/msg"
+)
+
+// Ledger audits the token-counting invariants at runtime. Every
+// component reports token sends and receives; the ledger tracks in-flight
+// counts per block and records violations instead of panicking so tests
+// can report them cleanly.
+type Ledger struct {
+	// T is the fixed token count per block (invariant #1').
+	T int
+
+	inflight      map[msg.Block]int
+	inflightOwner map[msg.Block]int
+	initialized   map[msg.Block]bool
+	errs          []error
+}
+
+// NewLedger builds a ledger for T tokens per block.
+func NewLedger(t int) *Ledger {
+	if t <= 0 {
+		panic("core: token count must be positive")
+	}
+	return &Ledger{
+		T:             t,
+		inflight:      make(map[msg.Block]int),
+		inflightOwner: make(map[msg.Block]int),
+		initialized:   make(map[msg.Block]bool),
+	}
+}
+
+func (l *Ledger) fail(format string, args ...any) {
+	if len(l.errs) < 32 {
+		l.errs = append(l.errs, fmt.Errorf(format, args...))
+	}
+}
+
+// InitBlock records the lazy creation of a block's T tokens at its home
+// memory. Initializing twice is a violation.
+func (l *Ledger) InitBlock(b msg.Block) {
+	if l.initialized[b] {
+		l.fail("block %d initialized twice", b)
+		return
+	}
+	l.initialized[b] = true
+}
+
+// Initialized reports whether the block's tokens exist yet.
+func (l *Ledger) Initialized(b msg.Block) bool { return l.initialized[b] }
+
+// Sent records tokens leaving a component in a message. It checks
+// invariant #4' (owner token implies data).
+func (l *Ledger) Sent(b msg.Block, tokens int, owner, hasData bool) {
+	switch {
+	case tokens <= 0:
+		l.fail("block %d: sent message with %d tokens", b, tokens)
+		return
+	case owner && !hasData:
+		l.fail("block %d: owner token sent without data (invariant #4')", b)
+	case !l.initialized[b]:
+		l.fail("block %d: tokens sent before initialization", b)
+	case tokens > l.T:
+		l.fail("block %d: sent %d tokens, more than T=%d", b, tokens, l.T)
+	}
+	l.inflight[b] += tokens
+	if owner {
+		l.inflightOwner[b]++
+		if l.inflightOwner[b] > 1 {
+			l.fail("block %d: two owner tokens in flight", b)
+		}
+	}
+}
+
+// Received records tokens arriving at a component.
+func (l *Ledger) Received(b msg.Block, tokens int, owner bool) {
+	if tokens <= 0 {
+		l.fail("block %d: received message with %d tokens", b, tokens)
+		return
+	}
+	l.inflight[b] -= tokens
+	if l.inflight[b] < 0 {
+		l.fail("block %d: more tokens received than sent (in-flight %d)", b, l.inflight[b])
+	}
+	if owner {
+		l.inflightOwner[b]--
+		if l.inflightOwner[b] < 0 {
+			l.fail("block %d: owner token received but not in flight", b)
+		}
+	}
+}
+
+// InFlight reports tokens currently in transit for b.
+func (l *Ledger) InFlight(b msg.Block) int { return l.inflight[b] }
+
+// Blocks returns every initialized block (order unspecified).
+func (l *Ledger) Blocks() []msg.Block {
+	out := make([]msg.Block, 0, len(l.initialized))
+	for b := range l.initialized {
+		out = append(out, b)
+	}
+	return out
+}
+
+// CheckConservation verifies invariant #1' for block b given the total
+// tokens and owner count held by all components.
+func (l *Ledger) CheckConservation(b msg.Block, held, owners int) {
+	if !l.initialized[b] {
+		if held != 0 || l.inflight[b] != 0 {
+			l.fail("block %d: tokens exist without initialization", b)
+		}
+		return
+	}
+	if total := held + l.inflight[b]; total != l.T {
+		l.fail("block %d: %d tokens held + %d in flight = %d, want T=%d",
+			b, held, l.inflight[b], total, l.T)
+	}
+	if total := owners + l.inflightOwner[b]; total != 1 {
+		l.fail("block %d: %d owner tokens (held+flight), want exactly 1", b, total)
+	}
+}
+
+// Err summarizes recorded violations (nil when clean).
+func (l *Ledger) Err() error {
+	if len(l.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ledger: %d invariant violations, first: %w", len(l.errs), l.errs[0])
+}
+
+// Violations exposes all recorded violations.
+func (l *Ledger) Violations() []error { return l.errs }

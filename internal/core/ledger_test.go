@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLedgerCleanFlow(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.Sent(1, 4, true, true)
+	l.Received(1, 4, true)
+	l.CheckConservation(1, 4, 1)
+	if err := l.Err(); err != nil {
+		t.Fatalf("clean flow reported %v", err)
+	}
+}
+
+func TestLedgerDetectsDoubleInit(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.InitBlock(1)
+	if l.Err() == nil {
+		t.Error("double init not detected")
+	}
+}
+
+func TestLedgerDetectsOwnerWithoutData(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.Sent(1, 1, true, false)
+	if err := l.Err(); err == nil || !strings.Contains(err.Error(), "invariant #4'") {
+		t.Errorf("owner-without-data not detected: %v", err)
+	}
+}
+
+func TestLedgerDetectsOverReceive(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.Sent(1, 1, false, false)
+	l.Received(1, 2, false)
+	if l.Err() == nil {
+		t.Error("token creation (over-receive) not detected")
+	}
+}
+
+func TestLedgerDetectsTwoOwnersInFlight(t *testing.T) {
+	l := NewLedger(8)
+	l.InitBlock(1)
+	l.Sent(1, 1, true, true)
+	l.Sent(1, 1, true, true)
+	if l.Err() == nil {
+		t.Error("duplicate owner token not detected")
+	}
+}
+
+func TestLedgerDetectsConservationViolation(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.CheckConservation(1, 3, 1) // one token missing
+	if l.Err() == nil {
+		t.Error("lost token not detected")
+	}
+}
+
+func TestLedgerDetectsUninitializedTokens(t *testing.T) {
+	l := NewLedger(4)
+	l.Sent(7, 1, false, false)
+	if l.Err() == nil {
+		t.Error("tokens before initialization not detected")
+	}
+}
+
+func TestLedgerDetectsSendingMoreThanT(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.Sent(1, 5, false, false)
+	if l.Err() == nil {
+		t.Error("sending more than T tokens not detected")
+	}
+}
+
+func TestLedgerDetectsNonPositiveSends(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.Sent(1, 0, false, false)
+	l.Received(1, -1, false)
+	if len(l.Violations()) != 2 {
+		t.Errorf("expected 2 violations, got %d", len(l.Violations()))
+	}
+}
+
+func TestLedgerUntouchedBlockConservation(t *testing.T) {
+	l := NewLedger(4)
+	l.CheckConservation(9, 0, 0)
+	if l.Err() != nil {
+		t.Error("untouched block with no tokens should be fine")
+	}
+	l.CheckConservation(9, 2, 0)
+	if l.Err() == nil {
+		t.Error("tokens held for uninitialized block not detected")
+	}
+}
+
+func TestLedgerInFlightAccounting(t *testing.T) {
+	l := NewLedger(8)
+	l.InitBlock(2)
+	l.Sent(2, 3, false, false)
+	l.Sent(2, 2, false, false)
+	if l.InFlight(2) != 5 {
+		t.Errorf("InFlight = %d, want 5", l.InFlight(2))
+	}
+	l.Received(2, 3, false)
+	if l.InFlight(2) != 2 {
+		t.Errorf("InFlight = %d, want 2", l.InFlight(2))
+	}
+}
+
+func TestLedgerBlocks(t *testing.T) {
+	l := NewLedger(4)
+	l.InitBlock(1)
+	l.InitBlock(5)
+	got := l.Blocks()
+	if len(got) != 2 {
+		t.Fatalf("Blocks() = %v, want 2 entries", got)
+	}
+}
+
+func TestNewLedgerPanicsOnNonPositiveT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLedger(0) did not panic")
+		}
+	}()
+	NewLedger(0)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+)
+
+// Policy decides where a performance protocol sends transient requests.
+// Because the correctness substrate guarantees safety and starvation
+// freedom regardless, a policy can be aggressive (broadcast), frugal
+// (home only), or predictive (multicast to a guessed destination set) —
+// exactly the design space §7 of the paper describes. A policy that
+// guesses wrong merely causes reissues, never incorrectness.
+type Policy interface {
+	// Destinations returns the ports a transient request is sent to.
+	Destinations(c *TokenB, m *machine.MSHR, reissue bool) []msg.Port
+	// Observe trains the policy on an incoming token-carrying message.
+	Observe(c *TokenB, mm *msg.Message)
+	// Name identifies the resulting protocol.
+	Name() string
+}
+
+// broadcastPolicy is TokenB: every transient request goes to all other
+// caches plus the home memory.
+type broadcastPolicy struct{}
+
+func (broadcastPolicy) Name() string { return "tokenb" }
+
+func (broadcastPolicy) Observe(*TokenB, *msg.Message) {}
+
+func (broadcastPolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool) []msg.Port {
+	n := c.Cfg.Procs
+	dsts := make([]msg.Port, 0, n)
+	for i := 0; i < n; i++ {
+		if msg.NodeID(i) != c.ID {
+			dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
+		}
+	}
+	return append(dsts, c.HomePort(m.Block))
+}
+
+// homePolicy is TokenD, the directory-like performance protocol of §7:
+// transient requests go only to the home memory, which redirects them to
+// probable holders using soft-state hints. Bandwidth approaches a
+// directory protocol's; stale hints cost only reissues.
+type homePolicy struct{}
+
+func (homePolicy) Name() string { return "tokend" }
+
+func (homePolicy) Observe(*TokenB, *msg.Message) {}
+
+func (homePolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool) []msg.Port {
+	return []msg.Port{c.HomePort(m.Block)}
+}
+
+// predictPolicy is TokenM, the destination-set prediction protocol of
+// §7: first-issue requests are multicast to the nodes that recently
+// supplied tokens for the block's macro-region plus the home; a reissue
+// falls back to full broadcast. It trades a little latency on
+// mispredictions for most of TokenB's latency at a fraction of its
+// request bandwidth.
+type predictPolicy struct {
+	// regionShift groups blocks into macro-regions for prediction
+	// (paper-style spatial predictors use 1KB regions: 4 blocks).
+	regionShift uint
+	// holders remembers the recent token suppliers per region.
+	holders map[msg.Block]*holderSet
+}
+
+// holderSet is a tiny LRU of predicted destination nodes.
+type holderSet struct {
+	nodes [4]msg.NodeID
+	n     int
+}
+
+func (h *holderSet) add(n msg.NodeID) {
+	for i := 0; i < h.n; i++ {
+		if h.nodes[i] == n {
+			return
+		}
+	}
+	if h.n < len(h.nodes) {
+		h.nodes[h.n] = n
+		h.n++
+		return
+	}
+	copy(h.nodes[:], h.nodes[1:])
+	h.nodes[len(h.nodes)-1] = n
+}
+
+func newPredictPolicy() *predictPolicy {
+	return &predictPolicy{regionShift: 2, holders: make(map[msg.Block]*holderSet)}
+}
+
+func (p *predictPolicy) Name() string { return "tokenm" }
+
+func (p *predictPolicy) region(b msg.Block) msg.Block { return b >> p.regionShift }
+
+func (p *predictPolicy) Observe(c *TokenB, mm *msg.Message) {
+	if mm.Src.Unit != msg.UnitCache {
+		return
+	}
+	r := p.region(msg.BlockOf(mm.Addr))
+	hs, ok := p.holders[r]
+	if !ok {
+		hs = &holderSet{}
+		p.holders[r] = hs
+	}
+	hs.add(mm.Src.Node)
+}
+
+func (p *predictPolicy) Destinations(c *TokenB, m *machine.MSHR, reissue bool) []msg.Port {
+	if reissue {
+		// Mispredicted: fall back to broadcast.
+		return broadcastPolicy{}.Destinations(c, m, true)
+	}
+	dsts := []msg.Port{c.HomePort(m.Block)}
+	if hs, ok := p.holders[p.region(m.Block)]; ok {
+		for i := 0; i < hs.n; i++ {
+			if hs.nodes[i] != c.ID {
+				dsts = append(dsts, msg.Port{Node: hs.nodes[i], Unit: msg.UnitCache})
+			}
+		}
+	}
+	return dsts
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/cache"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+// TokenB is the Token-Coherence-using-Broadcast performance protocol
+// cache controller (paper §4.2): it broadcasts transient requests to all
+// other nodes plus the home memory, responds to others' transient
+// requests like a MOSI snooping protocol (with the migratory-sharing
+// optimization), reissues unsatisfied requests after an adaptive
+// randomized timeout, and escalates to a persistent request after
+// Config.MaxReissues reissues.
+type TokenB struct {
+	machine.CacheBase
+	ledger *Ledger
+	policy Policy
+
+	// persist maps blocks with an active persistent request to the
+	// starving processor's port (the node's hardware table).
+	persist map[msg.Block]msg.Port
+	// mineActive records, per block, the epoch of our own active
+	// persistent request (0 = none). Epochs disambiguate a fresh request
+	// from the tail of an earlier request's deactivation cycle.
+	mineActive map[msg.Block]uint64
+	// starving maps blocks to the MSHR that invoked a persistent request
+	// (and its epoch) so satisfaction can be matched to deactivation.
+	starving    map[msg.Block]*machine.MSHR
+	starvingSeq map[msg.Block]uint64
+	persistSeq  uint64
+}
+
+// NewTokenB builds node id's TokenB controller and registers it on the
+// network.
+func NewTokenB(sys *machine.System, id msg.NodeID, ledger *Ledger) *TokenB {
+	return NewTokenController(sys, id, ledger, broadcastPolicy{})
+}
+
+// NewTokenController builds a Token Coherence cache controller with an
+// arbitrary transient-request policy (TokenB, TokenD, TokenM, ...).
+func NewTokenController(sys *machine.System, id msg.NodeID, ledger *Ledger, policy Policy) *TokenB {
+	c := &TokenB{
+		ledger:      ledger,
+		policy:      policy,
+		persist:     make(map[msg.Block]msg.Port),
+		mineActive:  make(map[msg.Block]uint64),
+		starving:    make(map[msg.Block]*machine.MSHR),
+		starvingSeq: make(map[msg.Block]uint64),
+	}
+	c.InitBase(sys, id, c)
+	sys.Net.Register(c.CachePort(), c)
+	return c
+}
+
+// HasPermission implements machine.CacheHooks: reads need a token and
+// valid data (invariant #3'), writes need all T tokens (invariant #2').
+func (c *TokenB) HasPermission(l *cache.Line, write bool) bool {
+	if write {
+		return l.Tokens == c.ledger.T && l.Valid
+	}
+	return l.Tokens >= 1 && l.Valid
+}
+
+// StartMiss implements machine.CacheHooks: broadcast a transient request
+// and arm the reissue timer.
+func (c *TokenB) StartMiss(m *machine.MSHR) {
+	c.broadcastTransient(m, msg.CatRequest)
+	c.armTimer(m)
+}
+
+// broadcastTransient sends the transient request to the destinations the
+// performance policy chooses (all nodes for TokenB, the home for TokenD,
+// a predicted set for TokenM).
+func (c *TokenB) broadcastTransient(m *machine.MSHR, cat msg.Category) {
+	kind := msg.KindGetS
+	if m.Write {
+		kind = msg.KindGetM
+	}
+	req := &msg.Message{
+		Kind: kind, Cat: cat,
+		Src: c.CachePort(), Addr: m.Block.Base(), Requester: c.CachePort(),
+	}
+	c.Net.Multicast(req, c.policy.Destinations(c, m, cat == msg.CatReissue))
+}
+
+// maxReissueTimeout bounds the adaptive timeout so a burst of very slow
+// (persistently-resolved) misses cannot feed back into ever-longer
+// timeouts.
+const maxReissueTimeout = 20 * sim.Microsecond
+
+// armTimer schedules the reissue/starvation timeout: twice the recent
+// average miss latency plus a randomized exponential backoff.
+func (c *TokenB) armTimer(m *machine.MSHR) {
+	shift := m.Reissues
+	if shift > 6 {
+		shift = 6
+	}
+	timeout := sim.Time(c.Cfg.BackoffFactor)*c.AvgMiss + c.Rng.Duration(c.Cfg.BackoffBase<<shift)
+	if timeout > maxReissueTimeout {
+		timeout = maxReissueTimeout
+	}
+	m.Timer = c.K.After(timeout, func() {
+		m.Timer = nil
+		c.onTimeout(m)
+	})
+}
+
+func (c *TokenB) onTimeout(m *machine.MSHR) {
+	if c.Outstanding[m.Block] != m {
+		return // resolved in the same tick; timer raced with completion
+	}
+	if m.Reissues >= c.Cfg.MaxReissues {
+		c.goPersistent(m)
+		return
+	}
+	m.Reissues++
+	c.broadcastTransient(m, msg.CatReissue)
+	c.armTimer(m)
+}
+
+// goPersistent invokes the correctness substrate's starvation-avoidance
+// mechanism: a persistent request sent to the block's home arbiter,
+// stamped with a per-node epoch so late activations of earlier requests
+// cannot be confused with this one.
+func (c *TokenB) goPersistent(m *machine.MSHR) {
+	m.Persistent = true
+	c.persistSeq++
+	c.starving[m.Block] = m
+	c.starvingSeq[m.Block] = c.persistSeq
+	c.Net.Send(&msg.Message{
+		Kind: msg.KindPersistentReq, Cat: msg.CatReissue,
+		Src:  c.CachePort(),
+		Dst:  msg.Port{Node: msg.HomeOf(m.Block, c.Cfg.Procs), Unit: msg.UnitArbiter},
+		Addr: m.Block.Base(), Requester: c.CachePort(),
+		Acks: int(c.persistSeq),
+	})
+}
+
+// EvictL2 implements machine.CacheHooks: evicted tokens (and data when
+// the owner token moves) return to the home memory — unless an active
+// persistent request redirects them to the starving processor.
+func (c *TokenB) EvictL2(v cache.Line) {
+	if v.Tokens == 0 {
+		return // tag-only line (miss in progress); nothing to write back
+	}
+	dst := c.HomePort(v.Block)
+	if starver, active := c.persist[v.Block]; active && starver != c.CachePort() {
+		dst = starver
+	}
+	c.sendTokens(dst, v.Block, v.Tokens, v.Owner, v.Owner, v.Data, v.Dirty, 0)
+}
+
+// sendTokens emits a token-carrying message, keeping the ledger and
+// invariant #4' (owner implies data) honest. State must already be
+// deducted by the caller.
+func (c *TokenB) sendTokens(to msg.Port, b msg.Block, tokens int, owner, hasData bool, data uint64, dirty bool, lat sim.Time) {
+	if owner && !hasData {
+		panic("core: owner token without data")
+	}
+	kind, cat := msg.KindTokens, msg.CatControl
+	if hasData {
+		kind, cat = msg.KindData, msg.CatData
+	}
+	c.ledger.Sent(b, tokens, owner, hasData)
+	out := &msg.Message{
+		Kind: kind, Cat: cat,
+		Src: c.CachePort(), Dst: to, Addr: b.Base(),
+		Tokens: tokens, Owner: owner, HasData: hasData, Data: data, Dirty: dirty,
+	}
+	if lat == 0 {
+		c.Net.Send(out)
+		return
+	}
+	c.K.After(lat, func() { c.Net.Send(out) })
+}
+
+// Handle implements interconnect.Handler.
+func (c *TokenB) Handle(m *msg.Message) {
+	switch m.Kind {
+	case msg.KindGetS, msg.KindGetM:
+		c.handleTransient(m)
+	case msg.KindData, msg.KindTokens:
+		c.receiveTokens(m)
+	case msg.KindPersistentActivate:
+		c.handleActivate(m)
+	case msg.KindPersistentDeactivate:
+		c.handleDeactivate(m)
+	default:
+		panic("core: TokenB received unexpected " + m.Kind.String())
+	}
+}
+
+// handleTransient applies the paper's MOSI response policy. Responses
+// pay the L2 access latency; state is committed immediately so racing
+// requests cannot double-send tokens.
+func (c *TokenB) handleTransient(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	if _, active := c.persist[b]; active {
+		return // active persistent request overrides the policy
+	}
+	l := c.L2.Lookup(b)
+	if l == nil || l.Tokens == 0 {
+		return // state I: ignore
+	}
+	lat := c.Cfg.L2Latency
+	switch m.Kind {
+	case msg.KindGetS:
+		if !l.Owner {
+			return // state S ignores shared requests
+		}
+		if c.Cfg.Migratory && l.Tokens == c.ledger.T && l.Written {
+			// Migratory-sharing optimization: a modified block moves
+			// wholesale, granting read/write permission.
+			c.sendTokens(m.Requester, b, l.Tokens, true, true, l.Data, l.Dirty, lat)
+			c.dropLine(b)
+			return
+		}
+		if l.Tokens > 1 {
+			// Keep the owner token; send data and one plain token.
+			c.sendTokens(m.Requester, b, 1, false, true, l.Data, l.Dirty, lat)
+			l.Tokens--
+			return
+		}
+		// Only the owner token remains; it moves (with data).
+		c.sendTokens(m.Requester, b, 1, true, true, l.Data, l.Dirty, lat)
+		c.dropLine(b)
+	case msg.KindGetM:
+		if l.Owner {
+			c.sendTokens(m.Requester, b, l.Tokens, true, true, l.Data, l.Dirty, lat)
+		} else {
+			// State S: all tokens leave in a dataless message (like an
+			// invalidation acknowledgment).
+			c.sendTokens(m.Requester, b, l.Tokens, false, false, 0, false, lat)
+		}
+		c.dropLine(b)
+	}
+}
+
+// dropLine removes a block from both cache levels (tokens gone).
+func (c *TokenB) dropLine(b msg.Block) {
+	c.L2.Remove(b)
+	c.DropL1(b)
+}
+
+func (c *TokenB) receiveTokens(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	c.ledger.Received(b, m.Tokens, m.Owner)
+	c.policy.Observe(c, m)
+	if starver, active := c.persist[b]; active && starver != c.CachePort() {
+		// Tokens arriving while another node's persistent request is
+		// active are forwarded to the starver, present and future alike.
+		c.forwardTokens(starver, m)
+		return
+	}
+	mshr := c.Outstanding[b]
+	var l *cache.Line
+	if mshr != nil {
+		l = c.EnsureL2(b)
+	} else {
+		l = c.L2.Lookup(b)
+	}
+	if l == nil {
+		// Unsolicited tokens with no resident line: redirect to the home
+		// memory rather than pollute the cache.
+		c.forwardTokens(c.HomePort(b), m)
+		return
+	}
+	c.merge(l, m)
+	if mshr != nil && c.satisfied(mshr, l) {
+		c.completeTokenMiss(mshr)
+	}
+}
+
+func (c *TokenB) forwardTokens(to msg.Port, m *msg.Message) {
+	c.ledger.Sent(msg.BlockOf(m.Addr), m.Tokens, m.Owner, m.HasData)
+	fwd := m.Clone()
+	fwd.Src = c.CachePort()
+	fwd.Dst = to
+	fwd.Cat = msg.CatControl
+	if fwd.HasData {
+		fwd.Cat = msg.CatData
+	}
+	c.K.After(c.Cfg.CtrlLatency, func() { c.Net.Send(fwd) })
+}
+
+// merge folds an arriving token message into a resident line.
+func (c *TokenB) merge(l *cache.Line, m *msg.Message) {
+	l.Tokens += m.Tokens
+	if l.Tokens > c.ledger.T {
+		panic(fmt.Sprintf("core: block %d accumulated %d tokens > T=%d", l.Block, l.Tokens, c.ledger.T))
+	}
+	if m.Owner {
+		l.Owner = true
+	}
+	if m.HasData {
+		if !l.Valid {
+			l.Valid = true
+			l.Data = m.Data
+		}
+		if m.Dirty {
+			l.Dirty = true
+		}
+	}
+}
+
+func (c *TokenB) satisfied(m *machine.MSHR, l *cache.Line) bool {
+	return c.HasPermission(l, m.Write)
+}
+
+func (c *TokenB) completeTokenMiss(m *machine.MSHR) {
+	b := m.Block
+	c.CompleteMiss(m)
+	// Deactivate only when OUR epoch is the one currently active; if the
+	// activation has not arrived yet (or an older epoch is still
+	// draining), the deactivation is sent when the activation shows up.
+	if m.Persistent && c.starving[b] == m && c.mineActive[b] == c.starvingSeq[b] && c.mineActive[b] != 0 {
+		c.sendDeactivate(b)
+		delete(c.starving, b)
+		delete(c.starvingSeq, b)
+	}
+}
+
+func (c *TokenB) sendDeactivate(b msg.Block) {
+	c.Net.Send(&msg.Message{
+		Kind: msg.KindPersistentDeactivate, Cat: msg.CatReissue,
+		Src:  c.CachePort(),
+		Dst:  msg.Port{Node: msg.HomeOf(b, c.Cfg.Procs), Unit: msg.UnitArbiter},
+		Addr: b.Base(),
+	})
+}
+
+func (c *TokenB) handleActivate(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	c.persist[b] = m.Requester
+	if m.Requester == c.CachePort() {
+		epoch := uint64(m.Acks)
+		c.mineActive[b] = epoch
+		sm := c.starving[b]
+		switch {
+		case sm != nil && c.starvingSeq[b] == epoch && c.Outstanding[b] == sm:
+			// Our starving miss is still outstanding; tokens will flow
+			// and completion will deactivate.
+		case sm != nil && c.starvingSeq[b] == epoch:
+			// The starving miss was satisfied by a late transient
+			// response before activation; deactivate immediately.
+			c.sendDeactivate(b)
+			delete(c.starving, b)
+			delete(c.starvingSeq, b)
+		default:
+			// Activation of an older epoch whose miss resolved (and whose
+			// bookkeeping was superseded by a newer request): release it.
+			c.sendDeactivate(b)
+		}
+	} else if l := c.L2.Lookup(b); l != nil && l.Tokens > 0 {
+		// Flush all tokens (and data with the owner token) to the
+		// starving processor.
+		c.sendTokens(m.Requester, b, l.Tokens, l.Owner, l.Owner, l.Data, l.Dirty, c.Cfg.L2Latency)
+		c.dropLine(b)
+	}
+	c.ackArbiter(m, msg.KindPersistentActivateAck)
+}
+
+func (c *TokenB) handleDeactivate(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	delete(c.persist, b)
+	if m.Requester == c.CachePort() && c.mineActive[b] == uint64(m.Acks) {
+		delete(c.mineActive, b)
+	}
+	c.ackArbiter(m, msg.KindPersistentDeactivateAck)
+}
+
+// ForEachLine visits every resident L2 line's token state, for the
+// conservation audit.
+func (c *TokenB) ForEachLine(f func(b msg.Block, tokens int, owner bool)) {
+	c.L2.ForEach(func(l *cache.Line) { f(l.Block, l.Tokens, l.Owner) })
+}
+
+func (c *TokenB) ackArbiter(m *msg.Message, kind msg.Kind) {
+	c.Net.Send(&msg.Message{
+		Kind: kind, Cat: msg.CatReissue,
+		Src: c.CachePort(), Dst: m.Src, Addr: m.Addr, Seq: m.Seq,
+	})
+}

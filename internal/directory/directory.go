@@ -1,0 +1,676 @@
+// Package directory implements the full-map MOSI directory baseline
+// (paper §5.1), modelled on the SGI Origin 2000 and Alpha 21364: every
+// request goes to the block's home node, whose directory orders requests
+// per block, forwards them to the owner, issues invalidations, and
+// queues (never nacks) requests that hit a busy block. The directory
+// state lives in DRAM (Config.DirLatency = MemLatency) or in a perfect
+// directory cache (DirLatency = 0).
+//
+// The price of the design is the paper's central observation: every
+// cache-to-cache miss crosses the interconnect three times (requester ->
+// home -> owner -> requester) and pays the directory lookup.
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tokencoherence/internal/cache"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+// MOSI stable states in cache.Line.State.
+const (
+	stateI = iota
+	stateS
+	stateO
+	stateM
+)
+
+// wbEntry holds an evicted owner line until the home acknowledges the
+// writeback (WBAck) or declares it stale (WBStale). A block can have
+// several pending entries when ownership is lost and re-acquired while
+// writebacks are in flight; they resolve in FIFO order.
+type wbEntry struct {
+	data    uint64
+	dirty   bool
+	owner   bool
+	written bool
+	// epoch is the home transaction that made this node owner of the
+	// evicted copy; the home accepts the writeback only if it matches.
+	epoch uint64
+}
+
+// Cache is the directory protocol's cache controller.
+type Cache struct {
+	machine.CacheBase
+	wb       map[msg.Block][]*wbEntry
+	deferred map[msg.Block][]*msg.Message
+	// invAfterFill records, per block being filled, the newest home
+	// transaction number of an invalidation that overtook the fill; the
+	// fill is consumed once and then invalidated if it is older.
+	invAfterFill map[msg.Block]uint64
+	// pendingAcks buffers invalidation acks that arrive before the data
+	// response reveals the transaction they belong to.
+	pendingAcks map[msg.Block][]uint64
+}
+
+// NewCache builds node id's directory cache controller.
+func NewCache(sys *machine.System, id msg.NodeID) *Cache {
+	c := &Cache{
+		wb:           make(map[msg.Block][]*wbEntry),
+		deferred:     make(map[msg.Block][]*msg.Message),
+		invAfterFill: make(map[msg.Block]uint64),
+		pendingAcks:  make(map[msg.Block][]uint64),
+	}
+	c.InitBase(sys, id, c)
+	sys.Net.Register(c.CachePort(), c)
+	return c
+}
+
+// HasPermission implements machine.CacheHooks.
+func (c *Cache) HasPermission(l *cache.Line, write bool) bool {
+	if write {
+		return l.State == stateM && l.Valid
+	}
+	return l.State >= stateS && l.Valid
+}
+
+// StartMiss implements machine.CacheHooks: a unicast request to the
+// block's home directory.
+func (c *Cache) StartMiss(m *machine.MSHR) {
+	c.sendRequest(m)
+}
+
+func (c *Cache) sendRequest(m *machine.MSHR) {
+	kind := msg.KindGetS
+	if m.Write {
+		kind = msg.KindGetM
+	}
+	c.Net.Send(&msg.Message{
+		Kind: kind, Cat: msg.CatRequest,
+		Src: c.CachePort(), Dst: c.HomePort(m.Block),
+		Addr: m.Block.Base(), Requester: c.CachePort(),
+	})
+}
+
+// EvictL2 implements machine.CacheHooks.
+func (c *Cache) EvictL2(v cache.Line) {
+	if v.State != stateM && v.State != stateO {
+		return // shared lines evict silently; the directory list stays a superset
+	}
+	for _, e := range c.wb[v.Block] {
+		if e.owner {
+			panic("directory: evicting while an older writeback still owns the block")
+		}
+	}
+	c.wb[v.Block] = append(c.wb[v.Block], &wbEntry{
+		data: v.Data, dirty: v.Dirty, owner: true, written: v.Written, epoch: v.Epoch,
+	})
+	c.Net.Send(&msg.Message{
+		Kind: msg.KindPutM, Cat: msg.CatData,
+		Src: c.CachePort(), Dst: c.HomePort(v.Block),
+		Addr: v.Block.Base(), HasData: true, Data: v.Data, Dirty: v.Dirty, Seq: v.Epoch,
+	})
+}
+
+// Handle implements interconnect.Handler.
+func (c *Cache) Handle(m *msg.Message) {
+	switch m.Kind {
+	case msg.KindData:
+		c.onData(m)
+	case msg.KindAck:
+		if m.Src.Unit == msg.UnitMem {
+			c.onGrant(m)
+		} else {
+			c.onInvAck(m)
+		}
+	case msg.KindInv:
+		c.onInv(m)
+	case msg.KindFwdGetS, msg.KindFwdGetM:
+		c.onFwd(m)
+	case msg.KindWBAck:
+		c.onWBAck(m)
+	case msg.KindWBStale:
+		c.onWBStale(m)
+	default:
+		panic("directory: cache received unexpected " + m.Kind.String())
+	}
+}
+
+func (c *Cache) onData(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	mshr := c.Outstanding[b]
+	if mshr == nil {
+		panic(fmt.Sprintf("directory: node %d data for block %d with no MSHR", c.ID, b))
+	}
+	mshr.GotData = true
+	mshr.Fill = m
+	mshr.AcksNeeded = m.Acks
+	c.absorbPendingAcks(mshr)
+	c.maybeComplete(mshr)
+}
+
+// absorbPendingAcks counts buffered early acks that match the fill's
+// transaction and discards the rest (aborted transactions).
+func (c *Cache) absorbPendingAcks(mshr *machine.MSHR) {
+	b := mshr.Block
+	for _, seq := range c.pendingAcks[b] {
+		if seq == mshr.Fill.Seq {
+			mshr.AcksGot++
+		}
+	}
+	delete(c.pendingAcks, b)
+}
+
+func (c *Cache) onInvAck(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	mshr := c.Outstanding[b]
+	if mshr == nil {
+		// An ack from an aborted (grant/writeback-race) transaction; the
+		// retried request counted only acks matching its own fill.
+		return
+	}
+	if !mshr.GotData {
+		c.pendingAcks[b] = append(c.pendingAcks[b], m.Seq)
+		return
+	}
+	if m.Seq == mshr.Fill.Seq {
+		mshr.AcksGot++
+		c.maybeComplete(mshr)
+	}
+}
+
+// onGrant handles a dataless exclusivity grant: the directory saw this
+// node as the block's owner, so only invalidation acks are needed.
+func (c *Cache) onGrant(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	mshr := c.Outstanding[b]
+	if mshr == nil {
+		panic(fmt.Sprintf("directory: node %d stray grant for block %d", c.ID, b))
+	}
+	l := c.L2.Lookup(b)
+	if l == nil || !l.Valid {
+		// The grant raced with this node's own writeback: the line moved
+		// to the writeback buffer, whose data is still the current copy
+		// (the grant proves no other transaction intervened). Refill from
+		// it; the in-flight PutM will be declared stale by its epoch.
+		e := c.ownerWB(b)
+		if e == nil {
+			panic("directory: grant with neither line nor owned writeback")
+		}
+		l = c.EnsureL2(b)
+		l.Valid = true
+		l.Data = e.data
+		l.Dirty = e.dirty
+		l.Written = e.written
+		l.State = stateO
+		e.owner = false
+	}
+	mshr.GotData = true
+	mshr.Grant = true
+	mshr.Fill = m
+	mshr.AcksNeeded = m.Acks
+	c.absorbPendingAcks(mshr)
+	c.maybeComplete(mshr)
+}
+
+// maybeComplete commits the transaction once data (or grant) and all
+// invalidation acks have arrived.
+func (c *Cache) maybeComplete(m *machine.MSHR) {
+	if !m.GotData || m.AcksGot < m.AcksNeeded {
+		return
+	}
+	b := m.Block
+	var becameM bool
+	var fromCache bool
+	if m.Grant {
+		l := c.L2.Lookup(b)
+		if l == nil {
+			panic("directory: granted line vanished")
+		}
+		l.State = stateM
+		l.Epoch = m.Fill.Seq
+		becameM = true
+	} else {
+		fill := m.Fill
+		l := c.EnsureL2(b)
+		l.Valid = true
+		l.Data = fill.Data
+		l.Dirty = fill.Dirty
+		l.Epoch = fill.Seq
+		if m.Write || fill.Owner {
+			l.State = stateM
+			becameM = true
+		} else {
+			l.State = stateS
+		}
+		fromCache = fill.Src.Unit == msg.UnitCache
+	}
+	c.CompleteMiss(m)
+	// Drain requests the directory forwarded to us while we were filling.
+	defs := c.deferred[b]
+	delete(c.deferred, b)
+	for _, d := range defs {
+		c.serveFwd(d, b)
+	}
+	// An invalidation from a home transaction newer than this fill
+	// overtook the data; the fill satisfied the waiting accesses once
+	// and dies here.
+	if invSeq, pending := c.invAfterFill[b]; pending {
+		delete(c.invAfterFill, b)
+		if l := c.L2.Lookup(b); l != nil && invSeq > l.Epoch {
+			c.dropLine(b)
+		}
+	}
+	// Forward-served transactions unblock the home (it is busy waiting).
+	if fromCache {
+		c.Net.Send(&msg.Message{
+			Kind: msg.KindUnblock, Cat: msg.CatControl,
+			Src: c.CachePort(), Dst: c.HomePort(b), Addr: b.Base(),
+			Owner: becameM,
+		})
+	}
+}
+
+func (c *Cache) onInv(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	if l := c.L2.Lookup(b); l != nil {
+		// Drop the copy only if the invalidation comes from a home
+		// transaction newer than the fill that produced this line; a
+		// stale invalidation (reordered behind a later fill) is ignored.
+		if m.Seq > l.Epoch {
+			c.dropLine(b)
+		}
+	} else if _, outstanding := c.Outstanding[b]; outstanding {
+		// Fill in flight: remember the invalidation; the fill may satisfy
+		// the waiting accesses once if it is newer, then die.
+		if m.Seq > c.invAfterFill[b] {
+			c.invAfterFill[b] = m.Seq
+		}
+	}
+	// Always acknowledge, directly to the requesting writer, echoing the
+	// home transaction number so the writer can match acks to its fill.
+	c.K.After(c.Cfg.L2Latency, func() {
+		c.Net.Send(&msg.Message{
+			Kind: msg.KindAck, Cat: msg.CatControl,
+			Src: c.CachePort(), Dst: m.Requester, Addr: m.Addr, Seq: m.Seq,
+		})
+	})
+}
+
+func (c *Cache) onFwd(m *msg.Message) {
+	b := msg.BlockOf(m.Addr)
+	// A writeback buffer entry answers first: its data is authoritative
+	// and deferring here would deadlock the home behind our queued PutM.
+	if c.ownerWB(b) != nil {
+		c.serveFwd(m, b)
+		return
+	}
+	if mshr, outstanding := c.Outstanding[b]; outstanding {
+		if mshr.GotData {
+			if m.Seq > mshr.Fill.Seq {
+				// Our own transaction is ordered before this forward at
+				// the home; we are the owner-to-be, so serve it after
+				// completion (ownership chaining).
+				c.deferred[b] = append(c.deferred[b], m)
+				return
+			}
+			c.serveFwd(m, b)
+			return
+		}
+		if l := c.L2.Lookup(b); l != nil && l.State >= stateO && l.Valid {
+			// The forward's transaction is ordered before our queued
+			// upgrade; answer from the stable owner line (deferring would
+			// deadlock behind our own queued GetM).
+			c.serveFwd(m, b)
+			return
+		}
+		// Our fill is still in flight; chain the forward to completion.
+		c.deferred[b] = append(c.deferred[b], m)
+		return
+	}
+	c.serveFwd(m, b)
+}
+
+// ownerWB returns the writeback entry that still owns b, if any (at
+// most one entry can be the owner, and it is always the newest).
+func (c *Cache) ownerWB(b msg.Block) *wbEntry {
+	entries := c.wb[b]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].owner {
+			return entries[i]
+		}
+	}
+	return nil
+}
+
+// serveFwd answers a forwarded request from stable state or the
+// writeback buffer.
+func (c *Cache) serveFwd(m *msg.Message, b msg.Block) {
+	if e := c.ownerWB(b); e != nil {
+		switch m.Kind {
+		case msg.KindFwdGetS:
+			c.respondData(m.Requester, b, e.data, false, false, 0, m.Seq)
+		case msg.KindFwdGetM:
+			c.respondData(m.Requester, b, e.data, true, e.dirty, m.Acks, m.Seq)
+			e.owner = false
+		}
+		return
+	}
+	l := c.L2.Lookup(b)
+	if l == nil || l.State < stateO {
+		panic(fmt.Sprintf("directory: node %d forwarded %v for block %d but is not owner", c.ID, m.Kind, b))
+	}
+	switch m.Kind {
+	case msg.KindFwdGetS:
+		if c.Cfg.Migratory && l.State == stateM && l.Written {
+			// Migratory-sharing optimization: exclusive handover.
+			c.respondData(m.Requester, b, l.Data, true, l.Dirty, 0, m.Seq)
+			c.dropLine(b)
+			return
+		}
+		c.respondData(m.Requester, b, l.Data, false, false, 0, m.Seq)
+		l.State = stateO
+	case msg.KindFwdGetM:
+		c.respondData(m.Requester, b, l.Data, true, l.Dirty, m.Acks, m.Seq)
+		c.dropLine(b)
+	}
+}
+
+func (c *Cache) respondData(to msg.Port, b msg.Block, data uint64, grantOwner, dirty bool, acks int, seq uint64) {
+	out := &msg.Message{
+		Kind: msg.KindData, Cat: msg.CatData,
+		Src: c.CachePort(), Dst: to, Addr: b.Base(),
+		HasData: true, Data: data, Owner: grantOwner, Dirty: dirty, Acks: acks, Seq: seq,
+	}
+	c.K.After(c.Cfg.L2Latency, func() { c.Net.Send(out) })
+}
+
+func (c *Cache) onWBAck(m *msg.Message) { c.popWB(msg.BlockOf(m.Addr)) }
+
+func (c *Cache) onWBStale(m *msg.Message) { c.popWB(msg.BlockOf(m.Addr)) }
+
+// popWB retires the oldest pending writeback (acks arrive in PutM order).
+func (c *Cache) popWB(b msg.Block) {
+	entries := c.wb[b]
+	if len(entries) == 0 {
+		panic("directory: writeback ack with no pending writeback")
+	}
+	if len(entries) == 1 {
+		delete(c.wb, b)
+	} else {
+		c.wb[b] = entries[1:]
+	}
+}
+
+func (c *Cache) dropLine(b msg.Block) {
+	c.L2.Remove(b)
+	c.DropL1(b)
+}
+
+// Directory states at the home.
+type dirState uint8
+
+const (
+	dirI dirState = iota // memory owns; no cached copies known
+	dirS                 // memory owns; read-only sharers
+	dirO                 // a cache owns; possibly sharers
+	dirM                 // a cache owns exclusively
+)
+
+type dirLine struct {
+	state   dirState
+	owner   msg.NodeID
+	sharers uint64 // bitset over nodes
+	data    uint64
+	busy    bool
+	// seq numbers this block's home transactions; every outgoing data,
+	// grant, forward and invalidation is stamped with it so caches can
+	// order messages that raced on the unordered fabric.
+	seq uint64
+	// ownerSeq is the transaction that made the current cache owner the
+	// owner; a PutM is genuine only if it carries this epoch.
+	ownerSeq uint64
+	txnSeq   uint64
+	queue    []*msg.Message
+	// txn records the in-flight forwarded transaction.
+	txnKind msg.Kind
+	txnReq  msg.Port
+}
+
+// Memory is the home directory controller for one node's address slice.
+type Memory struct {
+	sys   *machine.System
+	id    msg.NodeID
+	lines map[msg.Block]*dirLine
+}
+
+// NewMemory builds and registers node id's directory controller.
+func NewMemory(sys *machine.System, id msg.NodeID) *Memory {
+	m := &Memory{sys: sys, id: id, lines: make(map[msg.Block]*dirLine)}
+	sys.Net.Register(m.Port(), m)
+	return m
+}
+
+// Port returns the directory controller's network port.
+func (m *Memory) Port() msg.Port { return msg.Port{Node: m.id, Unit: msg.UnitMem} }
+
+func (m *Memory) line(b msg.Block) *dirLine {
+	if l, ok := m.lines[b]; ok {
+		return l
+	}
+	l := &dirLine{state: dirI}
+	m.lines[b] = l
+	return l
+}
+
+// State reports the directory state for tests.
+func (m *Memory) State(b msg.Block) (state uint8, owner msg.NodeID, sharers int) {
+	l := m.line(b)
+	return uint8(l.state), l.owner, bits.OnesCount64(l.sharers)
+}
+
+// Handle implements interconnect.Handler.
+func (m *Memory) Handle(mm *msg.Message) {
+	b := msg.BlockOf(mm.Addr)
+	l := m.line(b)
+	switch mm.Kind {
+	case msg.KindGetS, msg.KindGetM, msg.KindPutM:
+		if l.busy {
+			l.queue = append(l.queue, mm)
+			return
+		}
+		m.process(l, mm)
+	case msg.KindUnblock:
+		m.unblock(l, mm)
+	default:
+		panic("directory: home received unexpected " + mm.Kind.String())
+	}
+}
+
+// latencies: actions that read memory data pay controller + DRAM; pure
+// directory actions pay controller + directory lookup.
+func (m *Memory) dataLat() sim.Time { return m.sys.Cfg.CtrlLatency + m.sys.Cfg.MemLatency }
+func (m *Memory) dirLat() sim.Time  { return m.sys.Cfg.CtrlLatency + m.sys.Cfg.DirLatency }
+
+func (m *Memory) send(out *msg.Message, lat sim.Time) {
+	m.sys.K.After(lat, func() { m.sys.Net.Send(out) })
+}
+
+func (m *Memory) process(l *dirLine, mm *msg.Message) {
+	req := mm.Requester
+	l.seq++
+	seq := l.seq
+	switch mm.Kind {
+	case msg.KindGetS:
+		switch l.state {
+		case dirI, dirS:
+			l.state = dirS
+			l.sharers |= 1 << uint(req.Node)
+			m.send(&msg.Message{
+				Kind: msg.KindData, Cat: msg.CatData,
+				Src: m.Port(), Dst: req, Addr: mm.Addr,
+				HasData: true, Data: l.data, Seq: seq,
+			}, m.dataLat())
+		case dirM, dirO:
+			l.busy = true
+			l.txnKind = msg.KindGetS
+			l.txnReq = req
+			l.txnSeq = seq
+			m.send(&msg.Message{
+				Kind: msg.KindFwdGetS, Cat: msg.CatRequest,
+				Src: m.Port(), Dst: msg.Port{Node: l.owner, Unit: msg.UnitCache},
+				Addr: mm.Addr, Requester: req, Seq: seq,
+			}, m.dirLat())
+		}
+	case msg.KindGetM:
+		switch l.state {
+		case dirI:
+			l.state = dirM
+			l.owner = req.Node
+			l.ownerSeq = seq
+			l.sharers = 0
+			m.send(&msg.Message{
+				Kind: msg.KindData, Cat: msg.CatData,
+				Src: m.Port(), Dst: req, Addr: mm.Addr,
+				HasData: true, Data: l.data, Owner: true, Seq: seq,
+			}, m.dataLat())
+		case dirS:
+			others := l.sharers &^ (1 << uint(req.Node))
+			n := bits.OnesCount64(others)
+			l.state = dirM
+			l.owner = req.Node
+			l.ownerSeq = seq
+			l.sharers = 0
+			m.send(&msg.Message{
+				Kind: msg.KindData, Cat: msg.CatData,
+				Src: m.Port(), Dst: req, Addr: mm.Addr,
+				HasData: true, Data: l.data, Owner: true, Acks: n, Seq: seq,
+			}, m.dataLat())
+			m.sendInvals(others, mm.Addr, req, seq)
+		case dirM, dirO:
+			if l.owner == req.Node {
+				// Upgrade by the current owner: dataless grant plus
+				// invalidations; the directory moves to M immediately.
+				others := l.sharers &^ (1 << uint(req.Node))
+				n := bits.OnesCount64(others)
+				l.state = dirM
+				l.ownerSeq = seq
+				l.sharers = 0
+				m.send(&msg.Message{
+					Kind: msg.KindAck, Cat: msg.CatControl,
+					Src: m.Port(), Dst: req, Addr: mm.Addr, Acks: n, Seq: seq,
+				}, m.dirLat())
+				m.sendInvals(others, mm.Addr, req, seq)
+				return
+			}
+			others := l.sharers &^ ((1 << uint(req.Node)) | (1 << uint(l.owner)))
+			n := bits.OnesCount64(others)
+			l.busy = true
+			l.txnKind = msg.KindGetM
+			l.txnReq = req
+			l.txnSeq = seq
+			m.send(&msg.Message{
+				Kind: msg.KindFwdGetM, Cat: msg.CatRequest,
+				Src: m.Port(), Dst: msg.Port{Node: l.owner, Unit: msg.UnitCache},
+				Addr: mm.Addr, Requester: req, Acks: n, Seq: seq,
+			}, m.dirLat())
+			m.sendInvals(others, mm.Addr, req, seq)
+		}
+	case msg.KindPutM:
+		if (l.state == dirM || l.state == dirO) && l.owner == mm.Src.Node && l.ownerSeq == mm.Seq {
+			l.data = mm.Data
+			if l.state == dirM {
+				l.state = dirI
+			} else {
+				l.state = dirS
+			}
+			l.owner = 0
+			m.send(&msg.Message{
+				Kind: msg.KindWBAck, Cat: msg.CatControl,
+				Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
+			}, m.dirLat())
+		} else {
+			m.send(&msg.Message{
+				Kind: msg.KindWBStale, Cat: msg.CatControl,
+				Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
+			}, m.dirLat())
+		}
+	}
+}
+
+func (m *Memory) sendInvals(set uint64, addr msg.Addr, req msg.Port, seq uint64) {
+	for set != 0 {
+		node := msg.NodeID(bits.TrailingZeros64(set))
+		set &^= 1 << uint(node)
+		m.send(&msg.Message{
+			Kind: msg.KindInv, Cat: msg.CatRequest,
+			Src: m.Port(), Dst: msg.Port{Node: node, Unit: msg.UnitCache},
+			Addr: addr, Requester: req, Seq: seq,
+		}, m.dirLat())
+	}
+}
+
+func (m *Memory) unblock(l *dirLine, mm *msg.Message) {
+	if !l.busy {
+		panic("directory: unblock on idle line")
+	}
+	req := l.txnReq
+	switch l.txnKind {
+	case msg.KindGetS:
+		if mm.Owner {
+			// Migratory handover: the requester took exclusive ownership.
+			l.state = dirM
+			l.owner = req.Node
+			l.ownerSeq = l.txnSeq
+			l.sharers = 0
+		} else {
+			if l.state == dirM {
+				l.sharers = 0
+			}
+			l.state = dirO
+			l.sharers |= 1 << uint(req.Node)
+			// owner unchanged
+		}
+	case msg.KindGetM:
+		l.state = dirM
+		l.owner = req.Node
+		l.ownerSeq = l.txnSeq
+		l.sharers = 0
+	}
+	l.busy = false
+	// Drain queued requests until one blocks again.
+	for len(l.queue) > 0 && !l.busy {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		m.process(l, next)
+	}
+}
+
+// System bundles the directory machine's components.
+type System struct {
+	Caches []*Cache
+	Mems   []*Memory
+}
+
+// Build constructs the directory protocol on sys (any topology).
+func Build(sys *machine.System) *System {
+	s := &System{}
+	for i := 0; i < sys.Cfg.Procs; i++ {
+		s.Caches = append(s.Caches, NewCache(sys, msg.NodeID(i)))
+		s.Mems = append(s.Mems, NewMemory(sys, msg.NodeID(i)))
+	}
+	return s
+}
+
+// Controllers adapts the caches for machine.System.Execute.
+func (s *System) Controllers() []machine.Controller {
+	out := make([]machine.Controller, len(s.Caches))
+	for i, c := range s.Caches {
+		out[i] = c
+	}
+	return out
+}

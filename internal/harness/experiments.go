@@ -1,0 +1,382 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+	"tokencoherence/internal/workload"
+)
+
+// --- Table 2: overhead due to reissued requests ------------------------
+
+// Table2Row is one workload's miss classification (percent of misses).
+type Table2Row struct {
+	Workload     string
+	NotReissued  float64
+	ReissuedOnce float64
+	ReissuedMore float64
+	Persistent   float64
+}
+
+// Table2 runs TokenB on the torus for each commercial workload and
+// classifies misses as the paper's Table 2 does.
+func Table2(opt Options) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, name := range workload.Names() {
+		runs, err := averaged(Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: name}, opt)
+		if err != nil {
+			return nil, err
+		}
+		var agg stats.Misses
+		for _, r := range runs {
+			agg.Issued += r.Misses.Issued
+			agg.ReissuedOnce += r.Misses.ReissuedOnce
+			agg.ReissuedMore += r.Misses.ReissuedMore
+			agg.Persistent += r.Misses.Persistent
+		}
+		rows = append(rows, Table2Row{
+			Workload:     name,
+			NotReissued:  agg.Frac(agg.NotReissued()),
+			ReissuedOnce: agg.Frac(agg.ReissuedOnce),
+			ReissuedMore: agg.Frac(agg.ReissuedMore),
+			Persistent:   agg.Frac(agg.Persistent),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable2 formats rows like the paper's Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: Overhead due to reissued requests (TokenB, torus)")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "Workload", "NotReissued", "Once", ">Once", "Persistent")
+	var avg Table2Row
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+			r.Workload, r.NotReissued, r.ReissuedOnce, r.ReissuedMore, r.Persistent)
+		avg.NotReissued += r.NotReissued
+		avg.ReissuedOnce += r.ReissuedOnce
+		avg.ReissuedMore += r.ReissuedMore
+		avg.Persistent += r.Persistent
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(w, "%-10s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+			"Average", avg.NotReissued/n, avg.ReissuedOnce/n, avg.ReissuedMore/n, avg.Persistent/n)
+	}
+}
+
+// --- Runtime figures (4a and 5a) ----------------------------------------
+
+// RuntimeBar is one bar of a runtime figure: cycles per transaction for
+// a (workload, configuration) pair, with the unlimited-bandwidth value.
+type RuntimeBar struct {
+	Workload  string
+	Config    string
+	Cycles    float64 // limited bandwidth
+	CyclesInf float64 // unlimited bandwidth
+}
+
+// runtimePair measures one config with limited and unlimited bandwidth.
+func runtimePair(pt Point, opt Options) (lim, inf float64, err error) {
+	runs, err := averaged(pt, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	lim = meanCPT(runs)
+	pt.Unlimited = true
+	runs, err = averaged(pt, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lim, meanCPT(runs), nil
+}
+
+// Fig4a compares Snooping on the tree against TokenB on both fabrics
+// (paper Figure 4a). Snooping-on-torus is impossible (no total order),
+// exactly as the paper's "not applicable" bar.
+func Fig4a(opt Options) ([]RuntimeBar, error) {
+	configs := []struct {
+		label string
+		pt    Point
+	}{
+		{"tokenb-tree", Point{Protocol: ProtoTokenB, Topo: TopoTree}},
+		{"snooping-tree", Point{Protocol: ProtoSnooping, Topo: TopoTree}},
+		{"tokenb-torus", Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+	}
+	var bars []RuntimeBar
+	for _, name := range workload.Names() {
+		for _, c := range configs {
+			pt := c.pt
+			pt.Workload = name
+			lim, inf, err := runtimePair(pt, opt)
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, RuntimeBar{Workload: name, Config: c.label, Cycles: lim, CyclesInf: inf})
+		}
+	}
+	return bars, nil
+}
+
+// Fig5a compares TokenB, Hammer and Directory on the torus (paper
+// Figure 5a), including the directory-access-latency effect.
+func Fig5a(opt Options) ([]RuntimeBar, error) {
+	configs := []struct {
+		label string
+		pt    Point
+	}{
+		{"tokenb", Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+		{"hammer", Point{Protocol: ProtoHammer, Topo: TopoTorus}},
+		{"directory", Point{Protocol: ProtoDirectory, Topo: TopoTorus}},
+		{"directory-perfect", Point{Protocol: ProtoDirectory, Topo: TopoTorus, PerfectDir: true}},
+	}
+	var bars []RuntimeBar
+	for _, name := range workload.Names() {
+		for _, c := range configs {
+			pt := c.pt
+			pt.Workload = name
+			lim, inf, err := runtimePair(pt, opt)
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, RuntimeBar{Workload: name, Config: c.label, Cycles: lim, CyclesInf: inf})
+		}
+	}
+	return bars, nil
+}
+
+// PrintRuntime formats runtime bars normalized per workload to the named
+// baseline configuration (the paper normalizes each workload's group).
+func PrintRuntime(w io.Writer, title, baseline string, bars []RuntimeBar) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-10s %-18s %14s %14s %11s %11s\n",
+		"Workload", "Config", "cyc/txn", "cyc/txn(inf)", "norm", "norm(inf)")
+	base := map[string]float64{}
+	for _, b := range bars {
+		if b.Config == baseline {
+			base[b.Workload] = b.Cycles
+		}
+	}
+	for _, b := range bars {
+		norm, normInf := 0.0, 0.0
+		if v := base[b.Workload]; v > 0 {
+			norm = b.Cycles / v
+			normInf = b.CyclesInf / v
+		}
+		fmt.Fprintf(w, "%-10s %-18s %14.1f %14.1f %11.3f %11.3f\n",
+			b.Workload, b.Config, b.Cycles, b.CyclesInf, norm, normInf)
+	}
+}
+
+// --- Traffic figures (4b and 5b) ----------------------------------------
+
+// TrafficBar is one traffic bar: bytes per miss by category.
+type TrafficBar struct {
+	Workload string
+	Config   string
+	// PerCategory is indexed by msg.Category.
+	PerCategory [msg.NumCategories]float64
+	Total       float64
+}
+
+func trafficBar(pt Point, opt Options) (TrafficBar, error) {
+	runs, err := averaged(pt, opt)
+	if err != nil {
+		return TrafficBar{}, err
+	}
+	var bar TrafficBar
+	for _, r := range runs {
+		for c := 0; c < msg.NumCategories; c++ {
+			bar.PerCategory[c] += r.CategoryBytesPerMiss(msg.Category(c))
+		}
+		bar.Total += r.BytesPerMiss()
+	}
+	n := float64(len(runs))
+	for c := range bar.PerCategory {
+		bar.PerCategory[c] /= n
+	}
+	bar.Total /= n
+	return bar, nil
+}
+
+// Fig4b compares TokenB and Snooping traffic on the tree (paper
+// Figure 4b).
+func Fig4b(opt Options) ([]TrafficBar, error) {
+	configs := []struct {
+		label string
+		pt    Point
+	}{
+		{"tokenb", Point{Protocol: ProtoTokenB, Topo: TopoTree}},
+		{"snooping", Point{Protocol: ProtoSnooping, Topo: TopoTree}},
+	}
+	return trafficBars(configs, opt)
+}
+
+// Fig5b compares TokenB, Hammer and Directory traffic on the torus
+// (paper Figure 5b).
+func Fig5b(opt Options) ([]TrafficBar, error) {
+	configs := []struct {
+		label string
+		pt    Point
+	}{
+		{"tokenb", Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+		{"hammer", Point{Protocol: ProtoHammer, Topo: TopoTorus}},
+		{"directory", Point{Protocol: ProtoDirectory, Topo: TopoTorus}},
+	}
+	return trafficBars(configs, opt)
+}
+
+func trafficBars(configs []struct {
+	label string
+	pt    Point
+}, opt Options) ([]TrafficBar, error) {
+	var bars []TrafficBar
+	for _, name := range workload.Names() {
+		for _, c := range configs {
+			pt := c.pt
+			pt.Workload = name
+			bar, err := trafficBar(pt, opt)
+			if err != nil {
+				return nil, err
+			}
+			bar.Workload = name
+			bar.Config = c.label
+			bars = append(bars, bar)
+		}
+	}
+	return bars, nil
+}
+
+// PrintTraffic formats traffic bars with the paper's category breakdown.
+func PrintTraffic(w io.Writer, title string, bars []TrafficBar) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-10s %-12s %10s %10s %10s %10s %10s\n",
+		"Workload", "Config", "reissue+p", "requests", "control", "data", "total")
+	for _, b := range bars {
+		fmt.Fprintf(w, "%-10s %-12s %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			b.Workload, b.Config,
+			b.PerCategory[msg.CatReissue], b.PerCategory[msg.CatRequest],
+			b.PerCategory[msg.CatControl], b.PerCategory[msg.CatData], b.Total)
+	}
+}
+
+// --- Scalability (question 5) -------------------------------------------
+
+// ScalingRow reports traffic per miss at one system size.
+type ScalingRow struct {
+	Procs          int
+	TokenBPerMiss  float64
+	DirPerMiss     float64
+	TrafficRatio   float64
+	TokenBCycles   float64
+	DirectoryCyc   float64
+	RuntimeRatioTB float64
+}
+
+// Scaling runs the uniform-sharing microbenchmark from 4 to maxProcs
+// processors (paper §6 question 5: at 64 processors TokenB uses roughly
+// twice Directory's interconnect bandwidth).
+func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
+	if maxProcs == 0 {
+		maxProcs = 64
+	}
+	var rows []ScalingRow
+	for procs := 4; procs <= maxProcs; procs *= 2 {
+		mkGen := func() *workload.Uniform {
+			return workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, procs)
+		}
+		o := opt
+		o.Procs = procs
+		tb, err := averaged(Point{Protocol: ProtoTokenB, Topo: TopoTorus, Gen: mkGen()}, o)
+		if err != nil {
+			return nil, err
+		}
+		// A fresh generator keeps the directory run independent.
+		dir, err := averaged(Point{Protocol: ProtoDirectory, Topo: TopoTorus, Gen: mkGen()}, o)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{Procs: procs}
+		for _, r := range tb {
+			row.TokenBPerMiss += r.BytesPerMiss() / float64(len(tb))
+			row.TokenBCycles += r.CyclesPerTransaction() / float64(len(tb))
+		}
+		for _, r := range dir {
+			row.DirPerMiss += r.BytesPerMiss() / float64(len(dir))
+			row.DirectoryCyc += r.CyclesPerTransaction() / float64(len(dir))
+		}
+		if row.DirPerMiss > 0 {
+			row.TrafficRatio = row.TokenBPerMiss / row.DirPerMiss
+		}
+		if row.TokenBCycles > 0 {
+			row.RuntimeRatioTB = row.DirectoryCyc / row.TokenBCycles
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintScaling formats the scalability study.
+func PrintScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintln(w, "Scalability microbenchmark (question 5): TokenB vs Directory, torus")
+	fmt.Fprintf(w, "%6s %16s %16s %14s %16s\n", "procs", "tokenB B/miss", "dir B/miss", "traffic ratio", "dir/tokenB time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %16.1f %16.1f %14.2f %16.2f\n",
+			r.Procs, r.TokenBPerMiss, r.DirPerMiss, r.TrafficRatio, r.RuntimeRatioTB)
+	}
+}
+
+// --- Convenience ---------------------------------------------------------
+
+// Experiments lists the experiment names RunExperiment accepts.
+func Experiments() []string {
+	return []string{"table2", "fig4a", "fig4b", "fig5a", "fig5b", "scaling"}
+}
+
+// RunExperiment runs one experiment by name and prints it to w.
+func RunExperiment(w io.Writer, name string, opt Options) error {
+	switch name {
+	case "table2":
+		rows, err := Table2(opt)
+		if err != nil {
+			return err
+		}
+		PrintTable2(w, rows)
+	case "fig4a":
+		bars, err := Fig4a(opt)
+		if err != nil {
+			return err
+		}
+		PrintRuntime(w, "Figure 4a: runtime, Snooping vs TokenB (normalized to snooping-tree)", "snooping-tree", bars)
+	case "fig4b":
+		bars, err := Fig4b(opt)
+		if err != nil {
+			return err
+		}
+		PrintTraffic(w, "Figure 4b: traffic, Snooping vs TokenB (tree, bytes/miss)", bars)
+	case "fig5a":
+		bars, err := Fig5a(opt)
+		if err != nil {
+			return err
+		}
+		PrintRuntime(w, "Figure 5a: runtime, Directory & Hammer vs TokenB (normalized to tokenb)", "tokenb", bars)
+	case "fig5b":
+		bars, err := Fig5b(opt)
+		if err != nil {
+			return err
+		}
+		PrintTraffic(w, "Figure 5b: traffic, Directory & Hammer vs TokenB (torus, bytes/miss)", bars)
+	case "scaling":
+		rows, err := Scaling(opt, 64)
+		if err != nil {
+			return err
+		}
+		PrintScaling(w, rows)
+	default:
+		return fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments())
+	}
+	return nil
+}

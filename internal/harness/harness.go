@@ -1,0 +1,206 @@
+// Package harness assembles complete simulated machines and runs the
+// paper's experiments: Table 2 (reissue/persistent-request rates),
+// Figure 4 (Snooping vs TokenB runtime and traffic), Figure 5 (Directory
+// and Hammer vs TokenB runtime and traffic), and the §6 question 5
+// scalability microbenchmark. Each experiment has a structured-result
+// function (for tests and benchmarks) and a printer that emits the
+// paper-style rows.
+package harness
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/core"
+	"tokencoherence/internal/directory"
+	"tokencoherence/internal/hammer"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/snooping"
+	"tokencoherence/internal/stats"
+	"tokencoherence/internal/topology"
+	"tokencoherence/internal/workload"
+)
+
+// Protocol names.
+const (
+	ProtoTokenB    = "tokenb"
+	ProtoSnooping  = "snooping"
+	ProtoDirectory = "directory"
+	ProtoHammer    = "hammer"
+	ProtoTokenD    = "tokend"
+	ProtoTokenM    = "tokenm"
+)
+
+// Topology names.
+const (
+	TopoTree  = "tree"
+	TopoTorus = "torus"
+)
+
+// Point is one simulation configuration.
+type Point struct {
+	Protocol string
+	Topo     string
+	Workload string // commercial workload name, or "" to use Gen
+	Gen      machine.Generator
+	Procs    int
+	Ops      int // operations per processor (measured)
+	Warmup   int // cache-warming operations per processor (unmeasured)
+	Seed     uint64
+
+	// Unlimited removes the bandwidth limit (infinite links).
+	Unlimited bool
+	// PerfectDir sets the directory lookup latency to zero.
+	PerfectDir bool
+	// Mutate optionally adjusts the configuration last.
+	Mutate func(*machine.Config)
+}
+
+// Run executes one point and returns its statistics. Token Coherence
+// points are additionally audited for token conservation.
+func Run(pt Point) (*stats.Run, error) {
+	if pt.Procs == 0 {
+		pt.Procs = 16
+	}
+	if pt.Ops == 0 {
+		pt.Ops = 4000
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Procs = pt.Procs
+	if cfg.TokensPerBlock < pt.Procs {
+		cfg.TokensPerBlock = pt.Procs * 2
+	}
+	if pt.Unlimited {
+		cfg.Net = cfg.Net.Unlimited()
+	}
+	if pt.PerfectDir {
+		cfg.DirLatency = 0
+	}
+	if pt.Mutate != nil {
+		pt.Mutate(&cfg)
+	}
+
+	var topo topology.Topology
+	switch pt.Topo {
+	case TopoTree, "":
+		if pt.Topo == TopoTree || pt.Protocol == ProtoSnooping {
+			topo = topology.NewTree(pt.Procs)
+		} else {
+			topo = topology.NewTorusFor(pt.Procs)
+		}
+	case TopoTorus:
+		topo = topology.NewTorusFor(pt.Procs)
+	default:
+		return nil, fmt.Errorf("harness: unknown topology %q", pt.Topo)
+	}
+
+	gen := pt.Gen
+	if gen == nil {
+		params, err := workload.Commercial(pt.Workload)
+		if err != nil {
+			return nil, err
+		}
+		gen = workload.NewGenerator(params, pt.Procs)
+	}
+
+	sys := machine.NewSystem(cfg, topo, pt.Seed)
+	var ctrls []machine.Controller
+	var audit func() error
+	switch pt.Protocol {
+	case ProtoTokenB:
+		ts := core.BuildTokenB(sys)
+		ctrls = ts.Controllers()
+		audit = ts.Audit
+	case ProtoTokenD:
+		ts := core.BuildTokenD(sys)
+		ctrls = ts.Controllers()
+		audit = ts.Audit
+	case ProtoTokenM:
+		ts := core.BuildTokenM(sys)
+		ctrls = ts.Controllers()
+		audit = ts.Audit
+	case ProtoSnooping:
+		ctrls = snooping.Build(sys).Controllers()
+	case ProtoDirectory:
+		ctrls = directory.Build(sys).Controllers()
+	case ProtoHammer:
+		ctrls = hammer.Build(sys).Controllers()
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %q", pt.Protocol)
+	}
+
+	run, err := sys.ExecuteWarm(ctrls, gen, pt.Warmup, pt.Ops)
+	if err != nil {
+		return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
+	}
+	if audit != nil {
+		if err := audit(); err != nil {
+			return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
+		}
+	}
+	return run, nil
+}
+
+// Options tunes experiment size; the zero value gives quick defaults.
+type Options struct {
+	// Ops per processor (default 4000).
+	Ops int
+	// Warmup ops per processor before measurement (default 2x Ops).
+	Warmup int
+	// Seeds to average over (default {1}).
+	Seeds []uint64
+	// Procs (default 16).
+	Procs int
+}
+
+func (o Options) ops() int {
+	if o.Ops == 0 {
+		return 4000
+	}
+	return o.Ops
+}
+
+func (o Options) warmup() int {
+	if o.Warmup == 0 {
+		return 2 * o.ops()
+	}
+	return o.Warmup
+}
+
+func (o Options) seeds() []uint64 {
+	if len(o.Seeds) == 0 {
+		return []uint64{1}
+	}
+	return o.Seeds
+}
+
+func (o Options) procs() int {
+	if o.Procs == 0 {
+		return 16
+	}
+	return o.Procs
+}
+
+// averaged runs a point once per seed and returns per-seed runs.
+func averaged(pt Point, opt Options) ([]*stats.Run, error) {
+	var runs []*stats.Run
+	for _, seed := range opt.seeds() {
+		pt.Seed = seed
+		pt.Ops = opt.ops()
+		pt.Warmup = opt.warmup()
+		pt.Procs = opt.procs()
+		run, err := Run(pt)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+func meanCPT(runs []*stats.Run) float64 {
+	var s stats.Sample
+	for _, r := range runs {
+		s.Add(r.CyclesPerTransaction())
+	}
+	return s.Mean()
+}

@@ -1,0 +1,286 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/workload"
+)
+
+// testOpt keeps experiment tests fast; the shapes asserted below are
+// robust at this size.
+func testOpt() Options {
+	return Options{Ops: 1200, Warmup: 3000, Seeds: []uint64{1}}
+}
+
+func testPoint(proto, topo, wl string) Point {
+	return Point{Protocol: proto, Topo: topo, Workload: wl, Ops: 1200, Warmup: 3000, Seed: 1}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	if _, err := Run(Point{Protocol: "nope", Topo: TopoTorus, Workload: "oltp"}); err == nil {
+		t.Error("unknown protocol not rejected")
+	}
+}
+
+func TestRunRejectsUnknownTopology(t *testing.T) {
+	if _, err := Run(Point{Protocol: ProtoTokenB, Topo: "ring", Workload: "oltp"}); err == nil {
+		t.Error("unknown topology not rejected")
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if _, err := Run(Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "nope"}); err == nil {
+		t.Error("unknown workload not rejected")
+	}
+}
+
+func TestEveryProtocolRunsEveryWorkload(t *testing.T) {
+	protos := []struct{ proto, topo string }{
+		{ProtoTokenB, TopoTorus},
+		{ProtoTokenD, TopoTorus},
+		{ProtoTokenM, TopoTorus},
+		{ProtoSnooping, TopoTree},
+		{ProtoDirectory, TopoTorus},
+		{ProtoHammer, TopoTorus},
+	}
+	for _, p := range protos {
+		for _, wl := range workload.Names() {
+			p, wl := p, wl
+			t.Run(p.proto+"/"+wl, func(t *testing.T) {
+				t.Parallel()
+				pt := testPoint(p.proto, p.topo, wl)
+				pt.Ops = 600
+				pt.Warmup = 1500
+				run, err := Run(pt)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				if run.Misses.Issued == 0 {
+					t.Error("no coherence misses — workload not exercising the protocol")
+				}
+				if run.Transactions == 0 {
+					t.Error("no transactions completed")
+				}
+			})
+		}
+	}
+}
+
+// TestPaperShapeSnoopingVsTokenB asserts Figure 4a's qualitative result:
+// TokenB on the torus outperforms snooping on the tree, while on the
+// same tree snooping is at least as fast as TokenB.
+func TestPaperShapeSnoopingVsTokenB(t *testing.T) {
+	cpt := func(proto, topo string) float64 {
+		run, err := Run(testPoint(proto, topo, "apache"))
+		if err != nil {
+			t.Fatalf("%s/%s: %v", proto, topo, err)
+		}
+		return run.CyclesPerTransaction()
+	}
+	tokenTorus := cpt(ProtoTokenB, TopoTorus)
+	tokenTree := cpt(ProtoTokenB, TopoTree)
+	snoopTree := cpt(ProtoSnooping, TopoTree)
+	if tokenTorus >= snoopTree {
+		t.Errorf("TokenB/torus (%.1f) not faster than Snooping/tree (%.1f)", tokenTorus, snoopTree)
+	}
+	// On the same fabric snooping has no reissues, so TokenB should not
+	// be meaningfully faster (allow 5% noise).
+	if tokenTree < snoopTree*0.95 {
+		t.Errorf("TokenB/tree (%.1f) implausibly beats Snooping/tree (%.1f)", tokenTree, snoopTree)
+	}
+}
+
+// TestPaperShapeDirectoryAndHammer asserts Figure 5a/5b's qualitative
+// results: TokenB is fastest; Directory uses the least traffic; Hammer
+// uses by far the most.
+func TestPaperShapeDirectoryAndHammer(t *testing.T) {
+	type res struct{ cpt, bpm float64 }
+	get := func(proto string) res {
+		run, err := Run(testPoint(proto, TopoTorus, "oltp"))
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		return res{run.CyclesPerTransaction(), run.BytesPerMiss()}
+	}
+	token := get(ProtoTokenB)
+	dir := get(ProtoDirectory)
+	ham := get(ProtoHammer)
+	if token.cpt >= dir.cpt {
+		t.Errorf("TokenB (%.1f cyc/txn) not faster than Directory (%.1f)", token.cpt, dir.cpt)
+	}
+	if token.cpt >= ham.cpt {
+		t.Errorf("TokenB (%.1f cyc/txn) not faster than Hammer (%.1f)", token.cpt, ham.cpt)
+	}
+	if dir.bpm >= token.bpm {
+		t.Errorf("Directory traffic (%.1f B/miss) not below TokenB (%.1f)", dir.bpm, token.bpm)
+	}
+	if ham.bpm <= token.bpm {
+		t.Errorf("Hammer traffic (%.1f B/miss) not above TokenB (%.1f)", ham.bpm, token.bpm)
+	}
+}
+
+// TestPaperShapePerfectDirectory asserts the grey-striped bars of
+// Figure 5a: removing the DRAM directory lookup speeds Directory up, but
+// TokenB stays ahead.
+func TestPaperShapePerfectDirectory(t *testing.T) {
+	dram, err := Run(testPoint(ProtoDirectory, TopoTorus, "apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := testPoint(ProtoDirectory, TopoTorus, "apache")
+	perfect.PerfectDir = true
+	fast, err := Run(perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, err := Run(testPoint(ProtoTokenB, TopoTorus, "apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.CyclesPerTransaction() >= dram.CyclesPerTransaction() {
+		t.Errorf("perfect directory (%.1f) not faster than DRAM directory (%.1f)",
+			fast.CyclesPerTransaction(), dram.CyclesPerTransaction())
+	}
+	if token.CyclesPerTransaction() >= fast.CyclesPerTransaction() {
+		t.Errorf("TokenB (%.1f) not faster than even the perfect directory (%.1f)",
+			token.CyclesPerTransaction(), fast.CyclesPerTransaction())
+	}
+}
+
+// TestPaperShapeUnlimitedBandwidth asserts that removing the bandwidth
+// limit helps every protocol (contention exists) and helps Hammer most
+// (it has the most traffic).
+func TestPaperShapeUnlimitedBandwidth(t *testing.T) {
+	speedup := func(proto string) float64 {
+		lim, err := Run(testPoint(proto, TopoTorus, "apache"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := testPoint(proto, TopoTorus, "apache")
+		pt.Unlimited = true
+		inf, err := Run(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lim.CyclesPerTransaction() / inf.CyclesPerTransaction()
+	}
+	tb := speedup(ProtoTokenB)
+	hm := speedup(ProtoHammer)
+	if tb < 1.0 {
+		t.Errorf("unlimited bandwidth slowed TokenB down (speedup %.2f)", tb)
+	}
+	if hm < tb {
+		t.Errorf("Hammer gains less from unlimited bandwidth (%.2f) than TokenB (%.2f)", hm, tb)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		total := r.NotReissued + r.ReissuedOnce + r.ReissuedMore + r.Persistent
+		if total < 99.9 || total > 100.1 {
+			t.Errorf("%s: fractions sum to %.2f%%", r.Workload, total)
+		}
+		if r.NotReissued < 90 {
+			t.Errorf("%s: only %.1f%% first-try successes; paper reports ~97%%", r.Workload, r.NotReissued)
+		}
+		if r.ReissuedOnce > 10 {
+			t.Errorf("%s: %.1f%% reissued once; reissues must be rare", r.Workload, r.ReissuedOnce)
+		}
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	rows, err := Scaling(Options{Ops: 400, Warmup: 800}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 4, 8, 16
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// TokenB's broadcast traffic per miss must grow with system size
+	// while Directory's stays roughly flat, so the ratio grows.
+	if rows[0].TrafficRatio >= rows[len(rows)-1].TrafficRatio {
+		t.Errorf("traffic ratio did not grow with system size: %.2f -> %.2f",
+			rows[0].TrafficRatio, rows[len(rows)-1].TrafficRatio)
+	}
+}
+
+func TestRunExperimentPrints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "table2", Options{Ops: 400, Warmup: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "apache", "oltp", "specjbb", "Average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := RunExperiment(&bytes.Buffer{}, "nope", Options{}); err == nil {
+		t.Error("unknown experiment not rejected")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run1, err := Run(testPoint(ProtoTokenB, TopoTorus, "specjbb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := Run(testPoint(ProtoTokenB, TopoTorus, "specjbb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Elapsed != run2.Elapsed || run1.Traffic.TotalBytes() != run2.Traffic.TotalBytes() {
+		t.Errorf("identical points diverged: %v/%v bytes %d/%d",
+			run1.Elapsed, run2.Elapsed, run1.Traffic.TotalBytes(), run2.Traffic.TotalBytes())
+	}
+}
+
+func TestSeedsChangeResults(t *testing.T) {
+	pt := testPoint(ProtoTokenB, TopoTorus, "specjbb")
+	run1, err := Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Seed = 2
+	run2, err := Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Elapsed == run2.Elapsed {
+		t.Error("different seeds produced identical elapsed time (suspicious)")
+	}
+}
+
+func TestCustomGeneratorAndMutate(t *testing.T) {
+	mutated := false
+	pt := Point{
+		Protocol: ProtoTokenB, Topo: TopoTorus,
+		Gen: workload.NewUniform(256, 0.4, 4*sim.Nanosecond, 8),
+		Ops: 400, Procs: 8, Seed: 1,
+		Mutate: func(c *machine.Config) {
+			mutated = true
+			c.MSHRs = 4
+		},
+	}
+	if _, err := Run(pt); err != nil {
+		t.Fatal(err)
+	}
+	if !mutated {
+		t.Error("Mutate hook not invoked")
+	}
+}

@@ -1,0 +1,283 @@
+// Package interconnect models message timing on a topology: per-link
+// cut-through serialization, work-conserving FIFO contention, and
+// bandwidth-efficient tree multicast.
+//
+// Timing model. A message travels hop by hop: when its head reaches a
+// link it departs at d = max(arrival, link free time), the link is then
+// busy for the serialization time (bytes/bandwidth), and the head
+// reaches the next vertex after the link latency. Delivery happens when
+// the tail arrives — one serialization time after the head (cut-through
+// charges serialization once on the critical path, while every crossed
+// link still pays the bandwidth cost). Because links are reserved when
+// the message actually arrives at them, the fabric is work-conserving.
+//
+// A multicast follows the deterministic-routing tree: the message is
+// replicated at each branching vertex in a single simulation event, and
+// each tree edge is charged exactly once, matching the paper's
+// "bandwidth-efficient tree-based multicast routing". Atomic per-vertex
+// replication also gives the indirect tree topology its total order of
+// broadcasts: every broadcast claims the root's output links in one
+// event, so all nodes observe all broadcasts in the same order — the
+// property traditional snooping requires.
+package interconnect
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+	"tokencoherence/internal/topology"
+)
+
+// Config sets the link parameters (Table 1: 3.2 GB/s links, 15 ns
+// latency including wire, synchronization and routing).
+type Config struct {
+	// LinkBandwidth in bytes per second; 0 means unlimited (no
+	// serialization delay and no contention).
+	LinkBandwidth float64
+	// LinkLatency is the per-hop latency.
+	LinkLatency sim.Time
+	// LocalLatency is the delivery latency between units on the same
+	// node (no interconnect crossing).
+	LocalLatency sim.Time
+}
+
+// DefaultConfig returns the paper's interconnect parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidth: 3.2e9,
+		LinkLatency:   15 * sim.Nanosecond,
+		LocalLatency:  1 * sim.Nanosecond,
+	}
+}
+
+// Unlimited returns a copy of c with infinite bandwidth, used for the
+// paper's unlimited-bandwidth runtime bars.
+func (c Config) Unlimited() Config {
+	c.LinkBandwidth = 0
+	return c
+}
+
+// Handler consumes delivered messages.
+type Handler interface {
+	Handle(m *msg.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(m *msg.Message)
+
+// Handle calls f(m).
+func (f HandlerFunc) Handle(m *msg.Message) { f(m) }
+
+// Network delivers messages between registered ports over a topology.
+type Network struct {
+	kernel    *sim.Kernel
+	topo      topology.Topology
+	cfg       Config
+	traffic   *stats.Traffic
+	handlers  map[msg.Port]Handler
+	nextFree  []sim.Time
+	linkBytes []uint64
+	sent      uint64
+}
+
+// New builds a network. traffic may be nil to skip accounting.
+func New(k *sim.Kernel, topo topology.Topology, cfg Config, traffic *stats.Traffic) *Network {
+	if cfg.LinkLatency <= 0 {
+		panic("interconnect: LinkLatency must be positive")
+	}
+	return &Network{
+		kernel:    k,
+		topo:      topo,
+		cfg:       cfg,
+		traffic:   traffic,
+		handlers:  make(map[msg.Port]Handler),
+		nextFree:  make([]sim.Time, topo.NumLinks()),
+		linkBytes: make([]uint64, topo.NumLinks()),
+	}
+}
+
+// Topology exposes the underlying fabric.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Register attaches a handler to a port. Registering a port twice
+// panics: it always indicates mis-wiring during system construction.
+func (n *Network) Register(p msg.Port, h Handler) {
+	if h == nil {
+		panic("interconnect: Register with nil handler")
+	}
+	if _, dup := n.handlers[p]; dup {
+		panic(fmt.Sprintf("interconnect: port %v registered twice", p))
+	}
+	n.handlers[p] = h
+}
+
+// Sent reports the number of message deliveries scheduled.
+func (n *Network) Sent() uint64 { return n.sent }
+
+// serialization returns the time the message occupies one link.
+func (n *Network) serialization(bytes int) sim.Time {
+	if n.cfg.LinkBandwidth <= 0 {
+		return 0
+	}
+	ps := float64(bytes) / n.cfg.LinkBandwidth * 1e12
+	return sim.Time(ps + 0.5)
+}
+
+// deliver schedules the handler for m at time at.
+func (n *Network) deliver(m *msg.Message, at sim.Time) {
+	h, ok := n.handlers[m.Dst]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: no handler for %v (message %v)", m.Dst, m))
+	}
+	n.sent++
+	n.kernel.Schedule(at, func() { h.Handle(m) })
+}
+
+// mcNode is one edge of a multicast (or unicast) routing tree.
+type mcNode struct {
+	link     topology.LinkID
+	children []*mcNode
+	dests    []msg.Port // destinations whose path ends on this edge
+}
+
+// buildTree folds the per-destination paths into their prefix tree.
+// Deterministic routing guarantees prefix closure (verified by the
+// topology tests), so paths sharing a link share the entire prefix.
+func buildTree(paths [][]topology.LinkID, dsts []msg.Port) []*mcNode {
+	var roots []*mcNode
+	findOrAdd := func(nodes *[]*mcNode, link topology.LinkID) *mcNode {
+		for _, nd := range *nodes {
+			if nd.link == link {
+				return nd
+			}
+		}
+		nd := &mcNode{link: link}
+		*nodes = append(*nodes, nd)
+		return nd
+	}
+	for i, path := range paths {
+		level := &roots
+		var nd *mcNode
+		for _, l := range path {
+			nd = findOrAdd(level, l)
+			level = &nd.children
+		}
+		nd.dests = append(nd.dests, dsts[i])
+	}
+	return roots
+}
+
+// walk reserves the given edges at time t, schedules deliveries for
+// destinations reached, and chains child edges at the head's arrival.
+// Each edge of the tree is reserved in exactly one event, in arrival
+// order, which keeps links work-conserving FIFOs.
+func (n *Network) walk(m *msg.Message, nodes []*mcNode, t sim.Time, ser sim.Time) {
+	for _, nd := range nodes {
+		d := t
+		n.linkBytes[nd.link] += uint64(m.Bytes())
+		if n.cfg.LinkBandwidth > 0 {
+			if free := n.nextFree[nd.link]; free > d {
+				d = free
+			}
+			n.nextFree[nd.link] = d + ser
+		}
+		arrival := d + n.cfg.LinkLatency
+		for _, dst := range nd.dests {
+			mc := m.Clone()
+			mc.Dst = dst
+			n.deliver(mc, arrival+ser) // tail arrives one serialization later
+		}
+		if len(nd.children) > 0 {
+			nd := nd
+			n.kernel.Schedule(arrival, func() { n.walk(m, nd.children, arrival, ser) })
+		}
+	}
+}
+
+// countEdges reports the number of edges in a routing tree.
+func countEdges(nodes []*mcNode) int {
+	total := 0
+	for _, nd := range nodes {
+		total += 1 + countEdges(nd.children)
+	}
+	return total
+}
+
+// Send delivers m to m.Dst. Same-node delivery bypasses the fabric and
+// costs no interconnect bandwidth.
+func (n *Network) Send(m *msg.Message) {
+	n.Multicast(m, []msg.Port{m.Dst})
+}
+
+// Multicast delivers a copy of m to every port in dsts. Bandwidth is
+// charged once per multicast-tree edge; destinations on the source node
+// receive a local delivery. The message's Dst field is set per copy.
+func (n *Network) Multicast(m *msg.Message, dsts []msg.Port) {
+	now := n.kernel.Now()
+	var paths [][]topology.LinkID
+	var remote []msg.Port
+	for _, dst := range dsts {
+		path := n.topo.Path(m.Src.Node, dst.Node)
+		if len(path) == 0 {
+			mc := m.Clone()
+			mc.Dst = dst
+			n.deliver(mc, now+n.cfg.LocalLatency)
+			continue
+		}
+		paths = append(paths, path)
+		remote = append(remote, dst)
+	}
+	if len(remote) == 0 {
+		return
+	}
+	roots := buildTree(paths, remote)
+	if n.traffic != nil {
+		n.traffic.Record(m, countEdges(roots))
+	}
+	n.walk(m, roots, now, n.serialization(m.Bytes()))
+}
+
+// LinkBytes reports the bytes that crossed each link, indexed by
+// topology.LinkID. Useful for hotspot analysis: on the indirect tree the
+// root links carry every broadcast, which is the central bottleneck the
+// paper's evaluation exposes.
+func (n *Network) LinkBytes() []uint64 {
+	out := make([]uint64, len(n.linkBytes))
+	copy(out, n.linkBytes)
+	return out
+}
+
+// HottestLink returns the link that carried the most bytes.
+func (n *Network) HottestLink() (topology.LinkID, uint64) {
+	var best topology.LinkID
+	var bytes uint64
+	for l, b := range n.linkBytes {
+		if b > bytes {
+			best, bytes = topology.LinkID(l), b
+		}
+	}
+	return best, bytes
+}
+
+// Utilization reports a link's average utilization over elapsed time
+// (0..1; 0 when bandwidth is unlimited or elapsed is zero).
+func (n *Network) Utilization(l topology.LinkID, elapsed sim.Time) float64 {
+	if n.cfg.LinkBandwidth <= 0 || elapsed <= 0 {
+		return 0
+	}
+	seconds := float64(elapsed) / 1e12
+	return float64(n.linkBytes[l]) / (n.cfg.LinkBandwidth * seconds)
+}
+
+// UnicastLatency estimates the uncontended delivery time from src to dst
+// for a message of the given size; used by controllers to size timeout
+// intervals and by tests.
+func (n *Network) UnicastLatency(src, dst msg.NodeID, bytes int) sim.Time {
+	path := n.topo.Path(src, dst)
+	if len(path) == 0 {
+		return n.cfg.LocalLatency
+	}
+	return sim.Time(len(path))*n.cfg.LinkLatency + n.serialization(bytes)
+}

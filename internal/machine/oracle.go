@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+// Oracle is the safety checker. It verifies the property every protocol
+// in this repository must provide — cache coherence, i.e. per-block
+// sequential consistency:
+//
+//  1. Writes to a block are totally ordered (versions 1, 2, 3, ...).
+//  2. A read returns a version that actually exists (no phantom data).
+//  3. Each processor's accesses to a block observe non-decreasing
+//     versions: once a processor has seen (read or written) version v,
+//     it must never read an older version.
+//  4. Write propagation: a read may not return a version that was
+//     overwritten more than StaleLimit of simulated time before the
+//     read committed (catches missed invalidations that rule 3 cannot
+//     see for read-only sharers).
+//
+// Rules 1–3 are exact; rule 4 is a bounded-staleness net whose limit is
+// far larger than any legitimate miss latency. Split-transaction
+// protocols legally commit a read slightly after a racing write's
+// wall-clock commit (the read is ordered earlier in coherence order), so
+// a pure "latest version at commit time" check would raise false alarms;
+// this oracle accepts those schedules while still failing on stale data.
+type Oracle struct {
+	latest map[msg.Block]uint64
+	// commitTime[b][i] is when version (first[b] + i + 1) committed.
+	commitTime map[msg.Block][]sim.Time
+	first      map[msg.Block]uint64
+	seen       map[procBlock]uint64
+	reads      uint64
+	writes     uint64
+	errs       []error
+
+	// StaleLimit bounds rule 4 (default 1 ms).
+	StaleLimit sim.Time
+	// MaxErrors bounds recorded violations (default 16).
+	MaxErrors int
+}
+
+type procBlock struct {
+	proc  int
+	block msg.Block
+}
+
+// NewOracle returns an empty oracle; all blocks start at version 0.
+func NewOracle() *Oracle {
+	return &Oracle{
+		latest:     make(map[msg.Block]uint64),
+		commitTime: make(map[msg.Block][]sim.Time),
+		first:      make(map[msg.Block]uint64),
+		seen:       make(map[procBlock]uint64),
+		StaleLimit: sim.Millisecond,
+	}
+}
+
+func (o *Oracle) fail(format string, args ...any) {
+	max := o.MaxErrors
+	if max == 0 {
+		max = 16
+	}
+	if len(o.errs) < max {
+		o.errs = append(o.errs, fmt.Errorf(format, args...))
+	}
+}
+
+// CommitWrite records that proc committed a store to b at time now and
+// returns the new version the writer must place in its copy.
+func (o *Oracle) CommitWrite(proc int, b msg.Block, now sim.Time) uint64 {
+	o.writes++
+	v := o.latest[b] + 1
+	o.latest[b] = v
+	o.commitTime[b] = append(o.commitTime[b], now)
+	o.prune(b, now)
+	o.seen[procBlock{proc, b}] = v
+	return v
+}
+
+// prune drops commit-time history far older than the staleness window.
+func (o *Oracle) prune(b msg.Block, now sim.Time) {
+	times := o.commitTime[b]
+	if len(times) < 4096 {
+		return
+	}
+	horizon := now - 4*o.StaleLimit
+	drop := 0
+	for drop < len(times)-1 && times[drop] < horizon {
+		drop++
+	}
+	if drop > 0 {
+		o.commitTime[b] = append([]sim.Time(nil), times[drop:]...)
+		o.first[b] += uint64(drop)
+	}
+}
+
+// versionCommit returns when version v of b committed (ok=false when the
+// history was pruned or v is 0/unknown).
+func (o *Oracle) versionCommit(b msg.Block, v uint64) (sim.Time, bool) {
+	if v == 0 {
+		return 0, true
+	}
+	first := o.first[b]
+	times := o.commitTime[b]
+	if v <= first || v > first+uint64(len(times)) {
+		return 0, false
+	}
+	return times[v-first-1], true
+}
+
+// CheckRead verifies that proc's completed load of b observed version v
+// at time now.
+func (o *Oracle) CheckRead(proc int, b msg.Block, v uint64, now sim.Time) {
+	o.reads++
+	latest := o.latest[b]
+	if v > latest {
+		o.fail("phantom read of block %d: got v%d, latest committed is v%d", b, v, latest)
+		return
+	}
+	key := procBlock{proc, b}
+	if prev := o.seen[key]; v < prev {
+		o.fail("proc %d read block %d going backwards: got v%d after seeing v%d", proc, b, v, prev)
+		return
+	}
+	o.seen[key] = v
+	if v < latest {
+		// The value was overwritten; allow it only within the staleness
+		// window (split-transaction completion skew).
+		next, ok := o.versionCommit(b, v+1)
+		if !ok {
+			o.fail("proc %d read block %d version v%d so old its history was pruned", proc, b, v)
+			return
+		}
+		if now-next > o.StaleLimit {
+			o.fail("proc %d stale read of block %d: v%d overwritten at %v, read at %v", proc, b, v, next, now)
+		}
+	}
+}
+
+// Latest reports the current committed version of b.
+func (o *Oracle) Latest(b msg.Block) uint64 { return o.latest[b] }
+
+// Reads and Writes report how many operations were checked.
+func (o *Oracle) Reads() uint64  { return o.reads }
+func (o *Oracle) Writes() uint64 { return o.writes }
+
+// Err returns nil if no violation was observed, else a summary error.
+func (o *Oracle) Err() error {
+	if len(o.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("oracle: %d coherence violations, first: %w", len(o.errs), o.errs[0])
+}
+
+// Violations returns all recorded violations.
+func (o *Oracle) Violations() []error { return o.errs }

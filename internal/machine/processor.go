@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+)
+
+// Processor is the timing processor model: it issues the workload's
+// memory operations with their think times, sustains up to Config.MSHRs
+// outstanding coherence misses (approximating the memory-level
+// parallelism of the paper's dynamically scheduled cores), and counts
+// completed transactions.
+type Processor struct {
+	k    *sim.Kernel
+	id   int
+	gen  Generator
+	ctrl Controller
+	cfg  Config
+	rng  *sim.Source
+	run  *stats.Run
+
+	limit        int
+	issued       int
+	completed    int
+	outstanding  int
+	loads        int
+	held         *Op
+	stalled      bool
+	issuePending bool
+	done         bool
+	onDone       func()
+
+	// warmupOps, when positive, marks the cache-warming prefix; onWarm
+	// fires once when this processor completes it.
+	warmupOps int
+	warmed    bool
+	onWarm    func()
+}
+
+// NewProcessor builds a processor that will issue limit operations.
+func NewProcessor(k *sim.Kernel, id int, gen Generator, ctrl Controller, cfg Config, rng *sim.Source, run *stats.Run, limit int, onDone func()) *Processor {
+	return &Processor{
+		k: k, id: id, gen: gen, ctrl: ctrl, cfg: cfg, rng: rng, run: run,
+		limit: limit, onDone: onDone,
+	}
+}
+
+// Start schedules the first issue with a small random stagger so the
+// processors do not march in lockstep.
+func (p *Processor) Start() {
+	p.scheduleIssue(p.rng.Duration(10 * sim.Nanosecond))
+}
+
+// Done reports whether all operations have completed.
+func (p *Processor) Done() bool { return p.done }
+
+// Issued reports operations issued so far.
+func (p *Processor) Issued() int { return p.issued }
+
+// Completed reports operations completed so far.
+func (p *Processor) Completed() int { return p.completed }
+
+func (p *Processor) scheduleIssue(d sim.Time) {
+	if p.issuePending {
+		return
+	}
+	p.issuePending = true
+	p.k.After(d, func() {
+		p.issuePending = false
+		p.issueNext()
+	})
+}
+
+func (p *Processor) issueNext() {
+	if p.issued >= p.limit {
+		return
+	}
+	var op Op
+	if p.held != nil {
+		op = *p.held
+	} else {
+		op = p.gen.Next(p.id, p.rng)
+	}
+	if p.outstanding >= p.cfg.MSHRs || (!op.Write && p.loads >= p.cfg.MaxLoads) {
+		// Hold the operation until an outstanding one (or load) retires.
+		held := op
+		p.held = &held
+		p.stalled = true
+		return
+	}
+	p.held = nil
+	p.issued++
+	p.outstanding++
+	if !op.Write {
+		p.loads++
+	}
+	p.ctrl.Access(op, func() { p.opDone(op) })
+	if p.issued < p.limit {
+		p.scheduleIssue(op.Think)
+	}
+}
+
+func (p *Processor) opDone(op Op) {
+	p.outstanding--
+	if !op.Write {
+		p.loads--
+	}
+	p.completed++
+	if op.EndTxn {
+		p.run.Transactions++
+	}
+	if p.warmupOps > 0 && !p.warmed && p.completed >= p.warmupOps {
+		p.warmed = true
+		if p.onWarm != nil {
+			p.onWarm()
+		}
+	}
+	if p.stalled && p.issued < p.limit {
+		p.stalled = false
+		p.scheduleIssue(0)
+	}
+	if p.completed == p.limit && !p.done {
+		p.done = true
+		if p.onDone != nil {
+			p.onDone()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/interconnect"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+	"tokencoherence/internal/topology"
+)
+
+// System assembles one simulated multiprocessor: kernel, interconnect,
+// statistics, safety oracle, and the per-run random stream. Protocol
+// packages build their controllers against a System; Execute then drives
+// a workload through them.
+type System struct {
+	K      *sim.Kernel
+	Cfg    Config
+	Topo   topology.Topology
+	Net    *interconnect.Network
+	Run    *stats.Run
+	Oracle *Oracle
+	Rng    *sim.Source
+}
+
+// NewSystem wires an empty system. The topology's node count must match
+// cfg.Procs.
+func NewSystem(cfg Config, topo topology.Topology, seed uint64) *System {
+	cfg.Validate()
+	if topo.Nodes() != cfg.Procs {
+		panic(fmt.Sprintf("machine: topology has %d nodes, config %d procs", topo.Nodes(), cfg.Procs))
+	}
+	k := sim.NewKernel()
+	run := &stats.Run{}
+	return &System{
+		K:      k,
+		Cfg:    cfg,
+		Topo:   topo,
+		Net:    interconnect.New(k, topo, cfg.Net, &run.Traffic),
+		Run:    run,
+		Oracle: NewOracle(),
+		Rng:    sim.NewSource(seed ^ 0x5bf0_3635_dcf5_9e11),
+	}
+}
+
+// Execute drives opsPerProc operations from gen through each controller
+// and returns the populated statistics. It fails if the simulation
+// deadlocks (event queue drains with operations incomplete) or the
+// safety oracle observed a violation.
+func (s *System) Execute(ctrls []Controller, gen Generator, opsPerProc int) (*stats.Run, error) {
+	return s.ExecuteWarm(ctrls, gen, 0, opsPerProc)
+}
+
+// ExecuteWarm first runs warmup operations per processor to populate the
+// caches, then resets the statistics and measures opsPerProc operations,
+// mirroring the paper's warmed-checkpoint methodology. Statistics reset
+// once every processor has completed its warmup.
+func (s *System) ExecuteWarm(ctrls []Controller, gen Generator, warmup, opsPerProc int) (*stats.Run, error) {
+	if len(ctrls) != s.Cfg.Procs {
+		return nil, fmt.Errorf("machine: %d controllers for %d procs", len(ctrls), s.Cfg.Procs)
+	}
+	remaining := len(ctrls)
+	cold := len(ctrls)
+	var warmStart sim.Time
+	procs := make([]*Processor, len(ctrls))
+	for i, c := range ctrls {
+		p := NewProcessor(s.K, i, gen, c, s.Cfg, s.Rng.Split(), s.Run, warmup+opsPerProc, func() {
+			remaining--
+			if remaining == 0 {
+				s.K.Stop()
+			}
+		})
+		if warmup > 0 {
+			p.onWarm = func() {
+				cold--
+				if cold == 0 {
+					s.Run.Reset()
+					warmStart = s.K.Now()
+				}
+			}
+			p.warmupOps = warmup
+		}
+		procs[i] = p
+	}
+	for _, p := range procs {
+		p.Start()
+	}
+	s.K.Run()
+	s.Run.Elapsed = s.K.Now() - warmStart
+	if remaining > 0 {
+		issued, completed := 0, 0
+		for _, p := range procs {
+			issued += p.Issued()
+			completed += p.Completed()
+		}
+		return s.Run, fmt.Errorf("machine: deadlock, %d/%d processors incomplete (%d issued, %d completed)",
+			remaining, len(procs), issued, completed)
+	}
+	return s.Run, s.Oracle.Err()
+}

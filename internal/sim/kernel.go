@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled action. Events are created by Kernel.Schedule and
+// may be cancelled before they fire.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index, -1 when not queued
+	action func()
+}
+
+// At reports the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.action == nil }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler. The zero value is
+// ready to use at time 0.
+type Kernel struct {
+	now      Time
+	seq      uint64
+	queue    eventQueue
+	executed uint64
+	stopped  bool
+}
+
+// NewKernel returns a kernel positioned at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have fired so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule arranges for action to run at absolute time at. Scheduling in
+// the past panics: it always indicates a model bug, and silently clamping
+// would hide it.
+func (k *Kernel) Schedule(at Time, action func()) *Event {
+	if action == nil {
+		panic("sim: Schedule with nil action")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	e := &Event{at: at, seq: k.seq, action: action}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules action to run delay after the current time.
+func (k *Kernel) After(delay Time, action func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.Schedule(k.now+delay, action)
+}
+
+// Cancel removes a previously scheduled event. Cancelling an event that
+// has already fired or been cancelled is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.action == nil {
+		return
+	}
+	e.action = nil
+	if e.index >= 0 {
+		heap.Remove(&k.queue, e.index)
+		e.index = -1
+	}
+}
+
+// Stop makes the currently running Run/RunUntil call return after the
+// current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step fires the earliest event. It reports false when the queue is empty.
+func (k *Kernel) step(limit Time) bool {
+	for len(k.queue) > 0 {
+		next := k.queue[0]
+		if next.at > limit {
+			return false
+		}
+		heap.Pop(&k.queue)
+		if next.action == nil {
+			continue // cancelled while queued
+		}
+		k.now = next.at
+		action := next.action
+		next.action = nil
+		action()
+		k.executed++
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It
+// reports the final simulated time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.stopped && k.step(Forever) {
+	}
+	return k.now
+}
+
+// RunUntil executes events with firing times at or before limit. Events
+// scheduled after limit remain queued. The clock is advanced to limit if
+// the queue drained earlier.
+func (k *Kernel) RunUntil(limit Time) Time {
+	k.stopped = false
+	for !k.stopped && k.step(limit) {
+	}
+	if !k.stopped && k.now < limit {
+		k.now = limit
+	}
+	return k.now
+}

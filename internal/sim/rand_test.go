@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterministic(t *testing.T) {
+	a, b := NewSource(7), NewSource(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a, b := NewSource(1), NewSource(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 identical draws from different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewSource(9)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	p, c := NewSource(9), child
+	_ = p.Uint64() // parent advanced once during Split
+	diff := false
+	for i := 0; i < 16; i++ {
+		if p.Uint64() != c.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("Split child replays parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := NewSource(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(-5) did not panic")
+		}
+	}()
+	NewSource(1).Int63n(-5)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(11)
+	for i := 0; i < 1000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64RoughlyUniform(t *testing.T) {
+	s := NewSource(13)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.47 || mean > 0.53 {
+		t.Errorf("mean of %d draws = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestDurationRange(t *testing.T) {
+	s := NewSource(5)
+	for i := 0; i < 500; i++ {
+		d := s.Duration(100 * Nanosecond)
+		if d < 0 || d >= 100*Nanosecond {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := NewSource(21)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("Bool(0.25) hit rate = %v, want ~0.25", frac)
+	}
+}
+
+func TestGeometricMeanAndFloor(t *testing.T) {
+	s := NewSource(33)
+	var sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Geometric(8)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if mean < 6.5 || mean > 9.5 {
+		t.Errorf("Geometric(8) sample mean = %v, want ~8", mean)
+	}
+	if got := s.Geometric(0.5); got != 1 {
+		t.Errorf("Geometric(0.5) = %d, want 1", got)
+	}
+}
+
+// Property: Intn(n) is always within bounds for any positive n.
+func TestPropertyIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n)%1000 + 1
+		s := NewSource(seed)
+		for i := 0; i < 20; i++ {
+			v := s.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

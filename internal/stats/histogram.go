@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"tokencoherence/internal/sim"
+)
+
+// Histogram is a power-of-two-bucketed latency histogram. Bucket i
+// counts samples in [2^i, 2^(i+1)) nanoseconds, with bucket 0 also
+// absorbing sub-nanosecond samples. It separates the fast common case
+// from the reissue/persistent tail that Token Coherence's adaptive
+// timeout must adapt to.
+type Histogram struct {
+	buckets [32]uint64
+	count   uint64
+	sum     sim.Time
+	max     sim.Time
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d / sim.Nanosecond)
+	b := 0
+	for ns > 1 && b < len(h.buckets)-1 {
+		ns >>= 1
+		b++
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the mean latency.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Max reports the largest sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Quantile approximates the q-quantile (0 < q <= 1) from the buckets,
+// returning the upper bound of the bucket containing it.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			return sim.Time(uint64(1)<<uint(i+1)) * sim.Nanosecond
+		}
+	}
+	return h.max
+}
+
+// String renders the non-empty buckets as a compact table.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histogram: empty"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram: n=%d mean=%v max=%v\n", h.count, h.Mean(), h.max)
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(1) << uint(i)
+		if i == 0 {
+			lo = 0
+		}
+		fmt.Fprintf(&sb, "  [%4dns, %4dns): %6d (%5.1f%%)\n",
+			lo, uint64(1)<<uint(i+1), c, 100*float64(c)/float64(h.count))
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"tokencoherence/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if h.String() != "histogram: empty" {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{10, 20, 40, 80, 160} {
+		h.Observe(sim.Time(ns) * sim.Nanosecond)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 62*sim.Nanosecond {
+		t.Errorf("Mean = %v, want 62ns", h.Mean())
+	}
+	if h.Max() != 160*sim.Nanosecond {
+		t.Errorf("Max = %v, want 160ns", h.Max())
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(sim.Time(i) * sim.Nanosecond)
+	}
+	p50 := h.Quantile(0.5)
+	p99 := h.Quantile(0.99)
+	if p50 > p99 {
+		t.Errorf("p50 (%v) > p99 (%v)", p50, p99)
+	}
+	// p50 of 1..1000ns lies in the [512,1024) bucket's range; the
+	// estimate returns a power-of-two upper bound containing >= half.
+	if p50 < 256*sim.Nanosecond || p50 > 1024*sim.Nanosecond {
+		t.Errorf("p50 = %v, out of plausible range", p50)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * sim.Nanosecond)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Errorf("negative sample mishandled: %+v", h)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * sim.Nanosecond)
+	h.Observe(3 * sim.Microsecond)
+	s := h.String()
+	if !strings.Contains(s, "n=2") {
+		t.Errorf("String missing count: %q", s)
+	}
+	if strings.Count(s, "%") != 2 {
+		t.Errorf("String should show two buckets: %q", s)
+	}
+}
+
+func TestHistogramHugeSample(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * sim.Second) // far beyond the last bucket boundary
+	if h.Count() != 1 {
+		t.Error("huge sample dropped")
+	}
+	if q := h.Quantile(1.0); q != 5*sim.Second && q < sim.Second {
+		t.Errorf("Quantile(1.0) = %v, want the max-ish", q)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+func TestTrafficRecordWeightsByLinks(t *testing.T) {
+	var tr Traffic
+	req := &msg.Message{Kind: msg.KindGetS, Cat: msg.CatRequest}
+	data := &msg.Message{Kind: msg.KindData, Cat: msg.CatData, HasData: true}
+	tr.Record(req, 5)  // broadcast over 5 links
+	tr.Record(data, 2) // data over 2 links
+	if got := tr.Bytes(msg.CatRequest); got != 40 {
+		t.Errorf("request bytes = %d, want 40 (8B x 5 links)", got)
+	}
+	if got := tr.Bytes(msg.CatData); got != 144 {
+		t.Errorf("data bytes = %d, want 144 (72B x 2 links)", got)
+	}
+	if got := tr.TotalBytes(); got != 184 {
+		t.Errorf("total = %d, want 184", got)
+	}
+	if got := tr.Messages(msg.CatRequest); got != 5 {
+		t.Errorf("request traversals = %d, want 5", got)
+	}
+}
+
+func TestTrafficLocalDeliveryFree(t *testing.T) {
+	var tr Traffic
+	tr.Record(&msg.Message{Cat: msg.CatData, HasData: true}, 0)
+	if tr.TotalBytes() != 0 {
+		t.Error("local delivery must not count interconnect bytes")
+	}
+}
+
+func TestMissesClassification(t *testing.T) {
+	m := Misses{Issued: 1000, ReissuedOnce: 30, ReissuedMore: 5, Persistent: 2}
+	if got := m.NotReissued(); got != 963 {
+		t.Errorf("NotReissued = %d, want 963", got)
+	}
+	if got := m.Frac(m.ReissuedOnce); got != 3.0 {
+		t.Errorf("Frac = %v, want 3.0", got)
+	}
+}
+
+func TestMissesFracEmpty(t *testing.T) {
+	var m Misses
+	if m.Frac(10) != 0 {
+		t.Error("Frac with zero misses must be 0")
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	r := Run{Transactions: 50, Elapsed: 100 * sim.Microsecond}
+	r.Misses.Issued = 200
+	r.Traffic.Record(&msg.Message{Cat: msg.CatData, HasData: true}, 200)
+	if got := r.CyclesPerTransaction(); got != 2000 {
+		t.Errorf("CyclesPerTransaction = %v, want 2000", got)
+	}
+	if got := r.BytesPerMiss(); got != 72 {
+		t.Errorf("BytesPerMiss = %v, want 72", got)
+	}
+	if got := r.CategoryBytesPerMiss(msg.CatData); got != 72 {
+		t.Errorf("CategoryBytesPerMiss = %v, want 72", got)
+	}
+}
+
+func TestRunZeroGuards(t *testing.T) {
+	var r Run
+	if !math.IsInf(r.CyclesPerTransaction(), 1) {
+		t.Error("zero transactions should yield +Inf cycles/txn")
+	}
+	if r.BytesPerMiss() != 0 {
+		t.Error("zero misses should yield 0 bytes/miss")
+	}
+	if r.AvgMissLatency() != 0 {
+		t.Error("zero misses should yield 0 latency")
+	}
+}
+
+func TestAvgMissLatency(t *testing.T) {
+	r := Run{MissLatencySum: 300 * sim.Nanosecond, MissLatencyCount: 3}
+	if got := r.AvgMissLatency(); got != 100*sim.Nanosecond {
+		t.Errorf("AvgMissLatency = %v, want 100ns", got)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got := s.Median(); got != 4.5 {
+		t.Errorf("Median = %v, want 4.5", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Median() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSampleMedianOdd(t *testing.T) {
+	s := Sample{Values: []float64{9, 1, 5}}
+	if got := s.Median(); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+// Property: traffic totals equal the sum of category bytes.
+func TestPropertyTrafficTotal(t *testing.T) {
+	f := func(counts [4]uint8) bool {
+		var tr Traffic
+		cats := []msg.Category{msg.CatRequest, msg.CatReissue, msg.CatControl, msg.CatData}
+		for i, c := range cats {
+			for j := 0; j < int(counts[i]); j++ {
+				tr.Record(&msg.Message{Cat: c}, 1)
+			}
+		}
+		var sum uint64
+		for _, c := range cats {
+			sum += tr.Bytes(c)
+		}
+		return sum == tr.TotalBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package topology models the two interconnect fabrics evaluated in the
+// paper (Figure 1): a two-level totally-ordered pipelined broadcast tree
+// built from discrete switches, and a directly-connected two-dimensional
+// bidirectional torus with no ordering guarantees.
+//
+// A topology maps (source node, destination node) to an ordered sequence
+// of directed links. Deterministic routing means the union of the paths
+// from one source to any destination set is a tree, which lets the
+// interconnect layer account multicast bandwidth per tree edge exactly as
+// the paper does ("broadcast messages use bandwidth-efficient tree-based
+// multicast routing").
+package topology
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/msg"
+)
+
+// LinkID names one directed link. IDs are dense in [0, NumLinks).
+type LinkID int
+
+// Topology is a static interconnect graph with deterministic routing.
+type Topology interface {
+	// Name identifies the topology in reports ("tree", "torus").
+	Name() string
+	// Nodes reports the number of processor nodes.
+	Nodes() int
+	// NumLinks reports the number of directed links.
+	NumLinks() int
+	// Path returns the directed links crossed from src to dst, in order.
+	// An empty path means local delivery (no interconnect crossing).
+	Path(src, dst msg.NodeID) []LinkID
+	// Ordered reports whether the fabric delivers broadcasts in a total
+	// order (required by traditional snooping).
+	Ordered() bool
+}
+
+// AvgHops reports the mean path length over all (src, dst) pairs with
+// src != dst; a quick sanity metric (the paper quotes two link crossings
+// for the 16-node torus and four for the tree).
+func AvgHops(t Topology) float64 {
+	n := t.Nodes()
+	total, pairs := 0, 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			total += len(t.Path(msg.NodeID(s), msg.NodeID(d)))
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(total) / float64(pairs)
+}
+
+// Torus is a w x h bidirectional 2D torus with deterministic
+// dimension-order (X then Y) routing and shortest-direction wrap. The
+// Alpha 21364 used this fabric; it provides no request ordering.
+type Torus struct {
+	w, h int
+}
+
+// NewTorus constructs a w x h torus. Both dimensions must be positive.
+func NewTorus(w, h int) *Torus {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("topology: invalid torus %dx%d", w, h))
+	}
+	return &Torus{w: w, h: h}
+}
+
+// NewTorusFor returns a roughly-square torus with exactly n nodes,
+// used by the scalability experiment (4=2x2, 8=4x2, ..., 64=8x8).
+func NewTorusFor(n int) *Torus {
+	if n <= 0 {
+		panic("topology: torus size must be positive")
+	}
+	w := 1
+	for w*w < n {
+		w++
+	}
+	for n%w != 0 {
+		w++
+	}
+	return NewTorus(w, n/w)
+}
+
+func (t *Torus) Name() string  { return "torus" }
+func (t *Torus) Ordered() bool { return false }
+func (t *Torus) Nodes() int    { return t.w * t.h }
+
+// Width and Height expose the grid dimensions.
+func (t *Torus) Width() int  { return t.w }
+func (t *Torus) Height() int { return t.h }
+
+// Each node has four outgoing links: East, West, South, North.
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+	numDirs
+)
+
+func (t *Torus) NumLinks() int { return t.Nodes() * numDirs }
+
+func (t *Torus) coord(n msg.NodeID) (x, y int) { return int(n) % t.w, int(n) / t.w }
+func (t *Torus) node(x, y int) msg.NodeID      { return msg.NodeID(y*t.w + x) }
+
+// linkFrom returns the outgoing link of node n in direction dir.
+func (t *Torus) linkFrom(n msg.NodeID, dir int) LinkID {
+	return LinkID(int(n)*numDirs + dir)
+}
+
+// ringStep returns the step direction (+1 or -1) and hop count to travel
+// from a to b around a ring of size n, preferring the shorter way and
+// breaking ties in the positive direction.
+func ringStep(a, b, n int) (step, hops int) {
+	if a == b {
+		return 0, 0
+	}
+	fwd := (b - a + n) % n
+	bwd := (a - b + n) % n
+	if fwd <= bwd {
+		return +1, fwd
+	}
+	return -1, bwd
+}
+
+// Path implements dimension-order routing: X first, then Y.
+func (t *Torus) Path(src, dst msg.NodeID) []LinkID {
+	if src == dst {
+		return nil
+	}
+	sx, sy := t.coord(src)
+	dx, dy := t.coord(dst)
+	var path []LinkID
+	// X phase.
+	step, hops := ringStep(sx, dx, t.w)
+	x := sx
+	for i := 0; i < hops; i++ {
+		dir := dirEast
+		if step < 0 {
+			dir = dirWest
+		}
+		path = append(path, t.linkFrom(t.node(x, sy), dir))
+		x = (x + step + t.w) % t.w
+	}
+	// Y phase.
+	step, hops = ringStep(sy, dy, t.h)
+	y := sy
+	for i := 0; i < hops; i++ {
+		dir := dirSouth
+		if step < 0 {
+			dir = dirNorth
+		}
+		path = append(path, t.linkFrom(t.node(dx, y), dir))
+		y = (y + step + t.h) % t.h
+	}
+	return path
+}
+
+// Tree is the paper's two-level indirect broadcast tree (Figure 1a):
+// n leaf nodes, n/fanout incoming switches, one root switch, and
+// n/fanout outgoing switches. Every message — unicast or broadcast —
+// crosses four links (node, in-switch, root, out-switch, node), and
+// because all traffic funnels through the single root over FIFO links,
+// broadcasts are delivered to every node in one total order. That total
+// order is what traditional snooping requires; the root is also the
+// fabric's bandwidth bottleneck, which the evaluation exposes.
+type Tree struct {
+	n      int
+	fanout int
+}
+
+// NewTree constructs the ordered broadcast tree for n nodes with the
+// paper's fan-out of four. n must be a positive multiple of the fanout
+// and at most fanout*fanout (the paper's 16-processor configuration uses
+// 9 switches).
+func NewTree(n int) *Tree {
+	const fanout = 4
+	if n <= 0 || n%fanout != 0 || n > fanout*fanout {
+		panic(fmt.Sprintf("topology: tree supports multiples of %d up to %d nodes, got %d", fanout, fanout*fanout, n))
+	}
+	return &Tree{n: n, fanout: fanout}
+}
+
+func (t *Tree) Name() string  { return "tree" }
+func (t *Tree) Ordered() bool { return true }
+func (t *Tree) Nodes() int    { return t.n }
+
+// Switches reports the number of discrete switch chips ("glue logic"):
+// in-switches + root + out-switches.
+func (t *Tree) Switches() int { return 2*(t.n/t.fanout) + 1 }
+
+// Directed links, numbered in four banks:
+//
+//	bank 0: node i        -> in-switch i/fanout   (n links)
+//	bank 1: in-switch j   -> root                 (n/fanout links)
+//	bank 2: root          -> out-switch j         (n/fanout links)
+//	bank 3: out-switch    -> node i               (n links)
+func (t *Tree) NumLinks() int { return 2*t.n + 2*(t.n/t.fanout) }
+
+func (t *Tree) upLink(n msg.NodeID) LinkID   { return LinkID(n) }
+func (t *Tree) inRootLink(sw int) LinkID     { return LinkID(t.n + sw) }
+func (t *Tree) rootOutLink(sw int) LinkID    { return LinkID(t.n + t.n/t.fanout + sw) }
+func (t *Tree) downLink(n msg.NodeID) LinkID { return LinkID(t.n + 2*(t.n/t.fanout) + int(n)) }
+
+// Path always routes through the root — including src == dst — because
+// a node must observe its own broadcast in the global order.
+func (t *Tree) Path(src, dst msg.NodeID) []LinkID {
+	return []LinkID{
+		t.upLink(src),
+		t.inRootLink(int(src) / t.fanout),
+		t.rootOutLink(int(dst) / t.fanout),
+		t.downLink(dst),
+	}
+}

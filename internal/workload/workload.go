@@ -1,0 +1,303 @@
+// Package workload provides the memory-reference generators that drive
+// the simulated processors.
+//
+// The paper evaluates three commercial workloads (Apache static web
+// serving, OLTP on-line transaction processing, SPECjbb Java middleware)
+// running under Simics full-system simulation. Those binaries and traces
+// are not available, so this package substitutes synthetic generators
+// that reproduce the *sharing patterns* that exercise a coherence
+// protocol — the mix of private accesses, read-mostly shared data,
+// migratory (read-modify-write) records, producer-consumer buffers, and
+// highly-contended locks — with per-workload parameters tuned so that
+// miss rates and race frequencies land in the regime the paper reports
+// (Table 2: ~97% of TokenB misses succeed on the first attempt, a few
+// percent reissue, a fraction of a percent go persistent).
+package workload
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+// Params describes one synthetic commercial workload.
+type Params struct {
+	Name string
+
+	// Working-set sizes, in blocks.
+	PrivateBlocks   int // per-processor private data (heap, stack)
+	StreamBlocks    int // per-processor streaming region (capacity misses)
+	SharedBlocks    int // read-mostly shared pool (code, file cache)
+	MigratoryBlocks int // records updated by one processor at a time
+	ProdConsBlocks  int // producer-consumer buffers
+	LockBlocks      int // highly-contended locks
+
+	// Access-category probabilities (remainder goes to private data).
+	PStream    float64
+	PShared    float64
+	PMigratory float64
+	PProdCons  float64
+	PLock      float64
+
+	// PWriteShared is the store fraction on the shared pool; private
+	// data uses a fixed 30% store ratio; migratory and lock accesses are
+	// read-modify-write bursts by construction.
+	PWriteShared float64
+
+	// MeanThink is the average non-memory work between operations.
+	MeanThink sim.Time
+
+	// OpsPerTxn defines the transaction boundary for the runtime metric.
+	OpsPerTxn int
+}
+
+// Validate panics on nonsensical parameters.
+func (p Params) Validate() {
+	sum := p.PStream + p.PShared + p.PMigratory + p.PProdCons + p.PLock
+	if sum > 1 {
+		panic(fmt.Sprintf("workload %s: category probabilities sum to %v > 1", p.Name, sum))
+	}
+	if p.OpsPerTxn <= 0 {
+		panic("workload: OpsPerTxn must be positive")
+	}
+}
+
+// Apache models static web serving: a large read-mostly shared file
+// cache, frequent producer-consumer hand-offs between worker processes,
+// and contended accept/logging locks — the highest sharing intensity of
+// the three (it shows the most reissued requests in Table 2).
+func Apache() Params {
+	return Params{
+		Name:            "apache",
+		PrivateBlocks:   1024,
+		StreamBlocks:    8192,
+		SharedBlocks:    1024,
+		MigratoryBlocks: 96,
+		ProdConsBlocks:  64,
+		LockBlocks:      2,
+		PStream:         0.010,
+		PShared:         0.060,
+		PMigratory:      0.012,
+		PProdCons:       0.015,
+		PLock:           0.012,
+		PWriteShared:    0.10,
+		MeanThink:       6 * sim.Nanosecond,
+		OpsPerTxn:       120,
+	}
+}
+
+// OLTP models an on-line transaction processing database: migratory
+// row/index records dominate communication, with a big streaming buffer
+// pool producing memory misses.
+func OLTP() Params {
+	return Params{
+		Name:            "oltp",
+		PrivateBlocks:   1280,
+		StreamBlocks:    12288,
+		SharedBlocks:    900,
+		MigratoryBlocks: 256,
+		ProdConsBlocks:  32,
+		LockBlocks:      2,
+		PStream:         0.016,
+		PShared:         0.040,
+		PMigratory:      0.022,
+		PProdCons:       0.007,
+		PLock:           0.008,
+		PWriteShared:    0.12,
+		MeanThink:       8 * sim.Nanosecond,
+		OpsPerTxn:       200,
+	}
+}
+
+// SPECjbb models Java middleware: warehouse-partitioned (mostly private)
+// heaps with occasional shared structures — the least contended workload
+// (fewest persistent requests in Table 2).
+func SPECjbb() Params {
+	return Params{
+		Name:            "specjbb",
+		PrivateBlocks:   1536,
+		StreamBlocks:    6144,
+		SharedBlocks:    768,
+		MigratoryBlocks: 128,
+		ProdConsBlocks:  24,
+		LockBlocks:      3,
+		PStream:         0.008,
+		PShared:         0.035,
+		PMigratory:      0.015,
+		PProdCons:       0.005,
+		PLock:           0.005,
+		PWriteShared:    0.08,
+		MeanThink:       5 * sim.Nanosecond,
+		OpsPerTxn:       90,
+	}
+}
+
+// Commercial returns the named workload parameters (apache, oltp,
+// specjbb).
+func Commercial(name string) (Params, error) {
+	switch name {
+	case "apache":
+		return Apache(), nil
+	case "oltp":
+		return OLTP(), nil
+	case "specjbb":
+		return SPECjbb(), nil
+	}
+	return Params{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names lists the commercial workloads in the paper's order.
+func Names() []string { return []string{"apache", "oltp", "specjbb"} }
+
+// Generator produces the operation stream for Params. It implements
+// machine.Generator and is deterministic given the per-processor rng
+// streams.
+type Generator struct {
+	p     Params
+	procs int
+	state []procState
+
+	// Region base block numbers.
+	lockBase, migBase, pcBase, sharedBase, privBase, streamBase msg.Block
+}
+
+type procState struct {
+	pending []machine.Op
+	opCount int
+	stream  int
+	// privInit tracks which private blocks have been touched: the first
+	// access to a private block is a store (allocation/initialization),
+	// so MOSI private data settles into M instead of paying a read miss
+	// plus an upgrade miss forever.
+	privInit []uint64
+}
+
+// NewGenerator builds a generator for procs processors.
+func NewGenerator(p Params, procs int) *Generator {
+	p.Validate()
+	g := &Generator{p: p, procs: procs, state: make([]procState, procs)}
+	// Lay out disjoint regions of the block address space.
+	next := msg.Block(1) // block 0 left unused
+	place := func(n int) msg.Block {
+		base := next
+		next += msg.Block(n)
+		return base
+	}
+	g.lockBase = place(p.LockBlocks)
+	g.migBase = place(p.MigratoryBlocks)
+	g.pcBase = place(p.ProdConsBlocks)
+	g.sharedBase = place(p.SharedBlocks)
+	g.privBase = place(p.PrivateBlocks * procs)
+	g.streamBase = place(p.StreamBlocks * procs)
+	return g
+}
+
+// Params returns the workload's parameters.
+func (g *Generator) Params() Params { return g.p }
+
+// Next implements machine.Generator.
+func (g *Generator) Next(proc int, rng *sim.Source) machine.Op {
+	ps := &g.state[proc]
+	var op machine.Op
+	if len(ps.pending) > 0 {
+		op = ps.pending[0]
+		ps.pending = ps.pending[1:]
+	} else {
+		op = g.generate(proc, ps, rng)
+	}
+	ps.opCount++
+	if ps.opCount%g.p.OpsPerTxn == 0 {
+		op.EndTxn = true
+	}
+	if op.Think == 0 {
+		op.Think = sim.Time(rng.Geometric(float64(g.p.MeanThink))) * sim.Picosecond
+	}
+	return op
+}
+
+// generate rolls an access category and may queue a burst continuation.
+func (g *Generator) generate(proc int, ps *procState, rng *sim.Source) machine.Op {
+	p := g.p
+	r := rng.Float64()
+	switch {
+	case r < p.PLock && p.LockBlocks > 0:
+		// Lock acquire/release: read-modify-write on a hot block.
+		b := g.lockBase + msg.Block(rng.Intn(p.LockBlocks))
+		ps.pending = append(ps.pending, machine.Op{Addr: b.Base(), Write: true})
+		return machine.Op{Addr: b.Base(), Write: false}
+	case r < p.PLock+p.PMigratory && p.MigratoryBlocks > 0:
+		// Migratory record: read, then update, sometimes twice.
+		b := g.migBase + msg.Block(rng.Intn(p.MigratoryBlocks))
+		ps.pending = append(ps.pending, machine.Op{Addr: b.Base(), Write: true})
+		if rng.Bool(0.4) {
+			ps.pending = append(ps.pending, machine.Op{Addr: b.Base(), Write: true})
+		}
+		return machine.Op{Addr: b.Base(), Write: false}
+	case r < p.PLock+p.PMigratory+p.PProdCons && p.ProdConsBlocks > 0:
+		// Producer-consumer buffer: writers fill, readers drain.
+		b := g.pcBase + msg.Block(rng.Intn(p.ProdConsBlocks))
+		return machine.Op{Addr: b.Base(), Write: rng.Bool(0.5)}
+	case r < p.PLock+p.PMigratory+p.PProdCons+p.PShared && p.SharedBlocks > 0:
+		b := g.sharedBase + msg.Block(rng.Intn(p.SharedBlocks))
+		return machine.Op{Addr: b.Base(), Write: rng.Bool(p.PWriteShared)}
+	case r < p.PLock+p.PMigratory+p.PProdCons+p.PShared+p.PStream && p.StreamBlocks > 0:
+		// Sequential streaming through a large per-processor region:
+		// capacity misses that go to memory.
+		ps.stream = (ps.stream + 1) % p.StreamBlocks
+		b := g.streamBase + msg.Block(proc*p.StreamBlocks+ps.stream)
+		return machine.Op{Addr: b.Base(), Write: rng.Bool(0.2)}
+	default:
+		idx := rng.Intn(p.PrivateBlocks)
+		b := g.privBase + msg.Block(proc*p.PrivateBlocks+idx)
+		write := rng.Bool(0.3)
+		if ps.privInit == nil {
+			ps.privInit = make([]uint64, (p.PrivateBlocks+63)/64)
+		}
+		if ps.privInit[idx/64]&(1<<uint(idx%64)) == 0 {
+			ps.privInit[idx/64] |= 1 << uint(idx%64)
+			write = true // allocation: first touch initializes the block
+		}
+		return machine.Op{Addr: b.Base(), Write: write}
+	}
+}
+
+// Uniform is the microbenchmark generator used by the scalability
+// experiment (paper §6 question 5) and by many tests: uniform random
+// accesses over a shared pool.
+type Uniform struct {
+	// Blocks is the pool size; PWrite the store fraction; Think the
+	// fixed think time; OpsPerTxn the transaction size (default 1).
+	Blocks    int
+	PWrite    float64
+	Think     sim.Time
+	OpsPerTxn int
+
+	counts []int
+}
+
+// NewUniform builds the microbenchmark for procs processors.
+func NewUniform(blocks int, pWrite float64, think sim.Time, procs int) *Uniform {
+	return &Uniform{Blocks: blocks, PWrite: pWrite, Think: think, OpsPerTxn: 1, counts: make([]int, procs)}
+}
+
+// Next implements machine.Generator.
+func (u *Uniform) Next(proc int, rng *sim.Source) machine.Op {
+	op := machine.Op{
+		Addr:  msg.Addr(rng.Intn(u.Blocks)+1) * msg.BlockSize,
+		Write: rng.Bool(u.PWrite),
+		Think: u.Think,
+	}
+	if u.counts != nil {
+		u.counts[proc]++
+		opsPerTxn := u.OpsPerTxn
+		if opsPerTxn <= 0 {
+			opsPerTxn = 1
+		}
+		op.EndTxn = u.counts[proc]%opsPerTxn == 0
+	} else {
+		op.EndTxn = true
+	}
+	return op
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+func TestCommercialLookup(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Commercial(name)
+		if err != nil {
+			t.Fatalf("Commercial(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("Commercial(%q).Name = %q", name, p.Name)
+		}
+		p.Validate()
+	}
+	if _, err := Commercial("nope"); err == nil {
+		t.Error("unknown workload did not error")
+	}
+}
+
+func TestValidateRejectsOverfullProbabilities(t *testing.T) {
+	p := Apache()
+	p.PShared = 0.9
+	p.PStream = 0.9
+	defer func() {
+		if recover() == nil {
+			t.Error("overfull probabilities did not panic")
+		}
+	}()
+	p.Validate()
+}
+
+func TestRegionsAreDisjoint(t *testing.T) {
+	for _, name := range Names() {
+		p, _ := Commercial(name)
+		g := NewGenerator(p, 16)
+		// Generate many ops per processor and bucket them by region.
+		rng := sim.NewSource(1)
+		seen := map[msg.Block]int{} // block -> owning proc for private/stream
+		for proc := 0; proc < 16; proc++ {
+			for i := 0; i < 2000; i++ {
+				op := g.Next(proc, rng)
+				b := msg.BlockOf(op.Addr)
+				if b >= g.privBase {
+					if prev, ok := seen[b]; ok && prev != proc {
+						t.Fatalf("%s: private/stream block %d touched by procs %d and %d", name, b, prev, proc)
+					}
+					seen[b] = proc
+				}
+			}
+		}
+	}
+}
+
+func TestTransactionBoundaries(t *testing.T) {
+	p := SPECjbb()
+	g := NewGenerator(p, 4)
+	rng := sim.NewSource(2)
+	txns := 0
+	const ops = 10 * 90 // OpsPerTxn = 90
+	for i := 0; i < ops; i++ {
+		if g.Next(0, rng).EndTxn {
+			txns++
+		}
+	}
+	if txns != 10 {
+		t.Errorf("%d transactions in %d ops, want 10", txns, ops)
+	}
+}
+
+func TestThinkTimesPositive(t *testing.T) {
+	g := NewGenerator(OLTP(), 2)
+	rng := sim.NewSource(3)
+	for i := 0; i < 1000; i++ {
+		op := g.Next(1, rng)
+		if op.Think <= 0 {
+			t.Fatalf("op %d has non-positive think time %v", i, op.Think)
+		}
+	}
+}
+
+func TestMigratoryBurstsAreRMW(t *testing.T) {
+	// Force migratory accesses by zeroing other categories.
+	p := OLTP()
+	p.PLock, p.PProdCons, p.PShared, p.PStream = 0, 0, 0, 0
+	p.PMigratory = 1.0
+	g := NewGenerator(p, 2)
+	rng := sim.NewSource(4)
+	// The stream must consist of read-then-write(s) bursts: every read is
+	// immediately followed by a write to the same block, and writes only
+	// follow an access to the same block.
+	var ops []machine.Op
+	for i := 0; i < 400; i++ {
+		ops = append(ops, g.Next(0, rng))
+	}
+	for i, op := range ops {
+		if !op.Write {
+			if i+1 >= len(ops) {
+				break
+			}
+			next := ops[i+1]
+			if !next.Write || next.Addr != op.Addr {
+				t.Fatalf("op %d: read of %d not followed by write to it (%+v)", i, op.Addr, next)
+			}
+		} else if i > 0 && ops[i-1].Addr != op.Addr {
+			t.Fatalf("op %d: write to %d does not continue a burst", i, op.Addr)
+		}
+	}
+}
+
+func TestSharedAccessesHitSharedRegion(t *testing.T) {
+	p := Apache()
+	p.PLock, p.PProdCons, p.PMigratory, p.PStream = 0, 0, 0, 0
+	p.PShared = 1.0
+	g := NewGenerator(p, 4)
+	rng := sim.NewSource(5)
+	for i := 0; i < 500; i++ {
+		op := g.Next(2, rng)
+		b := msg.BlockOf(op.Addr)
+		if b < g.sharedBase || b >= g.sharedBase+msg.Block(p.SharedBlocks) {
+			t.Fatalf("shared access hit block %d outside [%d, %d)", b, g.sharedBase, g.sharedBase+msg.Block(p.SharedBlocks))
+		}
+	}
+}
+
+func TestStreamWalksSequentially(t *testing.T) {
+	p := Apache()
+	p.PLock, p.PProdCons, p.PMigratory, p.PShared = 0, 0, 0, 0
+	p.PStream = 1.0
+	g := NewGenerator(p, 2)
+	rng := sim.NewSource(6)
+	prev := msg.BlockOf(g.Next(0, rng).Addr)
+	for i := 0; i < 100; i++ {
+		cur := msg.BlockOf(g.Next(0, rng).Addr)
+		if cur != prev+1 && cur != g.streamBase {
+			t.Fatalf("stream jumped from %d to %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	u := NewUniform(8, 0.5, 2*sim.Nanosecond, 4)
+	rng := sim.NewSource(7)
+	writes := 0
+	for i := 0; i < 2000; i++ {
+		op := u.Next(0, rng)
+		b := msg.BlockOf(op.Addr)
+		if b < 1 || b > 8 {
+			t.Fatalf("block %d out of pool", b)
+		}
+		if op.Write {
+			writes++
+		}
+		if !op.EndTxn {
+			t.Fatal("OpsPerTxn=1 must mark every op EndTxn")
+		}
+	}
+	if writes < 800 || writes > 1200 {
+		t.Errorf("write fraction = %d/2000, want ~50%%", writes)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() []machine.Op {
+		g := NewGenerator(Apache(), 4)
+		rng := sim.NewSource(42)
+		var ops []machine.Op
+		for i := 0; i < 200; i++ {
+			ops = append(ops, g.Next(i%4, rng))
+		}
+		return ops
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

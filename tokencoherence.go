@@ -1,0 +1,94 @@
+// Package tokencoherence is a Go reproduction of "Token Coherence:
+// Decoupling Performance and Correctness" (Martin, Hill & Wood, ISCA
+// 2003): a deterministic discrete-event simulator of a glueless
+// shared-memory multiprocessor with four cache-coherence protocols —
+// TokenB (the paper's contribution), traditional Snooping, a full-map
+// Directory, and an AMD-Hammer-like broadcast protocol — on ordered-tree
+// and unordered-torus interconnects, plus the TokenD and TokenM
+// performance protocols the paper sketches.
+//
+// This file is the public facade: it re-exports the configuration,
+// experiment harness, and workload types from the internal packages so
+// that downstream users never import tokencoherence/internal/... paths.
+//
+// # Quick start
+//
+//	run, err := tokencoherence.Simulate(tokencoherence.Point{
+//	    Protocol: tokencoherence.ProtoTokenB,
+//	    Topo:     tokencoherence.TopoTorus,
+//	    Workload: "oltp",
+//	    Ops:      4000,
+//	    Warmup:   8000,
+//	    Seed:     1,
+//	})
+//	fmt.Println(run.CyclesPerTransaction(), run.BytesPerMiss())
+//
+// or reproduce a whole table/figure:
+//
+//	tokencoherence.RunExperiment(os.Stdout, "table2", tokencoherence.Options{})
+package tokencoherence
+
+import (
+	"io"
+
+	"tokencoherence/internal/harness"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/stats"
+	"tokencoherence/internal/workload"
+)
+
+// Protocol identifiers accepted by Point.Protocol.
+const (
+	ProtoTokenB    = harness.ProtoTokenB
+	ProtoSnooping  = harness.ProtoSnooping
+	ProtoDirectory = harness.ProtoDirectory
+	ProtoHammer    = harness.ProtoHammer
+	ProtoTokenD    = harness.ProtoTokenD
+	ProtoTokenM    = harness.ProtoTokenM
+)
+
+// Topology identifiers accepted by Point.Topo.
+const (
+	TopoTree  = harness.TopoTree
+	TopoTorus = harness.TopoTorus
+)
+
+// Config holds the simulated machine's parameters (paper Table 1).
+type Config = machine.Config
+
+// DefaultConfig returns the paper's 16-processor target system.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// Point describes one simulation configuration.
+type Point = harness.Point
+
+// Options tunes experiment sizes (operations, warmup, seeds, processors).
+type Options = harness.Options
+
+// Run holds one simulation's statistics.
+type Run = stats.Run
+
+// Simulate executes one simulation point; Token Coherence runs are
+// audited for token conservation and every run is checked by the
+// coherence oracle.
+func Simulate(pt Point) (*Run, error) { return harness.Run(pt) }
+
+// Experiments lists the reproducible paper experiments.
+func Experiments() []string { return harness.Experiments() }
+
+// RunExperiment reproduces one paper table or figure and prints its rows
+// to w. Valid names are returned by Experiments.
+func RunExperiment(w io.Writer, name string, opt Options) error {
+	return harness.RunExperiment(w, name, opt)
+}
+
+// WorkloadParams describes a synthetic commercial workload.
+type WorkloadParams = workload.Params
+
+// Workloads lists the paper's commercial workloads (apache, oltp,
+// specjbb).
+func Workloads() []string { return workload.Names() }
+
+// Workload returns the named workload's parameters for inspection or
+// customization.
+func Workload(name string) (WorkloadParams, error) { return workload.Commercial(name) }

@@ -1,0 +1,82 @@
+package tokencoherence
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimulateSmoke(t *testing.T) {
+	run, err := Simulate(Point{
+		Protocol: ProtoTokenB,
+		Topo:     TopoTorus,
+		Workload: "specjbb",
+		Ops:      500,
+		Warmup:   1200,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Transactions == 0 || run.Misses.Issued == 0 {
+		t.Errorf("implausible run: %d transactions, %d misses", run.Transactions, run.Misses.Issued)
+	}
+	if run.CyclesPerTransaction() <= 0 {
+		t.Errorf("CyclesPerTransaction = %v", run.CyclesPerTransaction())
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	exps := Experiments()
+	want := map[string]bool{"table2": true, "fig4a": true, "fig4b": true, "fig5a": true, "fig5b": true, "scaling": true}
+	if len(exps) != len(want) {
+		t.Fatalf("Experiments() = %v", exps)
+	}
+	for _, e := range exps {
+		if !want[e] {
+			t.Errorf("unexpected experiment %q", e)
+		}
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, "table2", Options{Ops: 300, Warmup: 800}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Errorf("unexpected output: %s", buf.String())
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	if got := Workloads(); len(got) != 3 {
+		t.Fatalf("Workloads() = %v", got)
+	}
+	p, err := Workload("apache")
+	if err != nil || p.Name != "apache" {
+		t.Fatalf("Workload(apache) = %+v, %v", p, err)
+	}
+	if _, err := Workload("nope"); err == nil {
+		t.Error("unknown workload not rejected")
+	}
+}
+
+func TestDefaultConfigFacade(t *testing.T) {
+	c := DefaultConfig()
+	if c.Procs != 16 {
+		t.Errorf("Procs = %d, want 16", c.Procs)
+	}
+	c.Validate()
+}
+
+func TestAllProtocolConstantsDistinct(t *testing.T) {
+	protos := []string{ProtoTokenB, ProtoSnooping, ProtoDirectory, ProtoHammer, ProtoTokenD, ProtoTokenM}
+	seen := map[string]bool{}
+	for _, p := range protos {
+		if seen[p] {
+			t.Errorf("duplicate protocol constant %q", p)
+		}
+		seen[p] = true
+	}
+}
