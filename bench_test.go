@@ -7,9 +7,12 @@
 package tokencoherence
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
+	"tokencoherence/internal/engine"
 	"tokencoherence/internal/harness"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/sim"
@@ -263,6 +266,43 @@ func BenchmarkAblationPerformancePolicy(b *testing.B) {
 				}
 				b.ReportMetric(run.CyclesPerTransaction(), "cyc/txn")
 				b.ReportMetric(run.BytesPerMiss(), "B/miss")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineParallel measures the experiment-execution engine on a
+// small protocol x seed grid at parallelism 1 vs GOMAXPROCS. On a
+// multi-core host the parallel variant's ns/op drops roughly linearly
+// with the core count (each grid point is an independent simulation);
+// the outputs are identical either way.
+func BenchmarkEngineParallel(b *testing.B) {
+	plan := engine.Plan{
+		Variants: engine.Grid(
+			[]string{harness.ProtoTokenB, harness.ProtoDirectory, harness.ProtoHammer},
+			[]string{harness.TopoTorus}),
+		Workloads: []string{"oltp"},
+		Seeds:     []uint64{1, 2},
+		Ops:       400,
+		Warmup:    1000,
+		Procs:     8,
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=max-%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			eng := engine.Engine{Workers: bc.workers}
+			for i := 0; i < b.N; i++ {
+				results, err := eng.Execute(context.Background(), plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(results)), "points/iter")
 			}
 		})
 	}

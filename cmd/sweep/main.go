@@ -1,5 +1,5 @@
-// Command sweep runs parameter sweeps over the simulator and emits CSV,
-// for studies beyond the paper's fixed design points:
+// Command sweep runs parameter sweeps over the simulator and emits CSV
+// or JSON lines, for studies beyond the paper's fixed design points:
 //
 //	sweep -kind bandwidth   # runtime vs link bandwidth per protocol
 //	sweep -kind procs       # runtime and traffic vs system size
@@ -7,13 +7,19 @@
 //	sweep -kind mshr        # sensitivity to memory-level parallelism
 //
 // Each row is one simulation point; pipe the output to a plotting tool.
+// Sweeps are declarative engine.Plan grids executed on a bounded worker
+// pool (-parallel, default one worker per CPU); every point is an
+// independent deterministic simulation, so the rows are identical at
+// any parallelism.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"tokencoherence/internal/engine"
 	"tokencoherence/internal/harness"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/sim"
@@ -22,26 +28,36 @@ import (
 
 func main() {
 	var (
-		kind   = flag.String("kind", "bandwidth", "sweep kind: bandwidth, procs, tokens, mshr")
-		wl     = flag.String("workload", "oltp", "workload for the sweep")
-		ops    = flag.Int("ops", 2000, "measured operations per processor")
-		warmup = flag.Int("warmup", 5000, "warmup operations per processor")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		kind     = flag.String("kind", "bandwidth", "sweep kind: bandwidth, procs, tokens, mshr")
+		wl       = flag.String("workload", "oltp", "workload for the sweep")
+		ops      = flag.Int("ops", 2000, "measured operations per processor")
+		warmup   = flag.Int("warmup", 5000, "warmup operations per processor")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+		format   = flag.String("format", "csv", "output format: csv or json")
+		progress = flag.Bool("progress", false, "report progress on stderr")
 	)
 	flag.Parse()
 
+	var plan engine.Plan
+	var cols []engine.Column
 	var err error
 	switch *kind {
 	case "bandwidth":
-		err = sweepBandwidth(*wl, *ops, *warmup, *seed)
+		plan, cols = sweepBandwidth(*wl, *seed)
 	case "procs":
-		err = sweepProcs(*ops, *warmup, *seed)
+		plan, cols = sweepProcs(*seed)
 	case "tokens":
-		err = sweepTokens(*wl, *ops, *warmup, *seed)
+		plan, cols = sweepTokens(*wl, *seed)
 	case "mshr":
-		err = sweepMSHR(*wl, *ops, *warmup, *seed)
+		plan, cols = sweepMSHR(*wl, *seed)
 	default:
 		err = fmt.Errorf("unknown sweep kind %q", *kind)
+	}
+	if err == nil {
+		plan.Ops = *ops
+		plan.Warmup = *warmup
+		err = execute(plan, cols, *parallel, *format, *progress)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -49,90 +65,122 @@ func main() {
 	}
 }
 
-func point(proto, wl string, ops, warmup int, seed uint64) harness.Point {
-	return harness.Point{
-		Protocol: proto, Topo: harness.TopoTorus, Workload: wl,
-		Ops: ops, Warmup: warmup, Seed: seed,
+// execute runs the plan on the worker pool and streams rows to stdout.
+func execute(plan engine.Plan, cols []engine.Column, parallel int, format string, progress bool) error {
+	var sink engine.Sink
+	switch format {
+	case "csv":
+		sink = &engine.CSVSink{W: os.Stdout, Columns: cols}
+	case "json":
+		sink = &engine.JSONLSink{W: os.Stdout}
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", format)
 	}
+	eng := engine.Engine{Workers: parallel}
+	if progress {
+		eng.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	_, err := eng.Execute(context.Background(), plan, sink)
+	return err
 }
 
 // sweepBandwidth shows where each protocol becomes bandwidth-bound: the
 // paper argues TokenB's extra traffic is harmless on high-bandwidth
 // links but matters on starved ones.
-func sweepBandwidth(wl string, ops, warmup int, seed uint64) error {
-	fmt.Println("protocol,bandwidth_gbps,cycles_per_txn,avg_miss_ns,bytes_per_miss")
-	for _, proto := range []string{harness.ProtoTokenB, harness.ProtoDirectory, harness.ProtoHammer} {
-		for _, gbps := range []float64{0.4, 0.8, 1.6, 3.2, 6.4, 12.8} {
-			pt := point(proto, wl, ops, warmup, seed)
-			bw := gbps
-			pt.Mutate = func(c *machine.Config) { c.Net.LinkBandwidth = bw * 1e9 }
-			run, err := harness.Run(pt)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%s,%.1f,%.2f,%.1f,%.1f\n", proto, gbps,
-				run.CyclesPerTransaction(), run.AvgMissLatency().Nanoseconds(), run.BytesPerMiss())
-		}
+func sweepBandwidth(wl string, seed uint64) (engine.Plan, []engine.Column) {
+	var muts []engine.Mutation
+	for _, gbps := range []float64{0.4, 0.8, 1.6, 3.2, 6.4, 12.8} {
+		bw := gbps
+		muts = append(muts, engine.Mutation{
+			Name:  fmt.Sprintf("%.1fgbps", bw),
+			Tags:  map[string]string{"bandwidth_gbps": fmt.Sprintf("%.1f", bw)},
+			Apply: func(c *machine.Config) { c.Net.LinkBandwidth = bw * 1e9 },
+		})
 	}
-	return nil
+	plan := engine.Plan{
+		Variants: engine.Grid(
+			[]string{harness.ProtoTokenB, harness.ProtoDirectory, harness.ProtoHammer},
+			[]string{harness.TopoTorus}),
+		Workloads: []string{wl},
+		Mutations: muts,
+		Seeds:     []uint64{seed},
+	}
+	return plan, []engine.Column{engine.ColProtocol, engine.TagColumn("bandwidth_gbps"),
+		engine.ColCyclesPerTxn, engine.ColAvgMissNS, engine.ColBytesPerMiss}
 }
 
 // sweepProcs extends the question 5 scalability study with runtime.
-func sweepProcs(ops, warmup int, seed uint64) error {
-	fmt.Println("protocol,procs,cycles_per_txn,bytes_per_miss")
+func sweepProcs(seed uint64) (engine.Plan, []engine.Column) {
+	var variants []engine.Variant
 	for _, proto := range []string{harness.ProtoTokenB, harness.ProtoDirectory} {
 		for procs := 4; procs <= 64; procs *= 2 {
-			pt := harness.Point{
-				Protocol: proto, Topo: harness.TopoTorus,
-				Gen:   workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, procs),
-				Procs: procs, Ops: ops, Warmup: warmup, Seed: seed,
-			}
-			run, err := harness.Run(pt)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%s,%d,%.2f,%.1f\n", proto, procs, run.CyclesPerTransaction(), run.BytesPerMiss())
+			variants = append(variants, engine.Variant{
+				Name: fmt.Sprintf("%s-%dp", proto, procs),
+				Point: harness.Point{
+					Protocol: proto, Topo: harness.TopoTorus, Procs: procs,
+					NewGen: func(n int) machine.Generator {
+						return workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, n)
+					},
+				},
+			})
 		}
 	}
-	return nil
+	plan := engine.Plan{Variants: variants, Seeds: []uint64{seed}}
+	return plan, []engine.Column{engine.ColProtocol, engine.ColProcs,
+		engine.ColCyclesPerTxn, engine.ColBytesPerMiss}
 }
 
 // sweepTokens varies T per block for TokenB.
-func sweepTokens(wl string, ops, warmup int, seed uint64) error {
-	fmt.Println("tokens_per_block,cycles_per_txn,reissued_pct,persistent_pct")
+func sweepTokens(wl string, seed uint64) (engine.Plan, []engine.Column) {
+	var muts []engine.Mutation
 	for _, tokens := range []int{16, 24, 32, 64, 128, 256} {
-		pt := point(harness.ProtoTokenB, wl, ops, warmup, seed)
 		tk := tokens
-		pt.Mutate = func(c *machine.Config) { c.TokensPerBlock = tk }
-		run, err := harness.Run(pt)
-		if err != nil {
-			return err
-		}
-		m := run.Misses
-		fmt.Printf("%d,%.2f,%.2f,%.3f\n", tokens, run.CyclesPerTransaction(),
-			m.Frac(m.ReissuedOnce+m.ReissuedMore), m.Frac(m.Persistent))
+		muts = append(muts, engine.Mutation{
+			Name:  fmt.Sprintf("T=%d", tk),
+			Tags:  map[string]string{"tokens_per_block": fmt.Sprintf("%d", tk)},
+			Apply: func(c *machine.Config) { c.TokensPerBlock = tk },
+		})
 	}
-	return nil
+	plan := engine.Plan{
+		Variants:  engine.Grid([]string{harness.ProtoTokenB}, []string{harness.TopoTorus}),
+		Workloads: []string{wl},
+		Mutations: muts,
+		Seeds:     []uint64{seed},
+	}
+	return plan, []engine.Column{engine.TagColumn("tokens_per_block"),
+		engine.ColCyclesPerTxn, engine.ColReissuedPct, engine.ColPersistentPct}
 }
 
 // sweepMSHR varies the processor's miss- and load-level parallelism.
-func sweepMSHR(wl string, ops, warmup int, seed uint64) error {
-	fmt.Println("mshrs,max_loads,cycles_per_txn,avg_miss_ns")
+func sweepMSHR(wl string, seed uint64) (engine.Plan, []engine.Column) {
+	var muts []engine.Mutation
 	for _, mshrs := range []int{2, 4, 8, 16} {
 		for _, loads := range []int{1, 2, 4} {
-			pt := point(harness.ProtoTokenB, wl, ops, warmup, seed)
 			ms, ld := mshrs, loads
-			pt.Mutate = func(c *machine.Config) {
-				c.MSHRs = ms
-				c.MaxLoads = ld
-			}
-			run, err := harness.Run(pt)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%d,%d,%.2f,%.1f\n", mshrs, loads,
-				run.CyclesPerTransaction(), run.AvgMissLatency().Nanoseconds())
+			muts = append(muts, engine.Mutation{
+				Name: fmt.Sprintf("mshr=%d/loads=%d", ms, ld),
+				Tags: map[string]string{
+					"mshrs":     fmt.Sprintf("%d", ms),
+					"max_loads": fmt.Sprintf("%d", ld),
+				},
+				Apply: func(c *machine.Config) {
+					c.MSHRs = ms
+					c.MaxLoads = ld
+				},
+			})
 		}
 	}
-	return nil
+	plan := engine.Plan{
+		Variants:  engine.Grid([]string{harness.ProtoTokenB}, []string{harness.TopoTorus}),
+		Workloads: []string{wl},
+		Mutations: muts,
+		Seeds:     []uint64{seed},
+	}
+	return plan, []engine.Column{engine.TagColumn("mshrs"), engine.TagColumn("max_loads"),
+		engine.ColCyclesPerTxn, engine.ColAvgMissNS}
 }

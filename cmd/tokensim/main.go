@@ -12,16 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"tokencoherence/internal/engine"
 	"tokencoherence/internal/harness"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/stats"
+	"tokencoherence/internal/workload"
 )
 
 func main() {
@@ -29,11 +32,12 @@ func main() {
 		experiment = flag.String("experiment", "", "experiment to reproduce: "+strings.Join(harness.Experiments(), ", ")+", or 'all'")
 		protocol   = flag.String("protocol", "tokenb", "protocol for a custom run: tokenb, snooping, directory, hammer, tokend, tokenm")
 		topo       = flag.String("topo", "torus", "interconnect: torus or tree")
-		wl         = flag.String("workload", "oltp", "workload: apache, oltp, specjbb")
+		wl         = flag.String("workload", "oltp", "workload: "+strings.Join(workload.Names(), ", "))
 		procs      = flag.Int("procs", 16, "number of processors")
 		ops        = flag.Int("ops", 4000, "measured operations per processor")
 		warmup     = flag.Int("warmup", 0, "warmup operations per processor (default 2x ops)")
 		seeds      = flag.String("seeds", "1", "comma-separated seeds")
+		parallel   = flag.Int("parallel", 0, "worker pool size for multi-point runs (0 = one per CPU)")
 		unlimited  = flag.Bool("unlimited", false, "unlimited link bandwidth")
 		perfectDir = flag.Bool("perfect-dir", false, "zero-latency directory lookup")
 		listConfig = flag.Bool("list-config", false, "print the Table 1 system parameters and exit")
@@ -45,7 +49,7 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, Seeds: parseSeeds(*seeds)}
+	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, Seeds: parseSeeds(*seeds), Parallel: *parallel}
 	if *experiment != "" {
 		names := []string{*experiment}
 		if *experiment == "all" {
@@ -61,21 +65,36 @@ func main() {
 		return
 	}
 
+	// A custom point is a one-variant plan over the seed axis, executed
+	// on the engine's worker pool (results are printed in seed order
+	// regardless of parallelism).
 	w := *warmup
 	if w == 0 {
 		w = 2 * *ops
 	}
-	for _, seed := range opt.Seeds {
-		run, err := harness.Run(harness.Point{
+	plan := engine.Plan{
+		Variants: []engine.Variant{{Point: harness.Point{
 			Protocol: *protocol, Topo: *topo, Workload: *wl,
-			Procs: *procs, Ops: *ops, Warmup: w, Seed: seed,
 			Unlimited: *unlimited, PerfectDir: *perfectDir,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tokensim:", err)
-			os.Exit(1)
+		}}},
+		Seeds:  opt.Seeds,
+		Ops:    *ops,
+		Warmup: w,
+		Procs:  *procs,
+	}
+	eng := engine.Engine{Workers: *parallel}
+	results, err := eng.Execute(context.Background(), plan)
+	// Print the completed seeds up to the first failure even when a
+	// later seed errored, as the serial loop used to.
+	for _, r := range results {
+		if r.Err != nil || r.Run == nil {
+			break
 		}
-		printRun(fmt.Sprintf("%s/%s/%s seed=%d", *protocol, *topo, *wl, seed), run)
+		printRun(fmt.Sprintf("%s/%s/%s seed=%d", *protocol, *topo, *wl, r.Point.Seed), r.Run)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tokensim:", err)
+		os.Exit(1)
 	}
 }
 

@@ -2,9 +2,13 @@
 // the Apache workload and prints the latency/bandwidth trade-off in one
 // table — a miniature of Figures 4 and 5. Snooping runs on the ordered
 // tree (it cannot run on the torus); the others use the torus.
+//
+// The five simulations are declared as one plan and executed
+// concurrently on the parallel engine; results come back in plan order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,34 +18,33 @@ import (
 )
 
 func main() {
-	type row struct {
-		proto, topo string
+	plan := tokencoherence.Plan{
+		Variants: []tokencoherence.Variant{
+			{Point: tokencoherence.Point{Protocol: tokencoherence.ProtoSnooping, Topo: tokencoherence.TopoTree}},
+			{Point: tokencoherence.Point{Protocol: tokencoherence.ProtoTokenB, Topo: tokencoherence.TopoTree}},
+			{Point: tokencoherence.Point{Protocol: tokencoherence.ProtoTokenB, Topo: tokencoherence.TopoTorus}},
+			{Point: tokencoherence.Point{Protocol: tokencoherence.ProtoHammer, Topo: tokencoherence.TopoTorus}},
+			{Point: tokencoherence.Point{Protocol: tokencoherence.ProtoDirectory, Topo: tokencoherence.TopoTorus}},
+		},
+		Workloads: []string{"apache"},
+		Seeds:     []uint64{3},
+		Ops:       2500,
+		Warmup:    6000,
 	}
-	rows := []row{
-		{tokencoherence.ProtoSnooping, tokencoherence.TopoTree},
-		{tokencoherence.ProtoTokenB, tokencoherence.TopoTree},
-		{tokencoherence.ProtoTokenB, tokencoherence.TopoTorus},
-		{tokencoherence.ProtoHammer, tokencoherence.TopoTorus},
-		{tokencoherence.ProtoDirectory, tokencoherence.TopoTorus},
+
+	var eng tokencoherence.Engine // zero value: one worker per CPU
+	results, err := eng.Execute(context.Background(), plan)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "protocol\tfabric\tcycles/txn\tavg miss\tbytes/miss\treissued")
-	for _, r := range rows {
-		run, err := tokencoherence.Simulate(tokencoherence.Point{
-			Protocol: r.proto,
-			Topo:     r.topo,
-			Workload: "apache",
-			Ops:      2500,
-			Warmup:   6000,
-			Seed:     3,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, r := range results {
+		run := r.Run
 		m := run.Misses
 		fmt.Fprintf(w, "%s\t%s\t%.1f\t%v\t%.0f\t%.2f%%\n",
-			r.proto, r.topo, run.CyclesPerTransaction(), run.AvgMissLatency(),
+			r.Point.Protocol, r.Point.Topo, run.CyclesPerTransaction(), run.AvgMissLatency(),
 			run.BytesPerMiss(), m.Frac(m.ReissuedOnce+m.ReissuedMore+m.Persistent))
 	}
 	w.Flush()

@@ -15,7 +15,9 @@ import (
 )
 
 func main() {
-	rows, err := harness.Scaling(harness.Options{Ops: 1200, Warmup: 2500}, 32)
+	// The grid (2 protocols x 4 system sizes) executes on the parallel
+	// engine; Parallel: 0 uses one worker per CPU.
+	rows, err := harness.Scaling(harness.Options{Ops: 1200, Warmup: 2500, Parallel: 0}, 32)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module tokencoherence
+
+go 1.24

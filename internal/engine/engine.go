@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"tokencoherence/internal/stats"
+)
+
+// Result is one executed job: the plan coordinates plus the run's
+// statistics or the error (including recovered panics) that stopped it.
+type Result struct {
+	Job
+	Run *stats.Run
+	Err error
+}
+
+// Engine executes a Plan's jobs on a bounded worker pool. The zero
+// value is ready to use and runs one worker per available CPU.
+type Engine struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when set, is called after each job completes (from a
+	// single goroutine) with the number of completed jobs and the total.
+	Progress func(done, total int)
+}
+
+func (e Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Execute runs every job of the plan and returns the results in plan
+// order — the same rows regardless of parallelism. Successful results
+// are streamed to the sinks in plan order as soon as their contiguous
+// prefix completes. A panicking point is isolated to its own job and
+// recorded as that result's Err; remaining jobs still run. A failing
+// sink, by contrast, stops dispatch of not-yet-started jobs (their
+// output would be lost anyway). The returned error is the context's
+// error if it was cancelled, otherwise the lowest-index job error
+// (with all results still returned), otherwise the first sink error.
+func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result, error) {
+	jobs, err := plan.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sinks {
+		if err := s.Begin(len(jobs)); err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([]Result, len(jobs))
+	for i, job := range jobs {
+		results[i] = Result{Job: job}
+	}
+
+	workers := e.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// runCtx stops dispatch early when a sink fails mid-stream, without
+	// conflating that with the caller cancelling ctx.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idxCh := make(chan int)
+	doneCh := make(chan int, workers)
+	go func() {
+		defer close(idxCh)
+		for i := range jobs {
+			select {
+			case idxCh <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := runCtx.Err(); err != nil {
+					results[i].Err = err
+				} else {
+					results[i].Run, results[i].Err = runIsolated(results[i].Point)
+				}
+				doneCh <- i
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	// Emit to sinks strictly in plan order: results are held until their
+	// contiguous prefix is complete, so parallel and serial executions
+	// produce byte-identical sink output.
+	completed := make([]bool, len(jobs))
+	next, done := 0, 0
+	var sinkErr error
+	for i := range doneCh {
+		done++
+		completed[i] = true
+		for next < len(jobs) && completed[next] {
+			r := results[next]
+			if r.Err == nil && sinkErr == nil {
+				for _, s := range sinks {
+					if err := s.Emit(r); err != nil {
+						sinkErr = err
+						cancel() // stop dispatching work nobody will see
+						break
+					}
+				}
+			}
+			next++
+		}
+		if e.Progress != nil {
+			e.Progress(done, len(jobs))
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	for _, r := range results {
+		// Skip jobs the engine itself skipped after a sink failure; the
+		// sink error below explains those.
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			return results, r.Err
+		}
+	}
+	return results, sinkErr
+}
+
+// runIsolated executes one point, converting a panic into an error so a
+// single bad configuration cannot take down the whole sweep.
+func runIsolated(pt Point) (run *stats.Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: point %s/%s/%s panicked: %v\n%s",
+				pt.Protocol, pt.Topo, pt.Workload, r, debug.Stack())
+		}
+	}()
+	return RunPoint(pt)
+}

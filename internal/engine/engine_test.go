@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/workload"
+)
+
+// testPlan is a small but non-trivial grid: two protocols, two
+// workloads, two seeds (8 simulations at 8 procs).
+func testPlan() Plan {
+	return Plan{
+		Variants:  Grid([]string{ProtoTokenB, ProtoDirectory}, []string{TopoTorus}),
+		Workloads: []string{"oltp", "specjbb"},
+		Seeds:     []uint64{1, 2},
+		Ops:       200,
+		Warmup:    400,
+		Procs:     8,
+	}
+}
+
+func TestPlanJobsOrderAndCount(t *testing.T) {
+	plan := testPlan()
+	plan.Unlimited = []bool{false, true}
+	plan.Mutations = []Mutation{
+		{Name: "base"},
+		{Name: "slow", Apply: func(c *machine.Config) { c.MemLatency *= 2 }},
+	}
+	jobs, err := plan.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 2 * 2 * 2 * 2
+	if len(jobs) != want {
+		t.Fatalf("got %d jobs, want %d", len(jobs), want)
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Errorf("job %d has Index %d", i, j.Index)
+		}
+		if j.Point.Ops != 200 || j.Point.Warmup != 400 || j.Point.Procs != 8 {
+			t.Errorf("job %d sizing not applied: %+v", i, j.Point)
+		}
+	}
+	// Workloads are the outermost axis, seeds the innermost.
+	if jobs[0].Point.Workload != "oltp" || jobs[len(jobs)/2].Point.Workload != "specjbb" {
+		t.Errorf("workload axis not outermost: %q then %q",
+			jobs[0].Point.Workload, jobs[len(jobs)/2].Point.Workload)
+	}
+	if jobs[0].Point.Seed != 1 || jobs[1].Point.Seed != 2 {
+		t.Errorf("seed axis not innermost: %d then %d", jobs[0].Point.Seed, jobs[1].Point.Seed)
+	}
+	if jobs[0].Variant != "tokenb-torus" || jobs[0].Mutation != "base" {
+		t.Errorf("first job = %q/%q", jobs[0].Variant, jobs[0].Mutation)
+	}
+}
+
+func TestPlanRejectsEmptyAndSharedGen(t *testing.T) {
+	if _, err := (Plan{}).Jobs(); err == nil {
+		t.Error("empty plan not rejected")
+	}
+	shared := Plan{
+		Variants: []Variant{{Point: Point{
+			Protocol: ProtoTokenB, Topo: TopoTorus,
+			Gen: workload.NewUniform(64, 0.3, sim.Nanosecond, 4), Procs: 4,
+		}}},
+		Seeds: []uint64{1, 2},
+	}
+	if _, err := shared.Jobs(); err == nil {
+		t.Error("stateful Gen shared across several jobs not rejected")
+	}
+	shared.Seeds = shared.Seeds[:1]
+	if _, err := shared.Jobs(); err != nil {
+		t.Errorf("single-job Gen plan rejected: %v", err)
+	}
+
+	// One Gen instance behind two variants would race under parallel
+	// execution even though each variant expands to one job.
+	g := workload.NewUniform(64, 0.3, sim.Nanosecond, 4)
+	crossVariant := Plan{Variants: []Variant{
+		{Name: "a", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus, Gen: g, Procs: 4}},
+		{Name: "b", Point: Point{Protocol: ProtoDirectory, Topo: TopoTorus, Gen: g, Procs: 4}},
+	}}
+	if _, err := crossVariant.Jobs(); err == nil {
+		t.Error("one Gen shared by two variants not rejected")
+	}
+}
+
+// TestEngineDeterministicOutput is the parallelism-invariance contract:
+// a grid over two protocols and two seeds must emit byte-identical CSV
+// and JSONL whether executed by one worker or eight.
+func TestEngineDeterministicOutput(t *testing.T) {
+	capture := func(workers int, mkSink func(w *bytes.Buffer) Sink) string {
+		var buf bytes.Buffer
+		eng := Engine{Workers: workers}
+		if _, err := eng.Execute(context.Background(), testPlan(), mkSink(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := []struct {
+		format string
+		mk     func(w *bytes.Buffer) Sink
+	}{
+		{"csv", func(w *bytes.Buffer) Sink { return &CSVSink{W: w} }},
+		{"jsonl", func(w *bytes.Buffer) Sink { return &JSONLSink{W: w} }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.format, func(t *testing.T) {
+			t.Parallel()
+			serial := capture(1, c.mk)
+			parallel := capture(8, c.mk)
+			if serial != parallel {
+				t.Errorf("%s output differs between 1 and 8 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+					c.format, serial, parallel)
+			}
+			if lines := strings.Count(serial, "\n"); lines < 8 {
+				t.Errorf("%s output has %d lines, want at least 8", c.format, lines)
+			}
+		})
+	}
+}
+
+// TestEnginePanicIsolation checks that one panicking point is confined
+// to its own result while every other job still completes.
+func TestEnginePanicIsolation(t *testing.T) {
+	plan := Plan{
+		Variants: []Variant{
+			{Name: "good", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp"}},
+			{Name: "bad", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp",
+				Mutate: func(c *machine.Config) { panic("boom") }}},
+		},
+		Seeds:  []uint64{1},
+		Ops:    150,
+		Warmup: 300,
+		Procs:  4,
+	}
+	var agg AggregateSink
+	results, err := Engine{Workers: 2}.Execute(context.Background(), plan, &agg)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err != nil || results[0].Run == nil {
+		t.Errorf("healthy job did not complete: %+v", results[0].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "boom") {
+		t.Errorf("panicking job's error = %v", results[1].Err)
+	}
+	if len(agg.Cells()) != 1 {
+		t.Errorf("sink saw %d cells, want only the healthy one", len(agg.Cells()))
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Engine{}.Execute(ctx, testPlan())
+	if err != context.Canceled {
+		t.Errorf("Execute on cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineUnknownProtocolFails(t *testing.T) {
+	plan := Plan{Variants: []Variant{{Point: Point{Protocol: "nope", Topo: TopoTorus, Workload: "oltp"}}}}
+	if _, err := (Engine{}).Execute(context.Background(), plan); err == nil {
+		t.Error("unknown protocol did not fail the plan")
+	}
+}
+
+func TestAggregateSinkGroupsSeeds(t *testing.T) {
+	var agg AggregateSink
+	if _, err := (Engine{}).Execute(context.Background(), testPlan(), &agg); err != nil {
+		t.Fatal(err)
+	}
+	cells := agg.Cells()
+	if len(cells) != 4 { // 2 workloads x 2 variants, seeds collapsed
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if len(c.Runs) != 2 {
+			t.Errorf("cell %s/%s has %d runs, want 2", c.Variant, c.Workload, len(c.Runs))
+		}
+		if c.MeanCyclesPerTxn() <= 0 {
+			t.Errorf("cell %s/%s mean cycles = %v", c.Variant, c.Workload, c.MeanCyclesPerTxn())
+		}
+	}
+	if got := agg.Find("tokenb-torus", "oltp", "", false); got == nil {
+		t.Error("Find did not locate the tokenb/oltp cell")
+	}
+	if got := agg.Find("tokenb-torus", "nope", "", false); got != nil {
+		t.Error("Find located a nonexistent cell")
+	}
+}
+
+// TestEngineProgress checks the optional progress callback counts every
+// job exactly once and ends at the total.
+func TestEngineProgress(t *testing.T) {
+	plan := testPlan()
+	plan.Workloads = plan.Workloads[:1]
+	var calls []int
+	eng := Engine{Workers: 4, Progress: func(done, total int) {
+		if total != 4 {
+			t.Errorf("total = %d, want 4", total)
+		}
+		calls = append(calls, done)
+	}}
+	if _, err := eng.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 4 || calls[len(calls)-1] != 4 {
+		t.Errorf("progress calls = %v", calls)
+	}
+}

@@ -1,0 +1,164 @@
+// Package engine is the experiment-execution subsystem: it defines the
+// unit of work (a Point, one deterministic simulation configuration),
+// declarative sweep plans that expand cartesian grids of points, a
+// bounded-parallelism Engine that executes a plan with per-point panic
+// isolation and deterministic result ordering, and Sinks that consume
+// the ordered results (CSV, JSON lines, in-memory aggregates).
+//
+// Every simulation point is an independent deterministic run, so the
+// engine parallelizes across points freely: a plan executed with one
+// worker and with many workers emits byte-identical output.
+package engine
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/core"
+	"tokencoherence/internal/directory"
+	"tokencoherence/internal/hammer"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/snooping"
+	"tokencoherence/internal/stats"
+	"tokencoherence/internal/topology"
+	"tokencoherence/internal/workload"
+)
+
+// Protocol names.
+const (
+	ProtoTokenB    = "tokenb"
+	ProtoSnooping  = "snooping"
+	ProtoDirectory = "directory"
+	ProtoHammer    = "hammer"
+	ProtoTokenD    = "tokend"
+	ProtoTokenM    = "tokenm"
+)
+
+// Topology names.
+const (
+	TopoTree  = "tree"
+	TopoTorus = "torus"
+)
+
+// Point is one simulation configuration.
+type Point struct {
+	Protocol string
+	Topo     string
+	Workload string // commercial workload name, or "" to use Gen/NewGen
+
+	// Gen is a pre-built generator. A generator carries mutable
+	// per-processor state, so a Gen-bearing point must expand to exactly
+	// one job in a Plan; plans that vary seeds or mutations must use
+	// NewGen instead so that every job gets a fresh generator.
+	Gen machine.Generator
+	// NewGen builds a fresh generator for the point's (defaulted)
+	// processor count; it takes precedence over Gen and is safe under
+	// parallel execution.
+	NewGen func(procs int) machine.Generator
+
+	Procs  int
+	Ops    int // operations per processor (measured)
+	Warmup int // cache-warming operations per processor (unmeasured)
+	Seed   uint64
+
+	// Unlimited removes the bandwidth limit (infinite links).
+	Unlimited bool
+	// PerfectDir sets the directory lookup latency to zero.
+	PerfectDir bool
+	// Mutate optionally adjusts the configuration last.
+	Mutate func(*machine.Config)
+}
+
+// withDefaults fills the sizing fields RunPoint would otherwise default
+// internally, so expanded plan jobs report the values that actually ran.
+func (pt Point) withDefaults() Point {
+	if pt.Procs == 0 {
+		pt.Procs = 16
+	}
+	if pt.Ops == 0 {
+		pt.Ops = 4000
+	}
+	return pt
+}
+
+// RunPoint executes one point and returns its statistics. Token
+// Coherence points are additionally audited for token conservation.
+func RunPoint(pt Point) (*stats.Run, error) {
+	pt = pt.withDefaults()
+	cfg := machine.DefaultConfig()
+	cfg.Procs = pt.Procs
+	if cfg.TokensPerBlock < pt.Procs {
+		cfg.TokensPerBlock = pt.Procs * 2
+	}
+	if pt.Unlimited {
+		cfg.Net = cfg.Net.Unlimited()
+	}
+	if pt.PerfectDir {
+		cfg.DirLatency = 0
+	}
+	if pt.Mutate != nil {
+		pt.Mutate(&cfg)
+	}
+
+	var topo topology.Topology
+	switch pt.Topo {
+	case TopoTree, "":
+		if pt.Topo == TopoTree || pt.Protocol == ProtoSnooping {
+			topo = topology.NewTree(pt.Procs)
+		} else {
+			topo = topology.NewTorusFor(pt.Procs)
+		}
+	case TopoTorus:
+		topo = topology.NewTorusFor(pt.Procs)
+	default:
+		return nil, fmt.Errorf("engine: unknown topology %q", pt.Topo)
+	}
+
+	gen := pt.Gen
+	if pt.NewGen != nil {
+		gen = pt.NewGen(pt.Procs)
+	}
+	if gen == nil {
+		params, err := workload.Commercial(pt.Workload)
+		if err != nil {
+			return nil, err
+		}
+		gen = workload.NewGenerator(params, pt.Procs)
+	}
+
+	sys := machine.NewSystem(cfg, topo, pt.Seed)
+	var ctrls []machine.Controller
+	var audit func() error
+	switch pt.Protocol {
+	case ProtoTokenB:
+		ts := core.BuildTokenB(sys)
+		ctrls = ts.Controllers()
+		audit = ts.Audit
+	case ProtoTokenD:
+		ts := core.BuildTokenD(sys)
+		ctrls = ts.Controllers()
+		audit = ts.Audit
+	case ProtoTokenM:
+		ts := core.BuildTokenM(sys)
+		ctrls = ts.Controllers()
+		audit = ts.Audit
+	case ProtoSnooping:
+		ctrls = snooping.Build(sys).Controllers()
+	case ProtoDirectory:
+		ctrls = directory.Build(sys).Controllers()
+	case ProtoHammer:
+		ctrls = hammer.Build(sys).Controllers()
+	default:
+		return nil, fmt.Errorf("engine: unknown protocol %q", pt.Protocol)
+	}
+
+	run, err := sys.ExecuteWarm(ctrls, gen, pt.Warmup, pt.Ops)
+	if err != nil {
+		return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
+	}
+	if audit != nil {
+		if err := audit(); err != nil {
+			return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
+		}
+	}
+	return run, nil
+}

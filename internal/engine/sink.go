@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/stats"
+)
+
+// Sink consumes a plan's successful results in deterministic plan
+// order. Begin is called once with the total job count before any Emit.
+type Sink interface {
+	Begin(total int) error
+	Emit(r Result) error
+}
+
+// --- CSV ---------------------------------------------------------------
+
+// Column describes one CSV column: a header name and a formatter.
+type Column struct {
+	Name  string
+	Value func(r Result) string
+}
+
+// TagColumn reads a mutation tag (see Mutation.Tags), so sweep axes like
+// "bandwidth_gbps" appear as their own column.
+func TagColumn(name string) Column {
+	return Column{Name: name, Value: func(r Result) string { return r.Tags[name] }}
+}
+
+// Shared point-identity and metric columns; custom sweeps compose these
+// with TagColumn so their output formats stay in sync with
+// DefaultColumns.
+var (
+	ColProtocol     = Column{"protocol", func(r Result) string { return r.Point.Protocol }}
+	ColProcs        = Column{"procs", func(r Result) string { return strconv.Itoa(r.Point.Procs) }}
+	ColCyclesPerTxn = Column{"cycles_per_txn", func(r Result) string { return fmt.Sprintf("%.2f", r.Run.CyclesPerTransaction()) }}
+	ColAvgMissNS    = Column{"avg_miss_ns", func(r Result) string { return fmt.Sprintf("%.1f", r.Run.AvgMissLatency().Nanoseconds()) }}
+	ColBytesPerMiss = Column{"bytes_per_miss", func(r Result) string { return fmt.Sprintf("%.1f", r.Run.BytesPerMiss()) }}
+	ColReissuedPct  = Column{"reissued_pct", func(r Result) string {
+		m := r.Run.Misses
+		return fmt.Sprintf("%.2f", m.Frac(m.ReissuedOnce+m.ReissuedMore))
+	}}
+	ColPersistentPct = Column{"persistent_pct", func(r Result) string {
+		m := r.Run.Misses
+		return fmt.Sprintf("%.3f", m.Frac(m.Persistent))
+	}}
+)
+
+// DefaultColumns identify the point and report the headline metrics.
+func DefaultColumns() []Column {
+	return []Column{
+		{"variant", func(r Result) string { return r.Variant }},
+		ColProtocol,
+		{"topo", func(r Result) string { return r.Point.Topo }},
+		{"workload", func(r Result) string { return r.Point.Workload }},
+		{"mutation", func(r Result) string { return r.Mutation }},
+		{"seed", func(r Result) string { return strconv.FormatUint(r.Point.Seed, 10) }},
+		{"unlimited", func(r Result) string { return strconv.FormatBool(r.Point.Unlimited) }},
+		ColProcs,
+		ColCyclesPerTxn,
+		ColAvgMissNS,
+		ColBytesPerMiss,
+		ColReissuedPct,
+		ColPersistentPct,
+	}
+}
+
+// CSVSink writes a header then one row per successful result.
+type CSVSink struct {
+	W io.Writer
+	// Columns defaults to DefaultColumns when nil.
+	Columns []Column
+}
+
+// Begin writes the header row.
+func (s *CSVSink) Begin(total int) error {
+	if s.Columns == nil {
+		s.Columns = DefaultColumns()
+	}
+	return s.writeRow(func(c Column) string { return c.Name })
+}
+
+// Emit writes one row.
+func (s *CSVSink) Emit(r Result) error {
+	return s.writeRow(func(c Column) string { return c.Value(r) })
+}
+
+func (s *CSVSink) writeRow(field func(Column) string) error {
+	for i, c := range s.Columns {
+		if i > 0 {
+			if _, err := io.WriteString(s.W, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(s.W, field(c)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(s.W, "\n")
+	return err
+}
+
+// --- JSON lines --------------------------------------------------------
+
+// JSONLSink writes one JSON object per successful result.
+type JSONLSink struct {
+	W io.Writer
+}
+
+type jsonlRecord struct {
+	Variant       string            `json:"variant"`
+	Protocol      string            `json:"protocol"`
+	Topo          string            `json:"topo"`
+	Workload      string            `json:"workload,omitempty"`
+	Mutation      string            `json:"mutation,omitempty"`
+	Tags          map[string]string `json:"tags,omitempty"`
+	Seed          uint64            `json:"seed"`
+	Unlimited     bool              `json:"unlimited,omitempty"`
+	Procs         int               `json:"procs,omitempty"`
+	CyclesPerTxn  float64           `json:"cycles_per_txn"`
+	AvgMissNS     float64           `json:"avg_miss_ns"`
+	BytesPerMiss  float64           `json:"bytes_per_miss"`
+	ReissuedPct   float64           `json:"reissued_pct"`
+	PersistentPct float64           `json:"persistent_pct"`
+}
+
+// Begin implements Sink.
+func (s *JSONLSink) Begin(total int) error { return nil }
+
+// Emit writes one line.
+func (s *JSONLSink) Emit(r Result) error {
+	m := r.Run.Misses
+	rec := jsonlRecord{
+		Variant:       r.Variant,
+		Protocol:      r.Point.Protocol,
+		Topo:          r.Point.Topo,
+		Workload:      r.Point.Workload,
+		Mutation:      r.Mutation,
+		Tags:          r.Tags,
+		Seed:          r.Point.Seed,
+		Unlimited:     r.Point.Unlimited,
+		Procs:         r.Point.Procs,
+		CyclesPerTxn:  r.Run.CyclesPerTransaction(),
+		AvgMissNS:     r.Run.AvgMissLatency().Nanoseconds(),
+		BytesPerMiss:  r.Run.BytesPerMiss(),
+		ReissuedPct:   m.Frac(m.ReissuedOnce + m.ReissuedMore),
+		PersistentPct: m.Frac(m.Persistent),
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = s.W.Write(b)
+	return err
+}
+
+// --- In-memory aggregation ---------------------------------------------
+
+// Aggregate accumulates the per-seed runs of one grid cell — one
+// (variant, workload, mutation, unlimited) combination.
+type Aggregate struct {
+	Variant   string
+	Workload  string
+	Mutation  string
+	Unlimited bool
+	// Runs holds the cell's per-seed runs in seed-axis order.
+	Runs []*stats.Run
+}
+
+// MeanCyclesPerTxn averages the runtime metric over the cell's seeds.
+func (a *Aggregate) MeanCyclesPerTxn() float64 {
+	var s stats.Sample
+	for _, r := range a.Runs {
+		s.Add(r.CyclesPerTransaction())
+	}
+	return s.Mean()
+}
+
+// MeanBytesPerMiss averages the traffic metric over the cell's seeds.
+func (a *Aggregate) MeanBytesPerMiss() float64 {
+	var s stats.Sample
+	for _, r := range a.Runs {
+		s.Add(r.BytesPerMiss())
+	}
+	return s.Mean()
+}
+
+// MeanCategoryBytesPerMiss averages one message category's bytes/miss.
+func (a *Aggregate) MeanCategoryBytesPerMiss(c msg.Category) float64 {
+	var s stats.Sample
+	for _, r := range a.Runs {
+		s.Add(r.CategoryBytesPerMiss(c))
+	}
+	return s.Mean()
+}
+
+// SumMisses sums the miss classification over the cell's seeds.
+func (a *Aggregate) SumMisses() stats.Misses {
+	var m stats.Misses
+	for _, r := range a.Runs {
+		m.Issued += r.Misses.Issued
+		m.ReissuedOnce += r.Misses.ReissuedOnce
+		m.ReissuedMore += r.Misses.ReissuedMore
+		m.Persistent += r.Misses.Persistent
+	}
+	return m
+}
+
+type cellKey struct {
+	variant, workload, mutation string
+	unlimited                   bool
+}
+
+// AggregateSink collapses the seed axis: results sharing a grid cell
+// accumulate into one Aggregate, in first-seen (plan) order.
+type AggregateSink struct {
+	cells []*Aggregate
+	index map[cellKey]*Aggregate
+}
+
+// Begin implements Sink.
+func (s *AggregateSink) Begin(total int) error { return nil }
+
+// Emit implements Sink.
+func (s *AggregateSink) Emit(r Result) error {
+	key := cellKey{r.Variant, r.Point.Workload, r.Mutation, r.Point.Unlimited}
+	if s.index == nil {
+		s.index = map[cellKey]*Aggregate{}
+	}
+	cell := s.index[key]
+	if cell == nil {
+		cell = &Aggregate{
+			Variant:   r.Variant,
+			Workload:  r.Point.Workload,
+			Mutation:  r.Mutation,
+			Unlimited: r.Point.Unlimited,
+		}
+		s.index[key] = cell
+		s.cells = append(s.cells, cell)
+	}
+	cell.Runs = append(cell.Runs, r.Run)
+	return nil
+}
+
+// Cells returns the aggregates in plan order.
+func (s *AggregateSink) Cells() []*Aggregate { return s.cells }
+
+// Find returns the named cell, or nil.
+func (s *AggregateSink) Find(variant, workload, mutation string, unlimited bool) *Aggregate {
+	return s.index[cellKey{variant, workload, mutation, unlimited}]
+}

@@ -1,14 +1,26 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"tokencoherence/internal/engine"
+	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/sim"
-	"tokencoherence/internal/stats"
 	"tokencoherence/internal/workload"
 )
+
+// runAggregate executes a plan on the options' worker pool and collapses
+// the seed axis into per-cell aggregates.
+func runAggregate(plan engine.Plan, opt Options) (*engine.AggregateSink, error) {
+	var agg engine.AggregateSink
+	if _, err := opt.engine().Execute(context.Background(), plan, &agg); err != nil {
+		return nil, err
+	}
+	return &agg, nil
+}
 
 // --- Table 2: overhead due to reissued requests ------------------------
 
@@ -21,28 +33,26 @@ type Table2Row struct {
 	Persistent   float64
 }
 
-// Table2 runs TokenB on the torus for each commercial workload and
+// Table2 runs TokenB on the torus for each registered workload and
 // classifies misses as the paper's Table 2 does.
 func Table2(opt Options) ([]Table2Row, error) {
+	plan := opt.plan([]engine.Variant{
+		{Name: "tokenb-torus", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+	})
+	plan.Workloads = workload.Names()
+	agg, err := runAggregate(plan, opt)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table2Row
-	for _, name := range workload.Names() {
-		runs, err := averaged(Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: name}, opt)
-		if err != nil {
-			return nil, err
-		}
-		var agg stats.Misses
-		for _, r := range runs {
-			agg.Issued += r.Misses.Issued
-			agg.ReissuedOnce += r.Misses.ReissuedOnce
-			agg.ReissuedMore += r.Misses.ReissuedMore
-			agg.Persistent += r.Misses.Persistent
-		}
+	for _, cell := range agg.Cells() {
+		m := cell.SumMisses()
 		rows = append(rows, Table2Row{
-			Workload:     name,
-			NotReissued:  agg.Frac(agg.NotReissued()),
-			ReissuedOnce: agg.Frac(agg.ReissuedOnce),
-			ReissuedMore: agg.Frac(agg.ReissuedMore),
-			Persistent:   agg.Frac(agg.Persistent),
+			Workload:     cell.Workload,
+			NotReissued:  m.Frac(m.NotReissued()),
+			ReissuedOnce: m.Frac(m.ReissuedOnce),
+			ReissuedMore: m.Frac(m.ReissuedMore),
+			Persistent:   m.Frac(m.Persistent),
 		})
 	}
 	return rows, nil
@@ -79,73 +89,52 @@ type RuntimeBar struct {
 	CyclesInf float64 // unlimited bandwidth
 }
 
-// runtimePair measures one config with limited and unlimited bandwidth.
-func runtimePair(pt Point, opt Options) (lim, inf float64, err error) {
-	runs, err := averaged(pt, opt)
+// runtimeBars measures every variant on every registered workload with
+// limited and unlimited bandwidth, averaged over seeds.
+func runtimeBars(variants []engine.Variant, opt Options) ([]RuntimeBar, error) {
+	plan := opt.plan(variants)
+	plan.Workloads = workload.Names()
+	plan.Unlimited = []bool{false, true}
+	agg, err := runAggregate(plan, opt)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	lim = meanCPT(runs)
-	pt.Unlimited = true
-	runs, err = averaged(pt, opt)
-	if err != nil {
-		return 0, 0, err
+	var bars []RuntimeBar
+	for _, name := range workload.Names() {
+		for _, v := range variants {
+			lim := agg.Find(v.Name, name, "", false)
+			inf := agg.Find(v.Name, name, "", true)
+			bars = append(bars, RuntimeBar{
+				Workload:  name,
+				Config:    v.Name,
+				Cycles:    lim.MeanCyclesPerTxn(),
+				CyclesInf: inf.MeanCyclesPerTxn(),
+			})
+		}
 	}
-	return lim, meanCPT(runs), nil
+	return bars, nil
 }
 
 // Fig4a compares Snooping on the tree against TokenB on both fabrics
 // (paper Figure 4a). Snooping-on-torus is impossible (no total order),
 // exactly as the paper's "not applicable" bar.
 func Fig4a(opt Options) ([]RuntimeBar, error) {
-	configs := []struct {
-		label string
-		pt    Point
-	}{
-		{"tokenb-tree", Point{Protocol: ProtoTokenB, Topo: TopoTree}},
-		{"snooping-tree", Point{Protocol: ProtoSnooping, Topo: TopoTree}},
-		{"tokenb-torus", Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
-	}
-	var bars []RuntimeBar
-	for _, name := range workload.Names() {
-		for _, c := range configs {
-			pt := c.pt
-			pt.Workload = name
-			lim, inf, err := runtimePair(pt, opt)
-			if err != nil {
-				return nil, err
-			}
-			bars = append(bars, RuntimeBar{Workload: name, Config: c.label, Cycles: lim, CyclesInf: inf})
-		}
-	}
-	return bars, nil
+	return runtimeBars([]engine.Variant{
+		{Name: "tokenb-tree", Point: Point{Protocol: ProtoTokenB, Topo: TopoTree}},
+		{Name: "snooping-tree", Point: Point{Protocol: ProtoSnooping, Topo: TopoTree}},
+		{Name: "tokenb-torus", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+	}, opt)
 }
 
 // Fig5a compares TokenB, Hammer and Directory on the torus (paper
 // Figure 5a), including the directory-access-latency effect.
 func Fig5a(opt Options) ([]RuntimeBar, error) {
-	configs := []struct {
-		label string
-		pt    Point
-	}{
-		{"tokenb", Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
-		{"hammer", Point{Protocol: ProtoHammer, Topo: TopoTorus}},
-		{"directory", Point{Protocol: ProtoDirectory, Topo: TopoTorus}},
-		{"directory-perfect", Point{Protocol: ProtoDirectory, Topo: TopoTorus, PerfectDir: true}},
-	}
-	var bars []RuntimeBar
-	for _, name := range workload.Names() {
-		for _, c := range configs {
-			pt := c.pt
-			pt.Workload = name
-			lim, inf, err := runtimePair(pt, opt)
-			if err != nil {
-				return nil, err
-			}
-			bars = append(bars, RuntimeBar{Workload: name, Config: c.label, Cycles: lim, CyclesInf: inf})
-		}
-	}
-	return bars, nil
+	return runtimeBars([]engine.Variant{
+		{Name: "tokenb", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+		{Name: "hammer", Point: Point{Protocol: ProtoHammer, Topo: TopoTorus}},
+		{Name: "directory", Point: Point{Protocol: ProtoDirectory, Topo: TopoTorus}},
+		{Name: "directory-perfect", Point: Point{Protocol: ProtoDirectory, Topo: TopoTorus, PerfectDir: true}},
+	}, opt)
 }
 
 // PrintRuntime formats runtime bars normalized per workload to the named
@@ -182,72 +171,46 @@ type TrafficBar struct {
 	Total       float64
 }
 
-func trafficBar(pt Point, opt Options) (TrafficBar, error) {
-	runs, err := averaged(pt, opt)
+// trafficBars measures every variant's traffic on every registered
+// workload, averaged over seeds.
+func trafficBars(variants []engine.Variant, opt Options) ([]TrafficBar, error) {
+	plan := opt.plan(variants)
+	plan.Workloads = workload.Names()
+	agg, err := runAggregate(plan, opt)
 	if err != nil {
-		return TrafficBar{}, err
+		return nil, err
 	}
-	var bar TrafficBar
-	for _, r := range runs {
-		for c := 0; c < msg.NumCategories; c++ {
-			bar.PerCategory[c] += r.CategoryBytesPerMiss(msg.Category(c))
+	var bars []TrafficBar
+	for _, name := range workload.Names() {
+		for _, v := range variants {
+			cell := agg.Find(v.Name, name, "", false)
+			bar := TrafficBar{Workload: name, Config: v.Name, Total: cell.MeanBytesPerMiss()}
+			for c := 0; c < msg.NumCategories; c++ {
+				bar.PerCategory[c] = cell.MeanCategoryBytesPerMiss(msg.Category(c))
+			}
+			bars = append(bars, bar)
 		}
-		bar.Total += r.BytesPerMiss()
 	}
-	n := float64(len(runs))
-	for c := range bar.PerCategory {
-		bar.PerCategory[c] /= n
-	}
-	bar.Total /= n
-	return bar, nil
+	return bars, nil
 }
 
 // Fig4b compares TokenB and Snooping traffic on the tree (paper
 // Figure 4b).
 func Fig4b(opt Options) ([]TrafficBar, error) {
-	configs := []struct {
-		label string
-		pt    Point
-	}{
-		{"tokenb", Point{Protocol: ProtoTokenB, Topo: TopoTree}},
-		{"snooping", Point{Protocol: ProtoSnooping, Topo: TopoTree}},
-	}
-	return trafficBars(configs, opt)
+	return trafficBars([]engine.Variant{
+		{Name: "tokenb", Point: Point{Protocol: ProtoTokenB, Topo: TopoTree}},
+		{Name: "snooping", Point: Point{Protocol: ProtoSnooping, Topo: TopoTree}},
+	}, opt)
 }
 
 // Fig5b compares TokenB, Hammer and Directory traffic on the torus
 // (paper Figure 5b).
 func Fig5b(opt Options) ([]TrafficBar, error) {
-	configs := []struct {
-		label string
-		pt    Point
-	}{
-		{"tokenb", Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
-		{"hammer", Point{Protocol: ProtoHammer, Topo: TopoTorus}},
-		{"directory", Point{Protocol: ProtoDirectory, Topo: TopoTorus}},
-	}
-	return trafficBars(configs, opt)
-}
-
-func trafficBars(configs []struct {
-	label string
-	pt    Point
-}, opt Options) ([]TrafficBar, error) {
-	var bars []TrafficBar
-	for _, name := range workload.Names() {
-		for _, c := range configs {
-			pt := c.pt
-			pt.Workload = name
-			bar, err := trafficBar(pt, opt)
-			if err != nil {
-				return nil, err
-			}
-			bar.Workload = name
-			bar.Config = c.label
-			bars = append(bars, bar)
-		}
-	}
-	return bars, nil
+	return trafficBars([]engine.Variant{
+		{Name: "tokenb", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+		{Name: "hammer", Point: Point{Protocol: ProtoHammer, Topo: TopoTorus}},
+		{Name: "directory", Point: Point{Protocol: ProtoDirectory, Topo: TopoTorus}},
+	}, opt)
 }
 
 // PrintTraffic formats traffic bars with the paper's category breakdown.
@@ -276,6 +239,12 @@ type ScalingRow struct {
 	RuntimeRatioTB float64
 }
 
+// uniformGen builds a fresh uniform-sharing microbenchmark generator per
+// job, so the grid stays race-free and deterministic under parallelism.
+func uniformGen(procs int) machine.Generator {
+	return workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, procs)
+}
+
 // Scaling runs the uniform-sharing microbenchmark from 4 to maxProcs
 // processors (paper §6 question 5: at 64 processors TokenB uses roughly
 // twice Directory's interconnect bandwidth).
@@ -283,30 +252,36 @@ func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
 	if maxProcs == 0 {
 		maxProcs = 64
 	}
-	var rows []ScalingRow
+	var sizes []int
+	var variants []engine.Variant
 	for procs := 4; procs <= maxProcs; procs *= 2 {
-		mkGen := func() *workload.Uniform {
-			return workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, procs)
+		sizes = append(sizes, procs)
+		for _, proto := range []string{ProtoTokenB, ProtoDirectory} {
+			variants = append(variants, engine.Variant{
+				Name: fmt.Sprintf("%s-%dp", proto, procs),
+				Point: Point{
+					Protocol: proto, Topo: TopoTorus,
+					NewGen: uniformGen, Procs: procs,
+				},
+			})
 		}
-		o := opt
-		o.Procs = procs
-		tb, err := averaged(Point{Protocol: ProtoTokenB, Topo: TopoTorus, Gen: mkGen()}, o)
-		if err != nil {
-			return nil, err
-		}
-		// A fresh generator keeps the directory run independent.
-		dir, err := averaged(Point{Protocol: ProtoDirectory, Topo: TopoTorus, Gen: mkGen()}, o)
-		if err != nil {
-			return nil, err
-		}
-		row := ScalingRow{Procs: procs}
-		for _, r := range tb {
-			row.TokenBPerMiss += r.BytesPerMiss() / float64(len(tb))
-			row.TokenBCycles += r.CyclesPerTransaction() / float64(len(tb))
-		}
-		for _, r := range dir {
-			row.DirPerMiss += r.BytesPerMiss() / float64(len(dir))
-			row.DirectoryCyc += r.CyclesPerTransaction() / float64(len(dir))
+	}
+	plan := opt.plan(variants)
+	plan.Procs = 0 // the system size is the swept axis; keep per-variant Procs
+	agg, err := runAggregate(plan, opt)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	for _, procs := range sizes {
+		tb := agg.Find(fmt.Sprintf("%s-%dp", ProtoTokenB, procs), "", "", false)
+		dir := agg.Find(fmt.Sprintf("%s-%dp", ProtoDirectory, procs), "", "", false)
+		row := ScalingRow{
+			Procs:         procs,
+			TokenBPerMiss: tb.MeanBytesPerMiss(),
+			TokenBCycles:  tb.MeanCyclesPerTxn(),
+			DirPerMiss:    dir.MeanBytesPerMiss(),
+			DirectoryCyc:  dir.MeanCyclesPerTxn(),
 		}
 		if row.DirPerMiss > 0 {
 			row.TrafficRatio = row.TokenBPerMiss / row.DirPerMiss

@@ -1,144 +1,43 @@
-// Package harness assembles complete simulated machines and runs the
-// paper's experiments: Table 2 (reissue/persistent-request rates),
-// Figure 4 (Snooping vs TokenB runtime and traffic), Figure 5 (Directory
-// and Hammer vs TokenB runtime and traffic), and the §6 question 5
-// scalability microbenchmark. Each experiment has a structured-result
-// function (for tests and benchmarks) and a printer that emits the
-// paper-style rows.
+// Package harness reproduces the paper's experiments: Table 2
+// (reissue/persistent-request rates), Figure 4 (Snooping vs TokenB
+// runtime and traffic), Figure 5 (Directory and Hammer vs TokenB
+// runtime and traffic), and the §6 question 5 scalability
+// microbenchmark. Each experiment has a structured-result function (for
+// tests and benchmarks) and a printer that emits the paper-style rows.
+//
+// The experiments are expressed as declarative engine.Plan grids and
+// executed on the parallel engine (see internal/engine); every grid
+// point is an independent deterministic simulation, so results are
+// identical at any parallelism.
 package harness
 
 import (
-	"fmt"
-
-	"tokencoherence/internal/core"
-	"tokencoherence/internal/directory"
-	"tokencoherence/internal/hammer"
-	"tokencoherence/internal/machine"
-	"tokencoherence/internal/snooping"
+	"tokencoherence/internal/engine"
 	"tokencoherence/internal/stats"
-	"tokencoherence/internal/topology"
-	"tokencoherence/internal/workload"
 )
 
 // Protocol names.
 const (
-	ProtoTokenB    = "tokenb"
-	ProtoSnooping  = "snooping"
-	ProtoDirectory = "directory"
-	ProtoHammer    = "hammer"
-	ProtoTokenD    = "tokend"
-	ProtoTokenM    = "tokenm"
+	ProtoTokenB    = engine.ProtoTokenB
+	ProtoSnooping  = engine.ProtoSnooping
+	ProtoDirectory = engine.ProtoDirectory
+	ProtoHammer    = engine.ProtoHammer
+	ProtoTokenD    = engine.ProtoTokenD
+	ProtoTokenM    = engine.ProtoTokenM
 )
 
 // Topology names.
 const (
-	TopoTree  = "tree"
-	TopoTorus = "torus"
+	TopoTree  = engine.TopoTree
+	TopoTorus = engine.TopoTorus
 )
 
 // Point is one simulation configuration.
-type Point struct {
-	Protocol string
-	Topo     string
-	Workload string // commercial workload name, or "" to use Gen
-	Gen      machine.Generator
-	Procs    int
-	Ops      int // operations per processor (measured)
-	Warmup   int // cache-warming operations per processor (unmeasured)
-	Seed     uint64
-
-	// Unlimited removes the bandwidth limit (infinite links).
-	Unlimited bool
-	// PerfectDir sets the directory lookup latency to zero.
-	PerfectDir bool
-	// Mutate optionally adjusts the configuration last.
-	Mutate func(*machine.Config)
-}
+type Point = engine.Point
 
 // Run executes one point and returns its statistics. Token Coherence
 // points are additionally audited for token conservation.
-func Run(pt Point) (*stats.Run, error) {
-	if pt.Procs == 0 {
-		pt.Procs = 16
-	}
-	if pt.Ops == 0 {
-		pt.Ops = 4000
-	}
-	cfg := machine.DefaultConfig()
-	cfg.Procs = pt.Procs
-	if cfg.TokensPerBlock < pt.Procs {
-		cfg.TokensPerBlock = pt.Procs * 2
-	}
-	if pt.Unlimited {
-		cfg.Net = cfg.Net.Unlimited()
-	}
-	if pt.PerfectDir {
-		cfg.DirLatency = 0
-	}
-	if pt.Mutate != nil {
-		pt.Mutate(&cfg)
-	}
-
-	var topo topology.Topology
-	switch pt.Topo {
-	case TopoTree, "":
-		if pt.Topo == TopoTree || pt.Protocol == ProtoSnooping {
-			topo = topology.NewTree(pt.Procs)
-		} else {
-			topo = topology.NewTorusFor(pt.Procs)
-		}
-	case TopoTorus:
-		topo = topology.NewTorusFor(pt.Procs)
-	default:
-		return nil, fmt.Errorf("harness: unknown topology %q", pt.Topo)
-	}
-
-	gen := pt.Gen
-	if gen == nil {
-		params, err := workload.Commercial(pt.Workload)
-		if err != nil {
-			return nil, err
-		}
-		gen = workload.NewGenerator(params, pt.Procs)
-	}
-
-	sys := machine.NewSystem(cfg, topo, pt.Seed)
-	var ctrls []machine.Controller
-	var audit func() error
-	switch pt.Protocol {
-	case ProtoTokenB:
-		ts := core.BuildTokenB(sys)
-		ctrls = ts.Controllers()
-		audit = ts.Audit
-	case ProtoTokenD:
-		ts := core.BuildTokenD(sys)
-		ctrls = ts.Controllers()
-		audit = ts.Audit
-	case ProtoTokenM:
-		ts := core.BuildTokenM(sys)
-		ctrls = ts.Controllers()
-		audit = ts.Audit
-	case ProtoSnooping:
-		ctrls = snooping.Build(sys).Controllers()
-	case ProtoDirectory:
-		ctrls = directory.Build(sys).Controllers()
-	case ProtoHammer:
-		ctrls = hammer.Build(sys).Controllers()
-	default:
-		return nil, fmt.Errorf("harness: unknown protocol %q", pt.Protocol)
-	}
-
-	run, err := sys.ExecuteWarm(ctrls, gen, pt.Warmup, pt.Ops)
-	if err != nil {
-		return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
-	}
-	if audit != nil {
-		if err := audit(); err != nil {
-			return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
-		}
-	}
-	return run, nil
-}
+func Run(pt Point) (*stats.Run, error) { return engine.RunPoint(pt) }
 
 // Options tunes experiment size; the zero value gives quick defaults.
 type Options struct {
@@ -150,6 +49,9 @@ type Options struct {
 	Seeds []uint64
 	// Procs (default 16).
 	Procs int
+	// Parallel bounds the worker pool that executes the experiment grid
+	// (default 0 = one worker per CPU). Results do not depend on it.
+	Parallel int
 }
 
 func (o Options) ops() int {
@@ -180,27 +82,19 @@ func (o Options) procs() int {
 	return o.Procs
 }
 
-// averaged runs a point once per seed and returns per-seed runs.
-func averaged(pt Point, opt Options) ([]*stats.Run, error) {
-	var runs []*stats.Run
-	for _, seed := range opt.seeds() {
-		pt.Seed = seed
-		pt.Ops = opt.ops()
-		pt.Warmup = opt.warmup()
-		pt.Procs = opt.procs()
-		run, err := Run(pt)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, run)
-	}
-	return runs, nil
+// engine returns the worker pool the experiments run on.
+func (o Options) engine() engine.Engine {
+	return engine.Engine{Workers: o.Parallel}
 }
 
-func meanCPT(runs []*stats.Run) float64 {
-	var s stats.Sample
-	for _, r := range runs {
-		s.Add(r.CyclesPerTransaction())
+// plan wraps variants in a grid carrying the options' sizing, seeds and
+// any extra axes the caller sets afterwards.
+func (o Options) plan(variants []engine.Variant) engine.Plan {
+	return engine.Plan{
+		Variants: variants,
+		Seeds:    o.seeds(),
+		Ops:      o.ops(),
+		Warmup:   o.warmup(),
+		Procs:    o.procs(),
 	}
-	return s.Mean()
 }

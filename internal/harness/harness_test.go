@@ -183,8 +183,8 @@ func TestTable2Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(rows))
+	if len(rows) != len(workload.Names()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(workload.Names()))
 	}
 	for _, r := range rows {
 		total := r.NotReissued + r.ReissuedOnce + r.ReissuedMore + r.Persistent

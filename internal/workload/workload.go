@@ -11,7 +11,9 @@
 // highly-contended locks — with per-workload parameters tuned so that
 // miss rates and race frequencies land in the regime the paper reports
 // (Table 2: ~97% of TokenB misses succeed on the first attempt, a few
-// percent reissue, a fraction of a percent go persistent).
+// percent reissue, a fraction of a percent go persistent). A fourth
+// synthetic workload, barnes, adds a scientific producer-consumer/
+// migratory mix beyond the paper's three.
 package workload
 
 import (
@@ -134,8 +136,35 @@ func SPECjbb() Params {
 	}
 }
 
+// Barnes models a scientific N-body code (Barnes-Hut, SPLASH-2 family):
+// body records migrate between processors as the tree is rebuilt each
+// timestep (migratory read-modify-write), force results flow through
+// producer-consumer exchange buffers, and the upper octree levels are a
+// read-mostly shared structure. It widens the evaluation beyond the
+// paper's three commercial workloads with a heavier
+// producer-consumer/migratory mix and a smaller streaming footprint.
+func Barnes() Params {
+	return Params{
+		Name:            "barnes",
+		PrivateBlocks:   1152,
+		StreamBlocks:    4096,
+		SharedBlocks:    640,
+		MigratoryBlocks: 192,
+		ProdConsBlocks:  96,
+		LockBlocks:      2,
+		PStream:         0.006,
+		PShared:         0.045,
+		PMigratory:      0.018,
+		PProdCons:       0.012,
+		PLock:           0.006,
+		PWriteShared:    0.07,
+		MeanThink:       7 * sim.Nanosecond,
+		OpsPerTxn:       150,
+	}
+}
+
 // Commercial returns the named workload parameters (apache, oltp,
-// specjbb).
+// specjbb, barnes).
 func Commercial(name string) (Params, error) {
 	switch name {
 	case "apache":
@@ -144,12 +173,15 @@ func Commercial(name string) (Params, error) {
 		return OLTP(), nil
 	case "specjbb":
 		return SPECjbb(), nil
+	case "barnes":
+		return Barnes(), nil
 	}
 	return Params{}, fmt.Errorf("workload: unknown workload %q", name)
 }
 
-// Names lists the commercial workloads in the paper's order.
-func Names() []string { return []string{"apache", "oltp", "specjbb"} }
+// Names lists the workloads: the paper's three commercial workloads in
+// the paper's order, then the scientific barnes mix.
+func Names() []string { return []string{"apache", "oltp", "specjbb", "barnes"} }
 
 // Generator produces the operation stream for Params. It implements
 // machine.Generator and is deterministic given the per-processor rng

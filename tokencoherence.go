@@ -31,6 +31,7 @@ package tokencoherence
 import (
 	"io"
 
+	"tokencoherence/internal/engine"
 	"tokencoherence/internal/harness"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/stats"
@@ -81,6 +82,49 @@ func Experiments() []string { return harness.Experiments() }
 func RunExperiment(w io.Writer, name string, opt Options) error {
 	return harness.RunExperiment(w, name, opt)
 }
+
+// Plan declaratively describes a cartesian grid of simulation points
+// (variants x workloads x mutations x bandwidth x seeds).
+type Plan = engine.Plan
+
+// Variant is one named protocol/topology configuration in a Plan.
+type Variant = engine.Variant
+
+// Mutation is a named Config adjustment used as a Plan axis.
+type Mutation = engine.Mutation
+
+// Engine executes a Plan on a bounded worker pool with deterministic
+// result ordering; the zero value runs one worker per CPU.
+type Engine = engine.Engine
+
+// Job is one expanded plan job.
+type Job = engine.Job
+
+// Result is one executed plan job.
+type Result = engine.Result
+
+// Sink consumes a plan's results in deterministic order.
+type Sink = engine.Sink
+
+// CSVSink, JSONLSink and AggregateSink are the built-in sinks.
+type (
+	CSVSink       = engine.CSVSink
+	JSONLSink     = engine.JSONLSink
+	AggregateSink = engine.AggregateSink
+)
+
+// Column describes one CSVSink column.
+type Column = engine.Column
+
+// TagColumn reads a mutation tag as its own CSV column.
+func TagColumn(name string) Column { return engine.TagColumn(name) }
+
+// DefaultColumns are CSVSink's standard point-identity and metric
+// columns.
+func DefaultColumns() []Column { return engine.DefaultColumns() }
+
+// Grid returns one Plan variant per protocol x topology pair.
+func Grid(protocols, topos []string) []Variant { return engine.Grid(protocols, topos) }
 
 // WorkloadParams describes a synthetic commercial workload.
 type WorkloadParams = workload.Params

@@ -50,8 +50,11 @@ func TestRunExperimentFacade(t *testing.T) {
 }
 
 func TestWorkloadFacade(t *testing.T) {
-	if got := Workloads(); len(got) != 3 {
+	if got := Workloads(); len(got) != 4 {
 		t.Fatalf("Workloads() = %v", got)
+	}
+	if got := Workloads(); got[3] != "barnes" {
+		t.Errorf("Workloads()[3] = %q, want barnes", got[3])
 	}
 	p, err := Workload("apache")
 	if err != nil || p.Name != "apache" {
