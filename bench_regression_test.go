@@ -1,0 +1,68 @@
+package tokencoherence
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"tokencoherence/internal/harness"
+)
+
+// benchBaseline mirrors BENCH_kernel.json.
+type benchBaseline struct {
+	Points map[string]struct {
+		AllocsPerOp    float64 `json:"allocs_per_op"`
+		MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+	} `json:"points"`
+}
+
+// TestBenchmarkRegression is the benchmark-regression harness CI runs on
+// every push: it executes one end-to-end simulation point per protocol
+// (the exact configuration BenchmarkSimulatePoint measures) under
+// testing.AllocsPerRun and fails if the allocation count exceeds the
+// ceiling recorded in BENCH_kernel.json. Allocation counts are
+// deterministic, unlike ns/op, so this gate holds on any hardware; the
+// ceilings carry ~35% headroom over the recorded baseline for runtime
+// and Go-version drift. If an intentional change raises allocations,
+// regenerate the baseline (see BENCH_kernel.json) in the same PR.
+func TestBenchmarkRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark regression in -short mode")
+	}
+	raw, err := os.ReadFile("BENCH_kernel.json")
+	if err != nil {
+		t.Fatalf("missing benchmark baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("bad BENCH_kernel.json: %v", err)
+	}
+	topoFor := map[string]string{
+		harness.ProtoTokenB:    harness.TopoTorus,
+		harness.ProtoTokenD:    harness.TopoTorus,
+		harness.ProtoTokenM:    harness.TopoTorus,
+		harness.ProtoSnooping:  harness.TopoTree,
+		harness.ProtoDirectory: harness.TopoTorus,
+		harness.ProtoHammer:    harness.TopoTorus,
+	}
+	for proto, limits := range base.Points {
+		proto, limits := proto, limits
+		t.Run(proto, func(t *testing.T) {
+			topo, ok := topoFor[proto]
+			if !ok {
+				t.Fatalf("baseline names unknown protocol %q", proto)
+			}
+			pt := benchPoint(proto, topo, "oltp", 1)
+			allocs := testing.AllocsPerRun(1, func() {
+				if _, err := harness.Run(pt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > limits.MaxAllocsPerOp {
+				t.Errorf("%s point allocated %.0f objects, baseline ceiling is %.0f (recorded %.0f); "+
+					"if intentional, regenerate BENCH_kernel.json in this PR",
+					proto, allocs, limits.MaxAllocsPerOp, limits.AllocsPerOp)
+			}
+		})
+	}
+}

@@ -310,6 +310,37 @@ func BenchmarkEngineParallel(b *testing.B) {
 
 // --- Microbenchmarks of the substrate -----------------------------------
 
+// BenchmarkSimulatePoint measures one end-to-end simulation point per
+// protocol: wall time and allocations for a fixed reduced-size run.
+// This is the benchmark the CI regression harness tracks (see
+// BENCH_kernel.json): the hot path through kernel, interconnect,
+// machine, and protocol must stay allocation-lean.
+func BenchmarkSimulatePoint(b *testing.B) {
+	cases := []struct {
+		proto, topo string
+	}{
+		{harness.ProtoTokenB, harness.TopoTorus},
+		{harness.ProtoTokenD, harness.TopoTorus},
+		{harness.ProtoTokenM, harness.TopoTorus},
+		{harness.ProtoSnooping, harness.TopoTree},
+		{harness.ProtoDirectory, harness.TopoTorus},
+		{harness.ProtoHammer, harness.TopoTorus},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.proto, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run, err := harness.Run(benchPoint(c.proto, c.topo, "oltp", 1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(run.Accesses), "ops/iter")
+			}
+		})
+	}
+}
+
 // BenchmarkSimKernel measures raw event throughput of the DES kernel.
 func BenchmarkSimKernel(b *testing.B) {
 	k := sim.NewKernel()

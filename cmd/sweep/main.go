@@ -7,180 +7,81 @@
 //	sweep -kind mshr        # sensitivity to memory-level parallelism
 //
 // Each row is one simulation point; pipe the output to a plotting tool.
-// Sweeps are declarative engine.Plan grids executed on a bounded worker
-// pool (-parallel, default one worker per CPU); every point is an
-// independent deterministic simulation, so the rows are identical at
-// any parallelism.
+// Sweeps are declarative engine.Plan grids (see internal/sweeps)
+// executed on a bounded worker pool (-parallel, default one worker per
+// CPU); every point is an independent deterministic simulation, so the
+// rows are identical at any parallelism.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tokencoherence/internal/engine"
-	"tokencoherence/internal/harness"
-	"tokencoherence/internal/machine"
-	"tokencoherence/internal/sim"
-	"tokencoherence/internal/workload"
+	"tokencoherence/internal/sweeps"
 )
 
 func main() {
-	var (
-		kind     = flag.String("kind", "bandwidth", "sweep kind: bandwidth, procs, tokens, mshr")
-		wl       = flag.String("workload", "oltp", "workload for the sweep")
-		ops      = flag.Int("ops", 2000, "measured operations per processor")
-		warmup   = flag.Int("warmup", 5000, "warmup operations per processor")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
-		format   = flag.String("format", "csv", "output format: csv or json")
-		progress = flag.Bool("progress", false, "report progress on stderr")
-	)
-	flag.Parse()
-
-	var plan engine.Plan
-	var cols []engine.Column
-	var err error
-	switch *kind {
-	case "bandwidth":
-		plan, cols = sweepBandwidth(*wl, *seed)
-	case "procs":
-		plan, cols = sweepProcs(*seed)
-	case "tokens":
-		plan, cols = sweepTokens(*wl, *seed)
-	case "mshr":
-		plan, cols = sweepMSHR(*wl, *seed)
-	default:
-		err = fmt.Errorf("unknown sweep kind %q", *kind)
-	}
-	if err == nil {
-		plan.Ops = *ops
-		plan.Warmup = *warmup
-		err = execute(plan, cols, *parallel, *format, *progress)
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
+// run parses args and executes the requested sweep, writing rows to
+// stdout and progress to stderr. It is the testable body of main.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind     = fs.String("kind", "bandwidth", "sweep kind: bandwidth, procs, tokens, mshr")
+		wl       = fs.String("workload", "oltp", "workload for the sweep")
+		ops      = fs.Int("ops", 2000, "measured operations per processor")
+		warmup   = fs.Int("warmup", 5000, "warmup operations per processor")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		parallel = fs.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+		format   = fs.String("format", "csv", "output format: csv or json")
+		progress = fs.Bool("progress", false, "report progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, cols, err := sweeps.ByKind(*kind, *wl, *seed)
+	if err != nil {
+		return err
+	}
+	plan.Ops = *ops
+	plan.Warmup = *warmup
+	return execute(plan, cols, *parallel, *format, *progress, stdout, stderr)
+}
+
 // execute runs the plan on the worker pool and streams rows to stdout.
-func execute(plan engine.Plan, cols []engine.Column, parallel int, format string, progress bool) error {
+func execute(plan engine.Plan, cols []engine.Column, parallel int, format string, progress bool, stdout, stderr io.Writer) error {
 	var sink engine.Sink
 	switch format {
 	case "csv":
-		sink = &engine.CSVSink{W: os.Stdout, Columns: cols}
+		sink = &engine.CSVSink{W: stdout, Columns: cols}
 	case "json":
-		sink = &engine.JSONLSink{W: os.Stdout}
+		sink = &engine.JSONLSink{W: stdout}
 	default:
 		return fmt.Errorf("unknown format %q (want csv or json)", format)
 	}
 	eng := engine.Engine{Workers: parallel}
 	if progress {
 		eng.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points", done, total)
+			fmt.Fprintf(stderr, "\rsweep: %d/%d points", done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
 	_, err := eng.Execute(context.Background(), plan, sink)
 	return err
-}
-
-// sweepBandwidth shows where each protocol becomes bandwidth-bound: the
-// paper argues TokenB's extra traffic is harmless on high-bandwidth
-// links but matters on starved ones.
-func sweepBandwidth(wl string, seed uint64) (engine.Plan, []engine.Column) {
-	var muts []engine.Mutation
-	for _, gbps := range []float64{0.4, 0.8, 1.6, 3.2, 6.4, 12.8} {
-		bw := gbps
-		muts = append(muts, engine.Mutation{
-			Name:  fmt.Sprintf("%.1fgbps", bw),
-			Tags:  map[string]string{"bandwidth_gbps": fmt.Sprintf("%.1f", bw)},
-			Apply: func(c *machine.Config) { c.Net.LinkBandwidth = bw * 1e9 },
-		})
-	}
-	plan := engine.Plan{
-		Variants: engine.Grid(
-			[]string{harness.ProtoTokenB, harness.ProtoDirectory, harness.ProtoHammer},
-			[]string{harness.TopoTorus}),
-		Workloads: []string{wl},
-		Mutations: muts,
-		Seeds:     []uint64{seed},
-	}
-	return plan, []engine.Column{engine.ColProtocol, engine.TagColumn("bandwidth_gbps"),
-		engine.ColCyclesPerTxn, engine.ColAvgMissNS, engine.ColBytesPerMiss}
-}
-
-// sweepProcs extends the question 5 scalability study with runtime.
-func sweepProcs(seed uint64) (engine.Plan, []engine.Column) {
-	var variants []engine.Variant
-	for _, proto := range []string{harness.ProtoTokenB, harness.ProtoDirectory} {
-		for procs := 4; procs <= 64; procs *= 2 {
-			variants = append(variants, engine.Variant{
-				Name: fmt.Sprintf("%s-%dp", proto, procs),
-				Point: harness.Point{
-					Protocol: proto, Topo: harness.TopoTorus, Procs: procs,
-					NewGen: func(n int) machine.Generator {
-						return workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, n)
-					},
-				},
-			})
-		}
-	}
-	plan := engine.Plan{Variants: variants, Seeds: []uint64{seed}}
-	return plan, []engine.Column{engine.ColProtocol, engine.ColProcs,
-		engine.ColCyclesPerTxn, engine.ColBytesPerMiss}
-}
-
-// sweepTokens varies T per block for TokenB.
-func sweepTokens(wl string, seed uint64) (engine.Plan, []engine.Column) {
-	var muts []engine.Mutation
-	for _, tokens := range []int{16, 24, 32, 64, 128, 256} {
-		tk := tokens
-		muts = append(muts, engine.Mutation{
-			Name:  fmt.Sprintf("T=%d", tk),
-			Tags:  map[string]string{"tokens_per_block": fmt.Sprintf("%d", tk)},
-			Apply: func(c *machine.Config) { c.TokensPerBlock = tk },
-		})
-	}
-	plan := engine.Plan{
-		Variants:  engine.Grid([]string{harness.ProtoTokenB}, []string{harness.TopoTorus}),
-		Workloads: []string{wl},
-		Mutations: muts,
-		Seeds:     []uint64{seed},
-	}
-	return plan, []engine.Column{engine.TagColumn("tokens_per_block"),
-		engine.ColCyclesPerTxn, engine.ColReissuedPct, engine.ColPersistentPct}
-}
-
-// sweepMSHR varies the processor's miss- and load-level parallelism.
-func sweepMSHR(wl string, seed uint64) (engine.Plan, []engine.Column) {
-	var muts []engine.Mutation
-	for _, mshrs := range []int{2, 4, 8, 16} {
-		for _, loads := range []int{1, 2, 4} {
-			ms, ld := mshrs, loads
-			muts = append(muts, engine.Mutation{
-				Name: fmt.Sprintf("mshr=%d/loads=%d", ms, ld),
-				Tags: map[string]string{
-					"mshrs":     fmt.Sprintf("%d", ms),
-					"max_loads": fmt.Sprintf("%d", ld),
-				},
-				Apply: func(c *machine.Config) {
-					c.MSHRs = ms
-					c.MaxLoads = ld
-				},
-			})
-		}
-	}
-	plan := engine.Plan{
-		Variants:  engine.Grid([]string{harness.ProtoTokenB}, []string{harness.TopoTorus}),
-		Workloads: []string{wl},
-		Mutations: muts,
-		Seeds:     []uint64{seed},
-	}
-	return plan, []engine.Column{engine.TagColumn("mshrs"), engine.TagColumn("max_loads"),
-		engine.ColCyclesPerTxn, engine.ColAvgMissNS}
 }

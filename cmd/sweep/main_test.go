@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepKindsSmoke(t *testing.T) {
+	for _, kind := range []string{"bandwidth", "tokens", "mshr"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			var out, errw bytes.Buffer
+			args := []string{"-kind", kind, "-workload", "apache",
+				"-ops", "120", "-warmup", "120", "-parallel", "2"}
+			if err := run(args, &out, &errw); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+			if len(lines) < 2 {
+				t.Fatalf("sweep emitted %d lines, want header + rows:\n%s", len(lines), out.String())
+			}
+			if !strings.Contains(lines[0], "cycles_per_txn") {
+				t.Fatalf("missing CSV header: %s", lines[0])
+			}
+		})
+	}
+}
+
+func TestSweepJSONFormat(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-kind", "tokens", "-workload", "apache",
+		"-ops", "130", "-warmup", "130", "-format", "json", "-progress"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"protocol":"tokenb"`) {
+		t.Fatalf("unexpected JSONL output:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "points") {
+		t.Fatalf("progress not reported on stderr: %q", errw.String())
+	}
+}
+
+func TestSweepBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-kind", "bogus"}, &out, &errw); err == nil {
+		t.Fatal("unknown sweep kind did not error")
+	}
+	if err := run([]string{"-format", "xml"}, &out, &errw); err == nil {
+		t.Fatal("unknown format did not error")
+	}
+	if err := run([]string{"-no-such-flag"}, &out, &errw); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}

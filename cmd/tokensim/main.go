@@ -13,8 +13,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,41 +30,61 @@ import (
 )
 
 func main() {
-	var (
-		experiment = flag.String("experiment", "", "experiment to reproduce: "+strings.Join(harness.Experiments(), ", ")+", or 'all'")
-		protocol   = flag.String("protocol", "tokenb", "protocol for a custom run: tokenb, snooping, directory, hammer, tokend, tokenm")
-		topo       = flag.String("topo", "torus", "interconnect: torus or tree")
-		wl         = flag.String("workload", "oltp", "workload: "+strings.Join(workload.Names(), ", "))
-		procs      = flag.Int("procs", 16, "number of processors")
-		ops        = flag.Int("ops", 4000, "measured operations per processor")
-		warmup     = flag.Int("warmup", 0, "warmup operations per processor (default 2x ops)")
-		seeds      = flag.String("seeds", "1", "comma-separated seeds")
-		parallel   = flag.Int("parallel", 0, "worker pool size for multi-point runs (0 = one per CPU)")
-		unlimited  = flag.Bool("unlimited", false, "unlimited link bandwidth")
-		perfectDir = flag.Bool("perfect-dir", false, "zero-latency directory lookup")
-		listConfig = flag.Bool("list-config", false, "print the Table 1 system parameters and exit")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "tokensim:", err)
+		os.Exit(1)
+	}
+}
 
-	if *listConfig {
-		printConfig()
-		return
+// run parses args and executes the requested experiment or custom point,
+// writing to stdout. It is the testable body of main.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tokensim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "", "experiment to reproduce: "+strings.Join(harness.Experiments(), ", ")+", or 'all'")
+		protocol   = fs.String("protocol", "tokenb", "protocol for a custom run: tokenb, snooping, directory, hammer, tokend, tokenm")
+		topo       = fs.String("topo", "torus", "interconnect: torus or tree")
+		wl         = fs.String("workload", "oltp", "workload: "+strings.Join(workload.Names(), ", "))
+		procs      = fs.Int("procs", 16, "number of processors")
+		ops        = fs.Int("ops", 4000, "measured operations per processor")
+		warmup     = fs.Int("warmup", 0, "warmup operations per processor (default 2x ops)")
+		seeds      = fs.String("seeds", "1", "comma-separated seeds")
+		parallel   = fs.Int("parallel", 0, "worker pool size for multi-point runs (0 = one per CPU)")
+		unlimited  = fs.Bool("unlimited", false, "unlimited link bandwidth")
+		perfectDir = fs.Bool("perfect-dir", false, "zero-latency directory lookup")
+		listConfig = fs.Bool("list-config", false, "print the Table 1 system parameters and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
-	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, Seeds: parseSeeds(*seeds), Parallel: *parallel}
+	if *listConfig {
+		printConfig(stdout)
+		return nil
+	}
+
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		return err
+	}
+
+	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, Seeds: seedList, Parallel: *parallel}
 	if *experiment != "" {
 		names := []string{*experiment}
 		if *experiment == "all" {
 			names = harness.Experiments()
 		}
 		for _, name := range names {
-			if err := harness.RunExperiment(os.Stdout, name, opt); err != nil {
-				fmt.Fprintln(os.Stderr, "tokensim:", err)
-				os.Exit(1)
+			if err := harness.RunExperiment(stdout, name, opt); err != nil {
+				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		return
+		return nil
 	}
 
 	// A custom point is a one-variant plan over the seed axis, executed
@@ -90,39 +112,35 @@ func main() {
 		if r.Err != nil || r.Run == nil {
 			break
 		}
-		printRun(fmt.Sprintf("%s/%s/%s seed=%d", *protocol, *topo, *wl, r.Point.Seed), r.Run)
+		printRun(stdout, fmt.Sprintf("%s/%s/%s seed=%d", *protocol, *topo, *wl, r.Point.Seed), r.Run)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tokensim:", err)
-		os.Exit(1)
-	}
+	return err
 }
 
-func parseSeeds(s string) []uint64 {
+func parseSeeds(s string) ([]uint64, error) {
 	var out []uint64
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tokensim: bad seed %q: %v\n", part, err)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
-func printRun(label string, run *stats.Run) {
+func printRun(w io.Writer, label string, run *stats.Run) {
 	m := run.Misses
-	fmt.Printf("%s\n", label)
-	fmt.Printf("  elapsed          %v\n", run.Elapsed)
-	fmt.Printf("  transactions     %d (%.1f cycles/txn)\n", run.Transactions, run.CyclesPerTransaction())
-	fmt.Printf("  accesses         %d (L1 %.1f%%, L2 %.1f%%, miss %.2f%%)\n",
+	fmt.Fprintf(w, "%s\n", label)
+	fmt.Fprintf(w, "  elapsed          %v\n", run.Elapsed)
+	fmt.Fprintf(w, "  transactions     %d (%.1f cycles/txn)\n", run.Transactions, run.CyclesPerTransaction())
+	fmt.Fprintf(w, "  accesses         %d (L1 %.1f%%, L2 %.1f%%, miss %.2f%%)\n",
 		run.Accesses,
 		pct(run.L1Hits, run.Accesses), pct(run.L2Hits, run.Accesses), pct(m.Issued, run.Accesses))
-	fmt.Printf("  avg miss latency %v\n", run.AvgMissLatency())
-	fmt.Printf("  misses           %d: %.2f%% first try, %.2f%% reissued once, %.2f%% more, %.3f%% persistent\n",
+	fmt.Fprintf(w, "  avg miss latency %v\n", run.AvgMissLatency())
+	fmt.Fprintf(w, "  misses           %d: %.2f%% first try, %.2f%% reissued once, %.2f%% more, %.3f%% persistent\n",
 		m.Issued, m.Frac(m.NotReissued()), m.Frac(m.ReissuedOnce), m.Frac(m.ReissuedMore), m.Frac(m.Persistent))
-	fmt.Printf("  traffic          %.1f bytes/miss (requests %.1f, reissue+persistent %.1f, control %.1f, data %.1f)\n",
+	fmt.Fprintf(w, "  traffic          %.1f bytes/miss (requests %.1f, reissue+persistent %.1f, control %.1f, data %.1f)\n",
 		run.BytesPerMiss(),
 		run.CategoryBytesPerMiss(msg.CatRequest), run.CategoryBytesPerMiss(msg.CatReissue),
 		run.CategoryBytesPerMiss(msg.CatControl), run.CategoryBytesPerMiss(msg.CatData))
@@ -135,19 +153,19 @@ func pct(a, b uint64) float64 {
 	return 100 * float64(a) / float64(b)
 }
 
-func printConfig() {
+func printConfig(w io.Writer) {
 	c := machine.DefaultConfig()
-	fmt.Println("Target system parameters (paper Table 1):")
-	fmt.Printf("  processors          %d in-order-issue models, MSHRs=%d, max outstanding loads=%d\n", c.Procs, c.MSHRs, c.MaxLoads)
-	fmt.Printf("  L1 cache            %d kB, %d-way, %v\n", c.L1Size>>10, c.L1Assoc, c.L1Latency)
-	fmt.Printf("  L2 cache            %d MB, %d-way, %v\n", c.L2Size>>20, c.L2Assoc, c.L2Latency)
-	fmt.Printf("  block size          %d bytes\n", msg.BlockSize)
-	fmt.Printf("  DRAM latency        %v\n", c.MemLatency)
-	fmt.Printf("  controller latency  %v\n", c.CtrlLatency)
-	fmt.Printf("  directory latency   %v (DRAM full map)\n", c.DirLatency)
-	fmt.Printf("  link bandwidth      %.1f GB/s\n", c.Net.LinkBandwidth/1e9)
-	fmt.Printf("  link latency        %v\n", c.Net.LinkLatency)
-	fmt.Printf("  tokens per block    %d\n", c.TokensPerBlock)
-	fmt.Printf("  reissue policy      %dx avg miss latency + backoff (base %v), persistent after %d reissues\n",
+	fmt.Fprintln(w, "Target system parameters (paper Table 1):")
+	fmt.Fprintf(w, "  processors          %d in-order-issue models, MSHRs=%d, max outstanding loads=%d\n", c.Procs, c.MSHRs, c.MaxLoads)
+	fmt.Fprintf(w, "  L1 cache            %d kB, %d-way, %v\n", c.L1Size>>10, c.L1Assoc, c.L1Latency)
+	fmt.Fprintf(w, "  L2 cache            %d MB, %d-way, %v\n", c.L2Size>>20, c.L2Assoc, c.L2Latency)
+	fmt.Fprintf(w, "  block size          %d bytes\n", msg.BlockSize)
+	fmt.Fprintf(w, "  DRAM latency        %v\n", c.MemLatency)
+	fmt.Fprintf(w, "  controller latency  %v\n", c.CtrlLatency)
+	fmt.Fprintf(w, "  directory latency   %v (DRAM full map)\n", c.DirLatency)
+	fmt.Fprintf(w, "  link bandwidth      %.1f GB/s\n", c.Net.LinkBandwidth/1e9)
+	fmt.Fprintf(w, "  link latency        %v\n", c.Net.LinkLatency)
+	fmt.Fprintf(w, "  tokens per block    %d\n", c.TokensPerBlock)
+	fmt.Fprintf(w, "  reissue policy      %dx avg miss latency + backoff (base %v), persistent after %d reissues\n",
 		c.BackoffFactor, c.BackoffBase, c.MaxReissues)
 }

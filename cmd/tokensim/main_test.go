@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListConfig(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list-config"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "tokens per block", "link bandwidth"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("config output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCustomPointSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-protocol", "tokenb", "-topo", "torus", "-workload", "oltp",
+		"-procs", "4", "-ops", "200", "-warmup", "200", "-seeds", "1,2"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "tokenb/torus/oltp seed=1") || !strings.Contains(got, "seed=2") {
+		t.Fatalf("missing per-seed sections:\n%s", got)
+	}
+	if !strings.Contains(got, "avg miss latency") {
+		t.Fatalf("missing statistics block:\n%s", got)
+	}
+}
+
+func TestBadFlagValues(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-seeds", "nope"}, &out, &errw); err == nil {
+		t.Fatal("bad seed list did not error")
+	}
+	if err := run([]string{"-experiment", "no-such-experiment"}, &out, &errw); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+	if err := run([]string{"-protocol", "bogus", "-ops", "50", "-procs", "4"}, &out, &errw); err == nil {
+		t.Fatal("unknown protocol did not error")
+	}
+	if err := run([]string{"-not-a-flag"}, &out, &errw); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPerformancePoliciesSmoke runs the three-policy comparison tiny.
+func TestPerformancePoliciesSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 150, 150); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, proto := range []string{"tokenb", "tokend", "tokenm"} {
+		if !strings.Contains(out, proto) {
+			t.Fatalf("output missing policy %q:\n%s", proto, out)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -18,6 +19,14 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, 2500, 6000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the four-protocol comparison at the given size; main and
+// the smoke test call it.
+func run(out io.Writer, ops, warmup int) error {
 	plan := tokencoherence.Plan{
 		Variants: []tokencoherence.Variant{
 			{Point: tokencoherence.Point{Protocol: tokencoherence.ProtoSnooping, Topo: tokencoherence.TopoTree}},
@@ -28,17 +37,17 @@ func main() {
 		},
 		Workloads: []string{"apache"},
 		Seeds:     []uint64{3},
-		Ops:       2500,
-		Warmup:    6000,
+		Ops:       ops,
+		Warmup:    warmup,
 	}
 
 	var eng tokencoherence.Engine // zero value: one worker per CPU
 	results, err := eng.Execute(context.Background(), plan)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "protocol\tfabric\tcycles/txn\tavg miss\tbytes/miss\treissued")
 	for _, r := range results {
 		run := r.Run
@@ -49,9 +58,10 @@ func main() {
 	}
 	w.Flush()
 
-	fmt.Println("\nReadings (the paper's headline results):")
-	fmt.Println("  - TokenB on the torus runs fastest: no ordering point, no indirection.")
-	fmt.Println("  - Snooping matches TokenB on the tree but cannot use the faster torus.")
-	fmt.Println("  - Directory adds home indirection + directory latency to every cache-to-cache miss.")
-	fmt.Println("  - Hammer avoids the directory lookup but pays broadcast + per-node acks in bandwidth.")
+	fmt.Fprintln(out, "\nReadings (the paper's headline results):")
+	fmt.Fprintln(out, "  - TokenB on the torus runs fastest: no ordering point, no indirection.")
+	fmt.Fprintln(out, "  - Snooping matches TokenB on the tree but cannot use the faster torus.")
+	fmt.Fprintln(out, "  - Directory adds home indirection + directory latency to every cache-to-cache miss.")
+	fmt.Fprintln(out, "  - Hammer avoids the directory lookup but pays broadcast + per-node acks in bandwidth.")
+	return nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestProtocolCompareSmoke runs the four-protocol comparison tiny.
+func TestProtocolCompareSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 150, 150); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, proto := range []string{"snooping", "tokenb", "hammer", "directory"} {
+		if !strings.Contains(out, proto) {
+			t.Fatalf("output missing protocol %q:\n%s", proto, out)
+		}
+	}
+}

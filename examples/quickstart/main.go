@@ -5,33 +5,44 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"tokencoherence"
 )
 
 func main() {
+	if err := run(os.Stdout, 3000, 6000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run simulates the quickstart point at the given size and prints the
+// headline statistics; main and the smoke test call it.
+func run(w io.Writer, ops, warmup int) error {
 	run, err := tokencoherence.Simulate(tokencoherence.Point{
 		Protocol: tokencoherence.ProtoTokenB,
 		Topo:     tokencoherence.TopoTorus,
 		Workload: "oltp",
-		Ops:      3000,
-		Warmup:   6000,
+		Ops:      ops,
+		Warmup:   warmup,
 		Seed:     42,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	m := run.Misses
-	fmt.Println("TokenB / torus / OLTP (16 processors)")
-	fmt.Printf("  runtime:           %.1f cycles per transaction\n", run.CyclesPerTransaction())
-	fmt.Printf("  avg miss latency:  %v\n", run.AvgMissLatency())
-	fmt.Printf("  traffic:           %.1f bytes per miss\n", run.BytesPerMiss())
-	fmt.Printf("  transient success: %.2f%% of %d misses on first attempt\n",
+	fmt.Fprintln(w, "TokenB / torus / OLTP (16 processors)")
+	fmt.Fprintf(w, "  runtime:           %.1f cycles per transaction\n", run.CyclesPerTransaction())
+	fmt.Fprintf(w, "  avg miss latency:  %v\n", run.AvgMissLatency())
+	fmt.Fprintf(w, "  traffic:           %.1f bytes per miss\n", run.BytesPerMiss())
+	fmt.Fprintf(w, "  transient success: %.2f%% of %d misses on first attempt\n",
 		m.Frac(m.NotReissued()), m.Issued)
-	fmt.Printf("  reissued:          %.2f%% once, %.2f%% more than once\n",
+	fmt.Fprintf(w, "  reissued:          %.2f%% once, %.2f%% more than once\n",
 		m.Frac(m.ReissuedOnce), m.Frac(m.ReissuedMore))
-	fmt.Printf("  persistent:        %.3f%% fell back to the correctness substrate\n",
+	fmt.Fprintf(w, "  persistent:        %.3f%% fell back to the correctness substrate\n",
 		m.Frac(m.Persistent))
+	return nil
 }

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the example end to end at a tiny size.
+func TestQuickstartSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 200, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TokenB / torus / OLTP") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}

@@ -8,8 +8,11 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"tokencoherence/internal/core"
 	"tokencoherence/internal/machine"
@@ -18,6 +21,13 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run drives the Figure 2 race; main and the smoke test call it.
+func run(w io.Writer) error {
 	cfg := machine.DefaultConfig()
 	cfg.Procs = 4
 	cfg.TokensPerBlock = 4
@@ -26,47 +36,48 @@ func main() {
 
 	const addr = msg.Addr(0x1000)
 	block := msg.BlockOf(addr)
-	fmt.Printf("Block %d starts with all %d tokens at its home memory (node %d).\n\n",
+	fmt.Fprintf(w, "Block %d starts with all %d tokens at its home memory (node %d).\n\n",
 		block, cfg.TokensPerBlock, msg.HomeOf(block, cfg.Procs))
 
 	var writeDone, readDone bool
 	sys.K.Schedule(0, func() {
-		fmt.Println("t=0: P0 issues a transient GetM (wants all tokens) ...")
+		fmt.Fprintln(w, "t=0: P0 issues a transient GetM (wants all tokens) ...")
 		ts.Caches[0].Access(machine.Op{Addr: addr, Write: true}, func() {
 			writeDone = true
-			fmt.Printf("t=%v: P0's store commits (it gathered all tokens)\n", sys.K.Now())
+			fmt.Fprintf(w, "t=%v: P0's store commits (it gathered all tokens)\n", sys.K.Now())
 		})
 	})
 	sys.K.Schedule(0, func() {
-		fmt.Println("t=0: P1 issues a transient GetS (wants one token) — the race of Figure 2")
+		fmt.Fprintln(w, "t=0: P1 issues a transient GetS (wants one token) — the race of Figure 2")
 		ts.Caches[1].Access(machine.Op{Addr: addr, Write: false}, func() {
 			readDone = true
-			fmt.Printf("t=%v: P1's load commits (it has a token and valid data)\n", sys.K.Now())
+			fmt.Fprintf(w, "t=%v: P1's load commits (it has a token and valid data)\n", sys.K.Now())
 		})
 	})
 	sys.K.Run()
 
 	if !writeDone || !readDone {
-		log.Fatal("race did not resolve — the substrate failed")
+		return errors.New("race did not resolve — the substrate failed")
 	}
 	if err := sys.Oracle.Err(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := ts.Audit(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("\nFinal token distribution:")
+	fmt.Fprintln(w, "\nFinal token distribution:")
 	for i, c := range ts.Caches {
 		if l := c.L2.Lookup(block); l != nil && l.Tokens > 0 {
-			fmt.Printf("  P%d holds %d token(s), owner=%v, data=v%d\n", i, l.Tokens, l.Owner, l.Data)
+			fmt.Fprintf(w, "  P%d holds %d token(s), owner=%v, data=v%d\n", i, l.Tokens, l.Owner, l.Data)
 		}
 	}
 	if tokens, owner := ts.Mems[msg.HomeOf(block, cfg.Procs)].Tokens(block); tokens > 0 {
-		fmt.Printf("  home memory holds %d token(s), owner=%v\n", tokens, owner)
+		fmt.Fprintf(w, "  home memory holds %d token(s), owner=%v\n", tokens, owner)
 	}
 	m := sys.Run.Misses
-	fmt.Printf("\nMisses: %d issued, %d reissued, %d persistent — safety held without any ordering point.\n",
+	fmt.Fprintf(w, "\nMisses: %d issued, %d reissued, %d persistent — safety held without any ordering point.\n",
 		m.Issued, m.ReissuedOnce+m.ReissuedMore, m.Persistent)
-	fmt.Println("Token conservation audit: passed.")
+	fmt.Fprintln(w, "Token conservation audit: passed.")
+	return nil
 }

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -15,16 +16,25 @@ import (
 )
 
 func main() {
-	// The grid (2 protocols x 4 system sizes) executes on the parallel
-	// engine; Parallel: 0 uses one worker per CPU.
-	rows, err := harness.Scaling(harness.Options{Ops: 1200, Warmup: 2500, Parallel: 0}, 32)
-	if err != nil {
+	if err := run(os.Stdout, 1200, 2500, 32); err != nil {
 		log.Fatal(err)
 	}
-	harness.PrintScaling(os.Stdout, rows)
-	fmt.Println()
-	fmt.Println("TokenB's per-miss bytes grow with the broadcast fan-out (Θ(n) on the")
-	fmt.Println("torus) while Directory's stay nearly flat, so the ratio marches toward")
-	fmt.Println("the paper's 2x at 64 processors — broadcast does not scale, which is")
-	fmt.Println("why §7 proposes TokenD and TokenM on the same correctness substrate.")
+}
+
+// run executes the scaling study up to maxProcs; main and the smoke
+// test call it.
+func run(w io.Writer, ops, warmup, maxProcs int) error {
+	// The grid (2 protocols x N system sizes) executes on the parallel
+	// engine; Parallel: 0 uses one worker per CPU.
+	rows, err := harness.Scaling(harness.Options{Ops: ops, Warmup: warmup, Parallel: 0}, maxProcs)
+	if err != nil {
+		return err
+	}
+	harness.PrintScaling(w, rows)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "TokenB's per-miss bytes grow with the broadcast fan-out (Θ(n) on the")
+	fmt.Fprintln(w, "torus) while Directory's stay nearly flat, so the ratio marches toward")
+	fmt.Fprintln(w, "the paper's 2x at 64 processors — broadcast does not scale, which is")
+	fmt.Fprintln(w, "why §7 proposes TokenD and TokenM on the same correctness substrate.")
+	return nil
 }

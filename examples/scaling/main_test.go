@@ -1,0 +1,18 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScalingSmoke runs the scaling study on a tiny grid (4-8 procs).
+func TestScalingSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 150, 150, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "broadcast does not scale") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}

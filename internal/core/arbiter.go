@@ -28,6 +28,8 @@ type Arbiter struct {
 	phase arbPhase
 
 	queue []arbEntry
+	// targets caches the static activation broadcast set.
+	targets []msg.Port
 	// acksPending counts outstanding activate/deactivate acknowledgments.
 	acksPending int
 	// deactRequested remembers a deactivation that arrived while the
@@ -99,13 +101,16 @@ func (a *Arbiter) broadcastTargets() []msg.Port {
 func (a *Arbiter) broadcast(kind msg.Kind, e arbEntry) {
 	a.seq++
 	a.acksPending = a.sys.Cfg.Procs + 1
-	m := &msg.Message{
+	m := a.sys.Net.NewMessage()
+	*m = msg.Message{
 		Kind: kind, Cat: msg.CatReissue,
 		Src: a.Port(), Addr: e.addr, Requester: e.requester, Seq: a.seq,
 		Acks: e.epoch,
 	}
-	targets := a.broadcastTargets()
-	a.sys.K.After(a.sys.Cfg.CtrlLatency, func() { a.sys.Net.Multicast(m, targets) })
+	if a.targets == nil {
+		a.targets = a.broadcastTargets()
+	}
+	a.sys.Net.MulticastAfter(m, a.targets, a.sys.Cfg.CtrlLatency)
 }
 
 func (a *Arbiter) startActivation() {

@@ -117,12 +117,13 @@ func (m *Memory) respond(to msg.Port, b msg.Block, tokens int, owner bool, data 
 		cat = msg.CatData
 	}
 	m.ledger.Sent(b, tokens, owner, hasData)
-	out := &msg.Message{
+	out := m.sys.Net.NewMessage()
+	*out = msg.Message{
 		Kind: kind, Cat: cat,
 		Src: m.Port(), Dst: to, Addr: b.Base(),
 		Tokens: tokens, Owner: owner, HasData: hasData, Data: data, Dirty: dirty,
 	}
-	m.sys.K.After(lat, func() { m.sys.Net.Send(out) })
+	m.sys.Net.SendAfter(out, lat)
 }
 
 // EnableHints turns on the soft-state redirect directory (TokenD and
@@ -185,10 +186,10 @@ func (m *Memory) redirect(mm *msg.Message, served bool) {
 		}
 	}
 	if len(targets) > 0 {
-		fwd := mm.Clone()
+		fwd := m.sys.Net.CloneMessage(mm)
 		fwd.Src = m.Port()
 		fwd.Cat = msg.CatRequest
-		m.sys.K.After(m.sys.Cfg.CtrlLatency, func() { m.sys.Net.Multicast(fwd, targets) })
+		m.sys.Net.MulticastAfter(fwd, targets, m.sys.Cfg.CtrlLatency)
 	}
 	// Update soft state from the request stream.
 	switch mm.Kind {
@@ -228,13 +229,14 @@ func (m *Memory) handleTransient(mm *msg.Message) {
 		}
 		// Keep the owner token, hand out one plain token with data.
 		m.ledger.Sent(b, 1, false, true)
-		out := &msg.Message{
+		out := m.sys.Net.NewMessage()
+		*out = msg.Message{
 			Kind: msg.KindData, Cat: msg.CatData,
 			Src: m.Port(), Dst: mm.Requester, Addr: mm.Addr,
 			Tokens: 1, HasData: true, Data: l.data, Dirty: l.dirty,
 		}
 		l.tokens--
-		m.sys.K.After(cfg.CtrlLatency+cfg.MemLatency, func() { m.sys.Net.Send(out) })
+		m.sys.Net.SendAfter(out, cfg.CtrlLatency+cfg.MemLatency)
 	case msg.KindGetM:
 		tokens, owner := l.tokens, l.owner
 		lat := cfg.CtrlLatency
@@ -253,14 +255,14 @@ func (m *Memory) receiveTokens(mm *msg.Message) {
 		// Forward everything to the starving processor, per the
 		// persistent-request rules.
 		m.ledger.Sent(b, mm.Tokens, mm.Owner, mm.HasData)
-		fwd := mm.Clone()
+		fwd := m.sys.Net.CloneMessage(mm)
 		fwd.Src = m.Port()
 		fwd.Dst = starver
 		fwd.Cat = msg.CatControl
 		if fwd.HasData {
 			fwd.Cat = msg.CatData
 		}
-		m.sys.K.After(m.sys.Cfg.CtrlLatency, func() { m.sys.Net.Send(fwd) })
+		m.sys.Net.SendAfter(fwd, m.sys.Cfg.CtrlLatency)
 		return
 	}
 	l := m.line(b)
@@ -301,9 +303,10 @@ func (m *Memory) handleDeactivate(mm *msg.Message) {
 }
 
 func (m *Memory) ack(mm *msg.Message, kind msg.Kind) {
-	out := &msg.Message{
+	out := m.sys.Net.NewMessage()
+	*out = msg.Message{
 		Kind: kind, Cat: msg.CatReissue,
 		Src: m.Port(), Dst: mm.Src, Addr: mm.Addr, Seq: mm.Seq,
 	}
-	m.sys.K.After(m.sys.Cfg.CtrlLatency, func() { m.sys.Net.Send(out) })
+	m.sys.Net.SendAfter(out, m.sys.Cfg.CtrlLatency)
 }

@@ -15,9 +15,11 @@ import (
 // perform poorly but not incorrectly."
 type nullPolicy struct{}
 
-func (nullPolicy) Name() string                                         { return "null" }
-func (nullPolicy) Observe(*TokenB, *msg.Message)                        {}
-func (nullPolicy) Destinations(*TokenB, *machine.MSHR, bool) []msg.Port { return nil }
+func (nullPolicy) Name() string                  { return "null" }
+func (nullPolicy) Observe(*TokenB, *msg.Message) {}
+func (nullPolicy) Destinations(_ *TokenB, _ *machine.MSHR, _ bool, buf []msg.Port) []msg.Port {
+	return buf
+}
 
 // randomPolicy sends each request to a random subset of nodes — often
 // the wrong ones. Correctness must be unaffected.
@@ -28,8 +30,8 @@ type randomPolicy struct {
 func (*randomPolicy) Name() string                  { return "random" }
 func (*randomPolicy) Observe(*TokenB, *msg.Message) {}
 
-func (p *randomPolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool) []msg.Port {
-	var dsts []msg.Port
+func (p *randomPolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool, buf []msg.Port) []msg.Port {
+	dsts := buf
 	for i := 0; i < c.Cfg.Procs; i++ {
 		if msg.NodeID(i) != c.ID && p.rng.Bool(0.3) {
 			dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})

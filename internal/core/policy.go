@@ -12,8 +12,10 @@ import (
 // exactly the design space §7 of the paper describes. A policy that
 // guesses wrong merely causes reissues, never incorrectness.
 type Policy interface {
-	// Destinations returns the ports a transient request is sent to.
-	Destinations(c *TokenB, m *machine.MSHR, reissue bool) []msg.Port
+	// Destinations appends the ports a transient request is sent to onto
+	// buf and returns the result. The caller owns buf and reuses it per
+	// request, so implementations must not retain the returned slice.
+	Destinations(c *TokenB, m *machine.MSHR, reissue bool, buf []msg.Port) []msg.Port
 	// Observe trains the policy on an incoming token-carrying message.
 	Observe(c *TokenB, mm *msg.Message)
 	// Name identifies the resulting protocol.
@@ -28,15 +30,14 @@ func (broadcastPolicy) Name() string { return "tokenb" }
 
 func (broadcastPolicy) Observe(*TokenB, *msg.Message) {}
 
-func (broadcastPolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool) []msg.Port {
+func (broadcastPolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool, buf []msg.Port) []msg.Port {
 	n := c.Cfg.Procs
-	dsts := make([]msg.Port, 0, n)
 	for i := 0; i < n; i++ {
 		if msg.NodeID(i) != c.ID {
-			dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
+			buf = append(buf, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
 		}
 	}
-	return append(dsts, c.HomePort(m.Block))
+	return append(buf, c.HomePort(m.Block))
 }
 
 // homePolicy is TokenD, the directory-like performance protocol of §7:
@@ -49,8 +50,8 @@ func (homePolicy) Name() string { return "tokend" }
 
 func (homePolicy) Observe(*TokenB, *msg.Message) {}
 
-func (homePolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool) []msg.Port {
-	return []msg.Port{c.HomePort(m.Block)}
+func (homePolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool, buf []msg.Port) []msg.Port {
+	return append(buf, c.HomePort(m.Block))
 }
 
 // predictPolicy is TokenM, the destination-set prediction protocol of
@@ -109,18 +110,18 @@ func (p *predictPolicy) Observe(c *TokenB, mm *msg.Message) {
 	hs.add(mm.Src.Node)
 }
 
-func (p *predictPolicy) Destinations(c *TokenB, m *machine.MSHR, reissue bool) []msg.Port {
+func (p *predictPolicy) Destinations(c *TokenB, m *machine.MSHR, reissue bool, buf []msg.Port) []msg.Port {
 	if reissue {
 		// Mispredicted: fall back to broadcast.
-		return broadcastPolicy{}.Destinations(c, m, true)
+		return broadcastPolicy{}.Destinations(c, m, true, buf)
 	}
-	dsts := []msg.Port{c.HomePort(m.Block)}
+	buf = append(buf, c.HomePort(m.Block))
 	if hs, ok := p.holders[p.region(m.Block)]; ok {
 		for i := 0; i < hs.n; i++ {
 			if hs.nodes[i] != c.ID {
-				dsts = append(dsts, msg.Port{Node: hs.nodes[i], Unit: msg.UnitCache})
+				buf = append(buf, msg.Port{Node: hs.nodes[i], Unit: msg.UnitCache})
 			}
 		}
 	}
-	return dsts
+	return buf
 }

@@ -111,8 +111,8 @@ func TestPredictPolicyFallsBackToBroadcastOnReissue(t *testing.T) {
 	sys, ts := newPolicySystem(t, BuildTokenM, 4, 106)
 	c := ts.Caches[0]
 	m := &machine.MSHR{Block: 5}
-	first := c.policy.Destinations(c, m, false)
-	re := c.policy.Destinations(c, m, true)
+	first := c.policy.Destinations(c, m, false, nil)
+	re := c.policy.Destinations(c, m, true, nil)
 	if len(first) != 1 {
 		t.Errorf("untrained prediction sent to %d ports, want home only", len(first))
 	}

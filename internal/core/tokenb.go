@@ -33,6 +33,10 @@ type TokenB struct {
 	starving    map[msg.Block]*machine.MSHR
 	starvingSeq map[msg.Block]uint64
 	persistSeq  uint64
+
+	// dsts is the transient-request destination scratch buffer, reused
+	// across broadcasts (Multicast copies what it keeps).
+	dsts []msg.Port
 }
 
 // NewTokenB builds node id's TokenB controller and registers it on the
@@ -81,11 +85,13 @@ func (c *TokenB) broadcastTransient(m *machine.MSHR, cat msg.Category) {
 	if m.Write {
 		kind = msg.KindGetM
 	}
-	req := &msg.Message{
+	req := c.Net.NewMessage()
+	*req = msg.Message{
 		Kind: kind, Cat: cat,
 		Src: c.CachePort(), Addr: m.Block.Base(), Requester: c.CachePort(),
 	}
-	c.Net.Multicast(req, c.policy.Destinations(c, m, cat == msg.CatReissue))
+	c.dsts = c.policy.Destinations(c, m, cat == msg.CatReissue, c.dsts[:0])
+	c.Net.Multicast(req, c.dsts)
 }
 
 // maxReissueTimeout bounds the adaptive timeout so a burst of very slow
@@ -132,13 +138,15 @@ func (c *TokenB) goPersistent(m *machine.MSHR) {
 	c.persistSeq++
 	c.starving[m.Block] = m
 	c.starvingSeq[m.Block] = c.persistSeq
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindPersistentReq, Cat: msg.CatReissue,
 		Src:  c.CachePort(),
 		Dst:  msg.Port{Node: msg.HomeOf(m.Block, c.Cfg.Procs), Unit: msg.UnitArbiter},
 		Addr: m.Block.Base(), Requester: c.CachePort(),
 		Acks: int(c.persistSeq),
-	})
+	}
+	c.Net.Send(out)
 }
 
 // EvictL2 implements machine.CacheHooks: evicted tokens (and data when
@@ -167,7 +175,8 @@ func (c *TokenB) sendTokens(to msg.Port, b msg.Block, tokens int, owner, hasData
 		kind, cat = msg.KindData, msg.CatData
 	}
 	c.ledger.Sent(b, tokens, owner, hasData)
-	out := &msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: kind, Cat: cat,
 		Src: c.CachePort(), Dst: to, Addr: b.Base(),
 		Tokens: tokens, Owner: owner, HasData: hasData, Data: data, Dirty: dirty,
@@ -176,7 +185,7 @@ func (c *TokenB) sendTokens(to msg.Port, b msg.Block, tokens int, owner, hasData
 		c.Net.Send(out)
 		return
 	}
-	c.K.After(lat, func() { c.Net.Send(out) })
+	c.Net.SendAfter(out, lat)
 }
 
 // Handle implements interconnect.Handler.
@@ -278,14 +287,14 @@ func (c *TokenB) receiveTokens(m *msg.Message) {
 
 func (c *TokenB) forwardTokens(to msg.Port, m *msg.Message) {
 	c.ledger.Sent(msg.BlockOf(m.Addr), m.Tokens, m.Owner, m.HasData)
-	fwd := m.Clone()
+	fwd := c.Net.CloneMessage(m)
 	fwd.Src = c.CachePort()
 	fwd.Dst = to
 	fwd.Cat = msg.CatControl
 	if fwd.HasData {
 		fwd.Cat = msg.CatData
 	}
-	c.K.After(c.Cfg.CtrlLatency, func() { c.Net.Send(fwd) })
+	c.Net.SendAfter(fwd, c.Cfg.CtrlLatency)
 }
 
 // merge folds an arriving token message into a resident line.
@@ -326,12 +335,14 @@ func (c *TokenB) completeTokenMiss(m *machine.MSHR) {
 }
 
 func (c *TokenB) sendDeactivate(b msg.Block) {
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindPersistentDeactivate, Cat: msg.CatReissue,
 		Src:  c.CachePort(),
 		Dst:  msg.Port{Node: msg.HomeOf(b, c.Cfg.Procs), Unit: msg.UnitArbiter},
 		Addr: b.Base(),
-	})
+	}
+	c.Net.Send(out)
 }
 
 func (c *TokenB) handleActivate(m *msg.Message) {
@@ -381,8 +392,10 @@ func (c *TokenB) ForEachLine(f func(b msg.Block, tokens int, owner bool)) {
 }
 
 func (c *TokenB) ackArbiter(m *msg.Message, kind msg.Kind) {
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: kind, Cat: msg.CatReissue,
 		Src: c.CachePort(), Dst: m.Src, Addr: m.Addr, Seq: m.Seq,
-	})
+	}
+	c.Net.Send(out)
 }

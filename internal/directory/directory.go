@@ -89,11 +89,13 @@ func (c *Cache) sendRequest(m *machine.MSHR) {
 	if m.Write {
 		kind = msg.KindGetM
 	}
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: kind, Cat: msg.CatRequest,
 		Src: c.CachePort(), Dst: c.HomePort(m.Block),
 		Addr: m.Block.Base(), Requester: c.CachePort(),
-	})
+	}
+	c.Net.Send(out)
 }
 
 // EvictL2 implements machine.CacheHooks.
@@ -109,11 +111,13 @@ func (c *Cache) EvictL2(v cache.Line) {
 	c.wb[v.Block] = append(c.wb[v.Block], &wbEntry{
 		data: v.Data, dirty: v.Dirty, owner: true, written: v.Written, epoch: v.Epoch,
 	})
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindPutM, Cat: msg.CatData,
 		Src: c.CachePort(), Dst: c.HomePort(v.Block),
 		Addr: v.Block.Base(), HasData: true, Data: v.Data, Dirty: v.Dirty, Seq: v.Epoch,
-	})
+	}
+	c.Net.Send(out)
 }
 
 // Handle implements interconnect.Handler.
@@ -151,6 +155,12 @@ func (c *Cache) onData(m *msg.Message) {
 	mshr.AcksNeeded = m.Acks
 	c.absorbPendingAcks(mshr)
 	c.maybeComplete(mshr)
+	if mshr.Fill == m {
+		// Invalidation acks are still outstanding: keep the fill alive
+		// past this handler call; CompleteMiss recycles it.
+		m.Retain()
+		mshr.FillKept = true
+	}
 }
 
 // absorbPendingAcks counts buffered early acks that match the fill's
@@ -215,6 +225,10 @@ func (c *Cache) onGrant(m *msg.Message) {
 	mshr.AcksNeeded = m.Acks
 	c.absorbPendingAcks(mshr)
 	c.maybeComplete(mshr)
+	if mshr.Fill == m {
+		m.Retain()
+		mshr.FillKept = true
+	}
 }
 
 // maybeComplete commits the transaction once data (or grant) and all
@@ -255,6 +269,7 @@ func (c *Cache) maybeComplete(m *machine.MSHR) {
 	delete(c.deferred, b)
 	for _, d := range defs {
 		c.serveFwd(d, b)
+		c.Net.FreeMessage(d)
 	}
 	// An invalidation from a home transaction newer than this fill
 	// overtook the data; the fill satisfied the waiting accesses once
@@ -267,11 +282,13 @@ func (c *Cache) maybeComplete(m *machine.MSHR) {
 	}
 	// Forward-served transactions unblock the home (it is busy waiting).
 	if fromCache {
-		c.Net.Send(&msg.Message{
+		out := c.Net.NewMessage()
+		*out = msg.Message{
 			Kind: msg.KindUnblock, Cat: msg.CatControl,
 			Src: c.CachePort(), Dst: c.HomePort(b), Addr: b.Base(),
 			Owner: becameM,
-		})
+		}
+		c.Net.Send(out)
 	}
 }
 
@@ -293,12 +310,12 @@ func (c *Cache) onInv(m *msg.Message) {
 	}
 	// Always acknowledge, directly to the requesting writer, echoing the
 	// home transaction number so the writer can match acks to its fill.
-	c.K.After(c.Cfg.L2Latency, func() {
-		c.Net.Send(&msg.Message{
-			Kind: msg.KindAck, Cat: msg.CatControl,
-			Src: c.CachePort(), Dst: m.Requester, Addr: m.Addr, Seq: m.Seq,
-		})
-	})
+	out := c.Net.NewMessage()
+	*out = msg.Message{
+		Kind: msg.KindAck, Cat: msg.CatControl,
+		Src: c.CachePort(), Dst: m.Requester, Addr: m.Addr, Seq: m.Seq,
+	}
+	c.Net.SendAfter(out, c.Cfg.L2Latency)
 }
 
 func (c *Cache) onFwd(m *msg.Message) {
@@ -315,7 +332,7 @@ func (c *Cache) onFwd(m *msg.Message) {
 				// Our own transaction is ordered before this forward at
 				// the home; we are the owner-to-be, so serve it after
 				// completion (ownership chaining).
-				c.deferred[b] = append(c.deferred[b], m)
+				c.deferred[b] = append(c.deferred[b], m.Retain())
 				return
 			}
 			c.serveFwd(m, b)
@@ -329,7 +346,7 @@ func (c *Cache) onFwd(m *msg.Message) {
 			return
 		}
 		// Our fill is still in flight; chain the forward to completion.
-		c.deferred[b] = append(c.deferred[b], m)
+		c.deferred[b] = append(c.deferred[b], m.Retain())
 		return
 	}
 	c.serveFwd(m, b)
@@ -381,12 +398,13 @@ func (c *Cache) serveFwd(m *msg.Message, b msg.Block) {
 }
 
 func (c *Cache) respondData(to msg.Port, b msg.Block, data uint64, grantOwner, dirty bool, acks int, seq uint64) {
-	out := &msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindData, Cat: msg.CatData,
 		Src: c.CachePort(), Dst: to, Addr: b.Base(),
 		HasData: true, Data: data, Owner: grantOwner, Dirty: dirty, Acks: acks, Seq: seq,
 	}
-	c.K.After(c.Cfg.L2Latency, func() { c.Net.Send(out) })
+	c.Net.SendAfter(out, c.Cfg.L2Latency)
 }
 
 func (c *Cache) onWBAck(m *msg.Message) { c.popWB(msg.BlockOf(m.Addr)) }
@@ -480,7 +498,7 @@ func (m *Memory) Handle(mm *msg.Message) {
 	switch mm.Kind {
 	case msg.KindGetS, msg.KindGetM, msg.KindPutM:
 		if l.busy {
-			l.queue = append(l.queue, mm)
+			l.queue = append(l.queue, mm.Retain())
 			return
 		}
 		m.process(l, mm)
@@ -496,8 +514,15 @@ func (m *Memory) Handle(mm *msg.Message) {
 func (m *Memory) dataLat() sim.Time { return m.sys.Cfg.CtrlLatency + m.sys.Cfg.MemLatency }
 func (m *Memory) dirLat() sim.Time  { return m.sys.Cfg.CtrlLatency + m.sys.Cfg.DirLatency }
 
+// newMessage allocates an outgoing message from the network's pool.
+func (m *Memory) newMessage(t msg.Message) *msg.Message {
+	out := m.sys.Net.NewMessage()
+	*out = t
+	return out
+}
+
 func (m *Memory) send(out *msg.Message, lat sim.Time) {
-	m.sys.K.After(lat, func() { m.sys.Net.Send(out) })
+	m.sys.Net.SendAfter(out, lat)
 }
 
 func (m *Memory) process(l *dirLine, mm *msg.Message) {
@@ -510,21 +535,21 @@ func (m *Memory) process(l *dirLine, mm *msg.Message) {
 		case dirI, dirS:
 			l.state = dirS
 			l.sharers |= 1 << uint(req.Node)
-			m.send(&msg.Message{
+			m.send(m.newMessage(msg.Message{
 				Kind: msg.KindData, Cat: msg.CatData,
 				Src: m.Port(), Dst: req, Addr: mm.Addr,
 				HasData: true, Data: l.data, Seq: seq,
-			}, m.dataLat())
+			}), m.dataLat())
 		case dirM, dirO:
 			l.busy = true
 			l.txnKind = msg.KindGetS
 			l.txnReq = req
 			l.txnSeq = seq
-			m.send(&msg.Message{
+			m.send(m.newMessage(msg.Message{
 				Kind: msg.KindFwdGetS, Cat: msg.CatRequest,
 				Src: m.Port(), Dst: msg.Port{Node: l.owner, Unit: msg.UnitCache},
 				Addr: mm.Addr, Requester: req, Seq: seq,
-			}, m.dirLat())
+			}), m.dirLat())
 		}
 	case msg.KindGetM:
 		switch l.state {
@@ -533,11 +558,11 @@ func (m *Memory) process(l *dirLine, mm *msg.Message) {
 			l.owner = req.Node
 			l.ownerSeq = seq
 			l.sharers = 0
-			m.send(&msg.Message{
+			m.send(m.newMessage(msg.Message{
 				Kind: msg.KindData, Cat: msg.CatData,
 				Src: m.Port(), Dst: req, Addr: mm.Addr,
 				HasData: true, Data: l.data, Owner: true, Seq: seq,
-			}, m.dataLat())
+			}), m.dataLat())
 		case dirS:
 			others := l.sharers &^ (1 << uint(req.Node))
 			n := bits.OnesCount64(others)
@@ -545,11 +570,11 @@ func (m *Memory) process(l *dirLine, mm *msg.Message) {
 			l.owner = req.Node
 			l.ownerSeq = seq
 			l.sharers = 0
-			m.send(&msg.Message{
+			m.send(m.newMessage(msg.Message{
 				Kind: msg.KindData, Cat: msg.CatData,
 				Src: m.Port(), Dst: req, Addr: mm.Addr,
 				HasData: true, Data: l.data, Owner: true, Acks: n, Seq: seq,
-			}, m.dataLat())
+			}), m.dataLat())
 			m.sendInvals(others, mm.Addr, req, seq)
 		case dirM, dirO:
 			if l.owner == req.Node {
@@ -560,10 +585,10 @@ func (m *Memory) process(l *dirLine, mm *msg.Message) {
 				l.state = dirM
 				l.ownerSeq = seq
 				l.sharers = 0
-				m.send(&msg.Message{
+				m.send(m.newMessage(msg.Message{
 					Kind: msg.KindAck, Cat: msg.CatControl,
 					Src: m.Port(), Dst: req, Addr: mm.Addr, Acks: n, Seq: seq,
-				}, m.dirLat())
+				}), m.dirLat())
 				m.sendInvals(others, mm.Addr, req, seq)
 				return
 			}
@@ -573,11 +598,11 @@ func (m *Memory) process(l *dirLine, mm *msg.Message) {
 			l.txnKind = msg.KindGetM
 			l.txnReq = req
 			l.txnSeq = seq
-			m.send(&msg.Message{
+			m.send(m.newMessage(msg.Message{
 				Kind: msg.KindFwdGetM, Cat: msg.CatRequest,
 				Src: m.Port(), Dst: msg.Port{Node: l.owner, Unit: msg.UnitCache},
 				Addr: mm.Addr, Requester: req, Acks: n, Seq: seq,
-			}, m.dirLat())
+			}), m.dirLat())
 			m.sendInvals(others, mm.Addr, req, seq)
 		}
 	case msg.KindPutM:
@@ -589,15 +614,15 @@ func (m *Memory) process(l *dirLine, mm *msg.Message) {
 				l.state = dirS
 			}
 			l.owner = 0
-			m.send(&msg.Message{
+			m.send(m.newMessage(msg.Message{
 				Kind: msg.KindWBAck, Cat: msg.CatControl,
 				Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
-			}, m.dirLat())
+			}), m.dirLat())
 		} else {
-			m.send(&msg.Message{
+			m.send(m.newMessage(msg.Message{
 				Kind: msg.KindWBStale, Cat: msg.CatControl,
 				Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
-			}, m.dirLat())
+			}), m.dirLat())
 		}
 	}
 }
@@ -606,11 +631,11 @@ func (m *Memory) sendInvals(set uint64, addr msg.Addr, req msg.Port, seq uint64)
 	for set != 0 {
 		node := msg.NodeID(bits.TrailingZeros64(set))
 		set &^= 1 << uint(node)
-		m.send(&msg.Message{
+		m.send(m.newMessage(msg.Message{
 			Kind: msg.KindInv, Cat: msg.CatRequest,
 			Src: m.Port(), Dst: msg.Port{Node: node, Unit: msg.UnitCache},
 			Addr: addr, Requester: req, Seq: seq,
-		}, m.dirLat())
+		}), m.dirLat())
 	}
 }
 
@@ -647,6 +672,7 @@ func (m *Memory) unblock(l *dirLine, mm *msg.Message) {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
 		m.process(l, next)
+		m.sys.Net.FreeMessage(next)
 	}
 }
 

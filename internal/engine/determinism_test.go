@@ -1,0 +1,90 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"tokencoherence/internal/engine"
+	"tokencoherence/internal/sweeps"
+)
+
+// TestSweepDeterminismSerialVsParallel locks in the engine's core
+// guarantee for every standard sweep kind: a plan executed with one
+// worker and with many workers emits byte-identical CSV and JSONL.
+// PR 1 verified this by hand; this test makes it a permanent regression
+// gate (at reduced point sizes so it stays fast).
+func TestSweepDeterminismSerialVsParallel(t *testing.T) {
+	for _, kind := range sweeps.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			// apache completes a transaction every 120 operations, so 150
+			// measured ops per processor keep every metric finite (the
+			// JSONL sink rejects the +Inf a transaction-less run reports).
+			plan, cols, err := sweeps.ByKind(kind, "apache", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan.Ops = 150
+			plan.Warmup = 150
+			plan.Procs = 8
+			// The procs sweep scales to 64 processors and the mutation
+			// sweeps carry long axes; trim both so the test exercises the
+			// same plan shapes at unit-test cost.
+			if kind == "procs" {
+				var kept []engine.Variant
+				for _, v := range plan.Variants {
+					if v.Point.Procs <= 8 {
+						kept = append(kept, v)
+					}
+				}
+				plan.Variants = kept
+			}
+			if len(plan.Mutations) > 4 {
+				plan.Mutations = plan.Mutations[:4]
+			}
+
+			run := func(workers int, format string) []byte {
+				var buf bytes.Buffer
+				var sink engine.Sink
+				if format == "csv" {
+					sink = &engine.CSVSink{W: &buf, Columns: cols}
+				} else {
+					sink = &engine.JSONLSink{W: &buf}
+				}
+				eng := engine.Engine{Workers: workers}
+				if _, err := eng.Execute(context.Background(), plan, sink); err != nil {
+					t.Fatalf("workers=%d %s: %v", workers, format, err)
+				}
+				return buf.Bytes()
+			}
+
+			for _, format := range []string{"csv", "json"} {
+				serial := run(1, format)
+				if len(serial) == 0 {
+					t.Fatalf("%s: empty serial output", format)
+				}
+				for _, workers := range []int{0, 4} {
+					parallel := run(workers, format)
+					if !bytes.Equal(serial, parallel) {
+						t.Fatalf("%s output differs between workers=1 and workers=%d:\nserial:\n%s\nparallel:\n%s",
+							format, workers, firstDiff(serial, parallel), parallel)
+					}
+				}
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line for a readable failure.
+func firstDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch: %d vs %d bytes", len(a), len(b))
+}

@@ -79,11 +79,13 @@ func (c *Cache) StartMiss(m *machine.MSHR) {
 	if m.Write {
 		kind = msg.KindGetM
 	}
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: kind, Cat: msg.CatRequest,
 		Src: c.CachePort(), Dst: c.HomePort(m.Block),
 		Addr: m.Block.Base(), Requester: c.CachePort(),
-	})
+	}
+	c.Net.Send(out)
 }
 
 // EvictL2 implements machine.CacheHooks: owner evictions announce intent
@@ -101,10 +103,12 @@ func (c *Cache) EvictL2(v cache.Line) {
 	c.wb[v.Block] = append(c.wb[v.Block], &wbEntry{
 		data: v.Data, dirty: v.Dirty, owner: true, written: v.Written,
 	})
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindPutM, Cat: msg.CatControl,
 		Src: c.CachePort(), Dst: c.HomePort(v.Block), Addr: v.Block.Base(),
-	})
+	}
+	c.Net.Send(out)
 }
 
 // ownerWB returns the writeback entry that still owns b, if any.
@@ -178,12 +182,13 @@ func (c *Cache) respond(to msg.Port, b msg.Block, kind msg.Kind, data uint64, gr
 	if hasData {
 		cat = msg.CatData
 	}
-	out := &msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: kind, Cat: cat,
 		Src: c.CachePort(), Dst: to, Addr: b.Base(),
 		HasData: hasData, Data: data, Owner: grantOwner, Dirty: dirty,
 	}
-	c.K.After(c.Cfg.L2Latency, func() { c.Net.Send(out) })
+	c.Net.SendAfter(out, c.Cfg.L2Latency)
 }
 
 // onResponse collects probe responses and the memory response.
@@ -196,12 +201,18 @@ func (c *Cache) onResponse(m *msg.Message) {
 	mshr.AcksGot++
 	if m.Kind == msg.KindProbeData {
 		// Owner data beats the (possibly stale) memory copy.
-		mshr.Fill = m
+		c.setFill(mshr, m)
 		mshr.GotData = true
 	} else if m.Kind == msg.KindMemData && !mshr.GotData {
-		mshr.Fill = m
+		c.setFill(mshr, m)
 	}
 	if mshr.AcksGot < mshr.AcksNeeded {
+		if mshr.Fill == m {
+			// More responses are coming: keep this fill alive past the
+			// handler call; CompleteMiss (or a better fill) recycles it.
+			m.Retain()
+			mshr.FillKept = true
+		}
 		return
 	}
 	// All responses in: pick the best data and fill.
@@ -227,10 +238,22 @@ func (c *Cache) onResponse(m *msg.Message) {
 		l.State = stateS
 	}
 	c.CompleteMiss(mshr)
-	c.Net.Send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindUnblock, Cat: msg.CatControl,
 		Src: c.CachePort(), Dst: c.HomePort(b), Addr: b.Base(),
-	})
+	}
+	c.Net.Send(out)
+}
+
+// setFill records the transaction's best data response so far, recycling
+// a previously kept fill it supersedes.
+func (c *Cache) setFill(mshr *machine.MSHR, m *msg.Message) {
+	if mshr.Fill != nil && mshr.FillKept {
+		c.Net.FreeMessage(mshr.Fill)
+	}
+	mshr.Fill = m
+	mshr.FillKept = false
 }
 
 // onWBProceed supplies the writeback data (or cancels a stale one).
@@ -246,18 +269,20 @@ func (c *Cache) onWBProceed(m *msg.Message) {
 	} else {
 		c.wb[b] = entries[1:]
 	}
+	out := c.Net.NewMessage()
 	if e.owner {
-		c.Net.Send(&msg.Message{
+		*out = msg.Message{
 			Kind: msg.KindPutM, Cat: msg.CatData,
 			Src: c.CachePort(), Dst: c.HomePort(b), Addr: b.Base(),
 			HasData: true, Data: e.data, Dirty: e.dirty,
-		})
+		}
 	} else {
-		c.Net.Send(&msg.Message{
+		*out = msg.Message{
 			Kind: msg.KindWBStale, Cat: msg.CatControl,
 			Src: c.CachePort(), Dst: c.HomePort(b), Addr: b.Base(),
-		})
+		}
 	}
+	c.Net.Send(out)
 }
 
 func (c *Cache) dropLine(b msg.Block) {
@@ -278,6 +303,9 @@ type Memory struct {
 	sys   *machine.System
 	id    msg.NodeID
 	lines map[msg.Block]*homeLine
+	// probeDsts caches, per requesting node, the static probe broadcast
+	// set (every cache but the requester's).
+	probeDsts [][]msg.Port
 }
 
 // NewMemory builds and registers node id's home controller.
@@ -306,7 +334,7 @@ func (m *Memory) Handle(mm *msg.Message) {
 	switch mm.Kind {
 	case msg.KindGetS, msg.KindGetM:
 		if l.busy {
-			l.queue = append(l.queue, mm)
+			l.queue = append(l.queue, mm.Retain())
 			return
 		}
 		m.startGet(l, mm)
@@ -318,7 +346,7 @@ func (m *Memory) Handle(mm *msg.Message) {
 			return
 		}
 		if l.busy {
-			l.queue = append(l.queue, mm)
+			l.queue = append(l.queue, mm.Retain())
 			return
 		}
 		m.startPut(l, mm)
@@ -331,39 +359,53 @@ func (m *Memory) Handle(mm *msg.Message) {
 	}
 }
 
+// probeTargets returns the cached probe destination set for a requester.
+func (m *Memory) probeTargets(req msg.NodeID) []msg.Port {
+	if m.probeDsts == nil {
+		m.probeDsts = make([][]msg.Port, m.sys.Cfg.Procs)
+	}
+	if m.probeDsts[req] == nil {
+		dsts := make([]msg.Port, 0, m.sys.Cfg.Procs-1)
+		for i := 0; i < m.sys.Cfg.Procs; i++ {
+			if msg.NodeID(i) != req {
+				dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
+			}
+		}
+		m.probeDsts[req] = dsts
+	}
+	return m.probeDsts[req]
+}
+
 // startGet broadcasts probes to every node except the requester and
 // fetches the memory copy in parallel.
 func (m *Memory) startGet(l *homeLine, mm *msg.Message) {
 	l.busy = true
 	cfg := m.sys.Cfg
-	probe := &msg.Message{
+	probe := m.sys.Net.NewMessage()
+	*probe = msg.Message{
 		Kind: msg.KindProbe, Cat: msg.CatRequest,
 		Src: m.Port(), Addr: mm.Addr, Requester: mm.Requester,
 		Owner: mm.Kind == msg.KindGetM, // exclusive probe
 	}
-	var dsts []msg.Port
-	for i := 0; i < cfg.Procs; i++ {
-		if msg.NodeID(i) != mm.Requester.Node {
-			dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
-		}
-	}
-	m.sys.K.After(cfg.CtrlLatency, func() { m.sys.Net.Multicast(probe, dsts) })
-	memData := &msg.Message{
+	m.sys.Net.MulticastAfter(probe, m.probeTargets(mm.Requester.Node), cfg.CtrlLatency)
+	memData := m.sys.Net.NewMessage()
+	*memData = msg.Message{
 		Kind: msg.KindMemData, Cat: msg.CatData,
 		Src: m.Port(), Dst: mm.Requester, Addr: mm.Addr,
 		HasData: true, Data: l.data,
 	}
-	m.sys.K.After(cfg.CtrlLatency+cfg.MemLatency, func() { m.sys.Net.Send(memData) })
+	m.sys.Net.SendAfter(memData, cfg.CtrlLatency+cfg.MemLatency)
 }
 
 // startPut grants the writeback slot.
 func (m *Memory) startPut(l *homeLine, mm *msg.Message) {
 	l.busy = true
-	out := &msg.Message{
+	out := m.sys.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindWBAck, Cat: msg.CatControl,
 		Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
 	}
-	m.sys.K.After(m.sys.Cfg.CtrlLatency, func() { m.sys.Net.Send(out) })
+	m.sys.Net.SendAfter(out, m.sys.Cfg.CtrlLatency)
 }
 
 // finish completes the current transaction and starts the next.
@@ -383,6 +425,7 @@ func (m *Memory) finish(l *homeLine) {
 	case msg.KindPutM:
 		m.startPut(l, next)
 	}
+	m.sys.Net.FreeMessage(next)
 }
 
 // System bundles the Hammer machine's components.

@@ -1,0 +1,91 @@
+package interconnect
+
+import (
+	"testing"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+	"tokencoherence/internal/topology"
+)
+
+// forwarder circulates a single token message around the ring (one
+// reply per delivery, so the population stays constant) and, every 16th
+// hop through node 0, fires a broadcast whose copies are absorbed on
+// delivery. That covers the unicast hop chain, the local path, and the
+// multicast tree walk without amplifying traffic.
+type forwarder struct {
+	n     *Network
+	id    msg.NodeID
+	hops  int
+	dsts  []msg.Port
+	total *int
+}
+
+func (f *forwarder) Handle(m *msg.Message) {
+	*f.total++
+	if m.Kind == msg.KindProbe {
+		return // broadcast copy: absorbed, recycled by the network
+	}
+	out := f.n.NewMessage()
+	*out = msg.Message{
+		Kind: msg.KindGetS, Cat: msg.CatRequest,
+		Src: msg.Port{Node: f.id, Unit: msg.UnitCache},
+		Dst: msg.Port{Node: (f.id + 3) % 16, Unit: msg.UnitCache},
+	}
+	f.n.Send(out)
+	if f.id == 0 {
+		f.hops++
+		if f.hops%16 == 0 {
+			bc := f.n.NewMessage()
+			*bc = msg.Message{
+				Kind: msg.KindProbe, Cat: msg.CatRequest,
+				Src: msg.Port{Node: f.id, Unit: msg.UnitCache},
+			}
+			f.n.Multicast(bc, f.dsts)
+		}
+	}
+}
+
+// TestNetworkSteadyStateAllocs is the interconnect's hard allocation
+// gate: with the message pool, netOp records, multicast slabs and path
+// cache warm, sustained traffic (unicast, local, and broadcast) must
+// allocate nothing per message.
+func TestNetworkSteadyStateAllocs(t *testing.T) {
+	k := sim.NewKernel()
+	var tr stats.Traffic
+	n := New(k, topology.NewTorus(4, 4), DefaultConfig(), &tr)
+	var dsts []msg.Port
+	for i := 0; i < 16; i++ {
+		dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
+	}
+	total := 0
+	for i := 0; i < 16; i++ {
+		n.Register(msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache},
+			&forwarder{n: n, id: msg.NodeID(i), dsts: dsts, total: &total})
+	}
+	// Seed one token per node and warm all pools.
+	for i := 0; i < 16; i++ {
+		m := n.NewMessage()
+		*m = msg.Message{
+			Kind: msg.KindGetS, Cat: msg.CatRequest,
+			Src: msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache},
+			Dst: msg.Port{Node: msg.NodeID((i + 1) % 16), Unit: msg.UnitCache},
+		}
+		n.Send(m)
+	}
+	k.RunUntil(k.Now() + 200*sim.Microsecond)
+	if total == 0 {
+		t.Fatal("no messages delivered during warmup")
+	}
+	before := total
+	allocs := testing.AllocsPerRun(100, func() {
+		k.RunUntil(k.Now() + 5*sim.Microsecond)
+	})
+	if total == before {
+		t.Fatal("no messages delivered during measurement")
+	}
+	if allocs > 0 {
+		t.Errorf("steady-state traffic allocates %.1f objects per 5us slice, want 0", allocs)
+	}
+}

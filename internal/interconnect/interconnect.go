@@ -19,6 +19,14 @@
 // broadcasts: every broadcast claims the root's output links in one
 // event, so all nodes observe all broadcasts in the same order — the
 // property traditional snooping requires.
+//
+// Allocation model. The network is on the simulator's innermost loop,
+// so everything it schedules per message is recycled: message copies
+// come from a msg.Pool (returned when the receiving handler is done,
+// see Handler), and the callbacks for deliveries, unicast hops,
+// multicast tree walks and delayed sends are pooled netOp records whose
+// closure is bound once. Steady-state traffic therefore allocates
+// nothing.
 package interconnect
 
 import (
@@ -59,7 +67,10 @@ func (c Config) Unlimited() Config {
 	return c
 }
 
-// Handler consumes delivered messages.
+// Handler consumes delivered messages. The delivered message is owned by
+// the network: it may be read and mutated freely during Handle, but it is
+// recycled when Handle returns. A handler that keeps the message past its
+// return must call Message.Retain and later hand it to Network.FreeMessage.
 type Handler interface {
 	Handle(m *msg.Message)
 }
@@ -80,12 +91,25 @@ type Network struct {
 	nextFree  []sim.Time
 	linkBytes []uint64
 	sent      uint64
+
+	nodes   int                 // topo.Nodes(), for path-cache indexing
+	paths   [][]topology.LinkID // deterministic routes, precomputed per (src, dst)
+	pool    msg.Pool
+	freeOps *netOp
+	freeMcs *mcast
 }
 
 // New builds a network. traffic may be nil to skip accounting.
 func New(k *sim.Kernel, topo topology.Topology, cfg Config, traffic *stats.Traffic) *Network {
 	if cfg.LinkLatency <= 0 {
 		panic("interconnect: LinkLatency must be positive")
+	}
+	nn := topo.Nodes()
+	paths := make([][]topology.LinkID, nn*nn)
+	for s := 0; s < nn; s++ {
+		for d := 0; d < nn; d++ {
+			paths[s*nn+d] = topo.Path(msg.NodeID(s), msg.NodeID(d))
+		}
 	}
 	return &Network{
 		kernel:    k,
@@ -95,6 +119,8 @@ func New(k *sim.Kernel, topo topology.Topology, cfg Config, traffic *stats.Traff
 		handlers:  make(map[msg.Port]Handler),
 		nextFree:  make([]sim.Time, topo.NumLinks()),
 		linkBytes: make([]uint64, topo.NumLinks()),
+		nodes:     nn,
+		paths:     paths,
 	}
 }
 
@@ -116,6 +142,24 @@ func (n *Network) Register(p msg.Port, h Handler) {
 // Sent reports the number of message deliveries scheduled.
 func (n *Network) Sent() uint64 { return n.sent }
 
+// NewMessage returns a zeroed message from the network's pool. Senders
+// fill it and pass it to Send/Multicast, which take ownership.
+func (n *Network) NewMessage() *msg.Message { return n.pool.Get() }
+
+// CloneMessage returns a pooled copy of m (pool bookkeeping reset).
+func (n *Network) CloneMessage(m *msg.Message) *msg.Message {
+	return n.pool.Clone(m)
+}
+
+// FreeMessage recycles a message previously retained by a handler (or
+// allocated with NewMessage and never sent).
+func (n *Network) FreeMessage(m *msg.Message) { n.pool.Put(m) }
+
+// path returns the precomputed deterministic route from src to dst.
+func (n *Network) path(src, dst msg.NodeID) []topology.LinkID {
+	return n.paths[int(src)*n.nodes+int(dst)]
+}
+
 // serialization returns the time the message occupies one link.
 func (n *Network) serialization(bytes int) sim.Time {
 	if n.cfg.LinkBandwidth <= 0 {
@@ -125,55 +169,197 @@ func (n *Network) serialization(bytes int) sim.Time {
 	return sim.Time(ps + 0.5)
 }
 
-// deliver schedules the handler for m at time at.
+// netOp is a pooled callback record for everything the network schedules
+// on the kernel. Its fire closure is bound once when the record is first
+// allocated, so rescheduling recycled records is allocation-free.
+type netOp struct {
+	n     *Network
+	kind  uint8
+	m     *msg.Message
+	h     Handler
+	path  []topology.LinkID
+	nodes []*mcNode
+	mc    *mcast
+	dsts  []msg.Port
+	t     sim.Time
+	ser   sim.Time
+	fire  func()
+	next  *netOp
+}
+
+const (
+	opDeliver uint8 = iota
+	opHop
+	opWalk
+	opSend
+	opMulticast
+)
+
+func (n *Network) getOp() *netOp {
+	op := n.freeOps
+	if op == nil {
+		op = &netOp{n: n}
+		op.fire = op.run
+	} else {
+		n.freeOps = op.next
+	}
+	return op
+}
+
+func (n *Network) putOp(op *netOp) {
+	op.m, op.h, op.path, op.nodes, op.mc, op.dsts = nil, nil, nil, nil, nil, nil
+	op.next = n.freeOps
+	n.freeOps = op
+}
+
+// run dispatches a scheduled network operation. The record is recycled
+// before the work runs so that nested scheduling can reuse it.
+func (op *netOp) run() {
+	n := op.n
+	kind, m, h := op.kind, op.m, op.h
+	path, nodes, mc, dsts := op.path, op.nodes, op.mc, op.dsts
+	t, ser := op.t, op.ser
+	n.putOp(op)
+	switch kind {
+	case opDeliver:
+		h.Handle(m)
+		n.pool.Release(m)
+	case opHop:
+		n.hop(m, path, t, ser)
+	case opWalk:
+		n.walk(mc, nodes, t, ser)
+	case opSend:
+		n.Send(m)
+	case opMulticast:
+		n.Multicast(m, dsts)
+	}
+}
+
+// deliver schedules the handler for m at time at. The network owns m
+// until the handler returns (see Handler).
 func (n *Network) deliver(m *msg.Message, at sim.Time) {
 	h, ok := n.handlers[m.Dst]
 	if !ok {
 		panic(fmt.Sprintf("interconnect: no handler for %v (message %v)", m.Dst, m))
 	}
 	n.sent++
-	n.kernel.Schedule(at, func() { h.Handle(m) })
+	op := n.getOp()
+	op.kind, op.m, op.h = opDeliver, m, h
+	n.kernel.Schedule(at, op.fire)
 }
 
-// mcNode is one edge of a multicast (or unicast) routing tree.
+// hop advances a unicast message across path[0] at time t and chains the
+// remaining hops; the final hop schedules delivery of the tail.
+func (n *Network) hop(m *msg.Message, path []topology.LinkID, t, ser sim.Time) {
+	link := path[0]
+	n.linkBytes[link] += uint64(m.Bytes())
+	d := t
+	if n.cfg.LinkBandwidth > 0 {
+		if free := n.nextFree[link]; free > d {
+			d = free
+		}
+		n.nextFree[link] = d + ser
+	}
+	arrival := d + n.cfg.LinkLatency
+	if len(path) == 1 {
+		n.deliver(m, arrival+ser) // tail arrives one serialization later
+		return
+	}
+	op := n.getOp()
+	op.kind, op.m, op.path, op.t, op.ser = opHop, m, path[1:], arrival, ser
+	n.kernel.Schedule(arrival, op.fire)
+}
+
+// mcNode is one edge of a multicast routing tree. Nodes live in their
+// mcast's slab and are recycled with it.
 type mcNode struct {
 	link     topology.LinkID
 	children []*mcNode
 	dests    []msg.Port // destinations whose path ends on this edge
 }
 
-// buildTree folds the per-destination paths into their prefix tree.
+// mcast tracks one in-flight multicast: the template message, the
+// routing tree (slab-allocated), and the count of tree edges not yet
+// walked. When the last edge is walked every destination has its own
+// copy, so the template and the tree are recycled.
+type mcast struct {
+	m     *msg.Message
+	edges int
+	slab  []mcNode
+	roots []*mcNode
+	paths [][]topology.LinkID
+	dsts  []msg.Port
+	next  *mcast
+}
+
+func (n *Network) getMcast() *mcast {
+	mc := n.freeMcs
+	if mc == nil {
+		mc = &mcast{}
+	} else {
+		n.freeMcs = mc.next
+	}
+	mc.paths = mc.paths[:0]
+	mc.dsts = mc.dsts[:0]
+	mc.roots = mc.roots[:0]
+	return mc
+}
+
+func (n *Network) putMcast(mc *mcast) {
+	mc.m = nil
+	mc.slab = mc.slab[:0]
+	mc.next = n.freeMcs
+	n.freeMcs = mc
+}
+
+// node takes the next tree node from the slab, keeping the capacity of
+// its child/destination slices from earlier multicasts. The slab is
+// pre-sized by Multicast, so taking never reallocates (which would
+// invalidate earlier *mcNode pointers).
+func (mc *mcast) node(l topology.LinkID) *mcNode {
+	i := len(mc.slab)
+	mc.slab = mc.slab[:i+1]
+	nd := &mc.slab[i]
+	nd.link = l
+	nd.children = nd.children[:0]
+	nd.dests = nd.dests[:0]
+	return nd
+}
+
+// build folds the per-destination paths into their prefix tree.
 // Deterministic routing guarantees prefix closure (verified by the
 // topology tests), so paths sharing a link share the entire prefix.
-func buildTree(paths [][]topology.LinkID, dsts []msg.Port) []*mcNode {
-	var roots []*mcNode
-	findOrAdd := func(nodes *[]*mcNode, link topology.LinkID) *mcNode {
-		for _, nd := range *nodes {
-			if nd.link == link {
-				return nd
-			}
-		}
-		nd := &mcNode{link: link}
-		*nodes = append(*nodes, nd)
-		return nd
-	}
-	for i, path := range paths {
-		level := &roots
+func (mc *mcast) build() {
+	for i, path := range mc.paths {
+		level := &mc.roots
 		var nd *mcNode
 		for _, l := range path {
-			nd = findOrAdd(level, l)
+			nd = mc.findOrAdd(level, l)
 			level = &nd.children
 		}
-		nd.dests = append(nd.dests, dsts[i])
+		nd.dests = append(nd.dests, mc.dsts[i])
 	}
-	return roots
+	mc.edges = len(mc.slab)
+}
+
+func (mc *mcast) findOrAdd(nodes *[]*mcNode, link topology.LinkID) *mcNode {
+	for _, nd := range *nodes {
+		if nd.link == link {
+			return nd
+		}
+	}
+	nd := mc.node(link)
+	*nodes = append(*nodes, nd)
+	return nd
 }
 
 // walk reserves the given edges at time t, schedules deliveries for
 // destinations reached, and chains child edges at the head's arrival.
 // Each edge of the tree is reserved in exactly one event, in arrival
-// order, which keeps links work-conserving FIFOs.
-func (n *Network) walk(m *msg.Message, nodes []*mcNode, t sim.Time, ser sim.Time) {
+// order, which keeps links work-conserving FIFOs. Walking the last edge
+// recycles the multicast.
+func (n *Network) walk(mc *mcast, nodes []*mcNode, t sim.Time, ser sim.Time) {
+	m := mc.m
 	for _, nd := range nodes {
 		d := t
 		n.linkBytes[nd.link] += uint64(m.Bytes())
@@ -185,58 +371,87 @@ func (n *Network) walk(m *msg.Message, nodes []*mcNode, t sim.Time, ser sim.Time
 		}
 		arrival := d + n.cfg.LinkLatency
 		for _, dst := range nd.dests {
-			mc := m.Clone()
-			mc.Dst = dst
-			n.deliver(mc, arrival+ser) // tail arrives one serialization later
+			cp := n.CloneMessage(m)
+			cp.Dst = dst
+			n.deliver(cp, arrival+ser) // tail arrives one serialization later
 		}
 		if len(nd.children) > 0 {
-			nd := nd
-			n.kernel.Schedule(arrival, func() { n.walk(m, nd.children, arrival, ser) })
+			op := n.getOp()
+			op.kind, op.mc, op.nodes, op.t, op.ser = opWalk, mc, nd.children, arrival, ser
+			n.kernel.Schedule(arrival, op.fire)
 		}
+		mc.edges--
+	}
+	if mc.edges == 0 {
+		n.pool.Put(mc.m)
+		n.putMcast(mc)
 	}
 }
 
-// countEdges reports the number of edges in a routing tree.
-func countEdges(nodes []*mcNode) int {
-	total := 0
-	for _, nd := range nodes {
-		total += 1 + countEdges(nd.children)
-	}
-	return total
-}
-
-// Send delivers m to m.Dst. Same-node delivery bypasses the fabric and
-// costs no interconnect bandwidth.
+// Send delivers m to m.Dst, taking ownership of m. Same-node delivery
+// bypasses the fabric and costs no interconnect bandwidth.
 func (n *Network) Send(m *msg.Message) {
-	n.Multicast(m, []msg.Port{m.Dst})
-}
-
-// Multicast delivers a copy of m to every port in dsts. Bandwidth is
-// charged once per multicast-tree edge; destinations on the source node
-// receive a local delivery. The message's Dst field is set per copy.
-func (n *Network) Multicast(m *msg.Message, dsts []msg.Port) {
 	now := n.kernel.Now()
-	var paths [][]topology.LinkID
-	var remote []msg.Port
-	for _, dst := range dsts {
-		path := n.topo.Path(m.Src.Node, dst.Node)
-		if len(path) == 0 {
-			mc := m.Clone()
-			mc.Dst = dst
-			n.deliver(mc, now+n.cfg.LocalLatency)
-			continue
-		}
-		paths = append(paths, path)
-		remote = append(remote, dst)
-	}
-	if len(remote) == 0 {
+	path := n.path(m.Src.Node, m.Dst.Node)
+	if len(path) == 0 {
+		n.deliver(m, now+n.cfg.LocalLatency)
 		return
 	}
-	roots := buildTree(paths, remote)
 	if n.traffic != nil {
-		n.traffic.Record(m, countEdges(roots))
+		n.traffic.Record(m, len(path))
 	}
-	n.walk(m, roots, now, n.serialization(m.Bytes()))
+	n.hop(m, path, now, n.serialization(m.Bytes()))
+}
+
+// SendAfter schedules Send(m) after delay, without allocating a closure.
+func (n *Network) SendAfter(m *msg.Message, delay sim.Time) {
+	op := n.getOp()
+	op.kind, op.m = opSend, m
+	n.kernel.After(delay, op.fire)
+}
+
+// Multicast delivers a copy of m to every port in dsts, taking ownership
+// of m. Bandwidth is charged once per multicast-tree edge; destinations
+// on the source node receive a local delivery. The message's Dst field
+// is set per copy.
+func (n *Network) Multicast(m *msg.Message, dsts []msg.Port) {
+	now := n.kernel.Now()
+	mc := n.getMcast()
+	need := 0
+	for _, dst := range dsts {
+		path := n.path(m.Src.Node, dst.Node)
+		if len(path) == 0 {
+			cp := n.CloneMessage(m)
+			cp.Dst = dst
+			n.deliver(cp, now+n.cfg.LocalLatency)
+			continue
+		}
+		mc.paths = append(mc.paths, path)
+		mc.dsts = append(mc.dsts, dst)
+		need += len(path)
+	}
+	if len(mc.dsts) == 0 {
+		n.pool.Put(m)
+		n.putMcast(mc)
+		return
+	}
+	if cap(mc.slab) < need {
+		mc.slab = make([]mcNode, 0, need)
+	}
+	mc.m = m
+	mc.build()
+	if n.traffic != nil {
+		n.traffic.Record(m, mc.edges)
+	}
+	n.walk(mc, mc.roots, now, n.serialization(m.Bytes()))
+}
+
+// MulticastAfter schedules Multicast(m, dsts) after delay, without
+// allocating a closure. The caller must not mutate dsts afterwards.
+func (n *Network) MulticastAfter(m *msg.Message, dsts []msg.Port, delay sim.Time) {
+	op := n.getOp()
+	op.kind, op.m, op.dsts = opMulticast, m, dsts
+	n.kernel.After(delay, op.fire)
 }
 
 // LinkBytes reports the bytes that crossed each link, indexed by
@@ -275,7 +490,7 @@ func (n *Network) Utilization(l topology.LinkID, elapsed sim.Time) float64 {
 // for a message of the given size; used by controllers to size timeout
 // intervals and by tests.
 func (n *Network) UnicastLatency(src, dst msg.NodeID, bytes int) sim.Time {
-	path := n.topo.Path(src, dst)
+	path := n.path(src, dst)
 	if len(path) == 0 {
 		return n.cfg.LocalLatency
 	}

@@ -17,7 +17,7 @@ type collector struct {
 }
 
 func (c *collector) Handle(m *msg.Message) {
-	c.got = append(c.got, m)
+	c.got = append(c.got, m.Retain())
 	c.at = append(c.at, c.k.Now())
 }
 

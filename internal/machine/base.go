@@ -62,6 +62,11 @@ type MSHR struct {
 	// Fill holds the data response until the transaction can commit
 	// (e.g., while invalidation acknowledgments are still outstanding).
 	Fill *msg.Message
+	// FillKept marks a Fill the protocol retained from the network's
+	// message pool (the fill arrived in an earlier handler call);
+	// CompleteMiss recycles it. A fill consumed within the handler that
+	// delivered it is recycled by the network instead.
+	FillKept bool
 	// Grant marks a dataless exclusivity grant (the requester upgrades
 	// its own resident copy instead of filling from Fill).
 	Grant bool
@@ -102,6 +107,44 @@ type CacheBase struct {
 	// AvgMiss is an exponentially weighted moving average of recent miss
 	// latencies, used by Token Coherence's adaptive reissue timeout.
 	AvgMiss sim.Time
+
+	freeWaiters *waiter
+}
+
+// waiter is a pooled re-execution record for an access waiting on an
+// in-flight miss. Its fire closure is bound once when the record is
+// first allocated, so queueing waiters on the hot path allocates
+// nothing in steady state.
+type waiter struct {
+	b    *CacheBase
+	op   Op
+	done func()
+	fire func()
+	next *waiter
+}
+
+// run recycles the record before re-executing so the re-executed access
+// can reuse it for its own waiter.
+func (w *waiter) run() {
+	b, op, done := w.b, w.op, w.done
+	w.done = nil
+	w.next = b.freeWaiters
+	b.freeWaiters = w
+	b.Access(op, done)
+}
+
+// waiterFor returns a bound callback that re-executes Access(op, done).
+func (b *CacheBase) waiterFor(op Op, done func()) func() {
+	w := b.freeWaiters
+	if w == nil {
+		w = &waiter{b: b}
+		w.fire = w.run
+	} else {
+		b.freeWaiters = w.next
+	}
+	w.op = op
+	w.done = done
+	return w.fire
 }
 
 // InitBase wires the shared state; protocol constructors call it.
@@ -151,11 +194,11 @@ func (b *CacheBase) Access(op Op, done func()) {
 	// issues a fresh upgrade miss if the resolved permission is too
 	// weak).
 	if m, ok := b.Outstanding[blk]; ok {
-		m.Waiters = append(m.Waiters, func() { b.Access(op, done) })
+		m.Waiters = append(m.Waiters, b.waiterFor(op, done))
 		return
 	}
 	m := &MSHR{Block: blk, Write: op.Write, Issued: b.K.Now()}
-	m.Waiters = append(m.Waiters, func() { b.Access(op, done) })
+	m.Waiters = append(m.Waiters, b.waiterFor(op, done))
 	b.Outstanding[blk] = m
 	b.Run.Misses.Issued++
 	if op.Write && b.L2.Lookup(blk) != nil {
@@ -213,6 +256,13 @@ func (b *CacheBase) CompleteMiss(m *MSHR) {
 	if m.Timer != nil {
 		b.K.Cancel(m.Timer)
 		m.Timer = nil
+	}
+	if m.Fill != nil {
+		if m.FillKept {
+			b.Net.FreeMessage(m.Fill)
+		}
+		m.Fill = nil
+		m.FillKept = false
 	}
 	lat := b.K.Now() - m.Issued
 	b.Run.MissLatencySum += lat

@@ -144,6 +144,19 @@ func (o *Oracle) CheckRead(proc int, b msg.Block, v uint64, now sim.Time) {
 // Latest reports the current committed version of b.
 func (o *Oracle) Latest(b msg.Block) uint64 { return o.latest[b] }
 
+// Image returns a copy of the final memory image: the last committed
+// version of every block ever written. Two runs that executed the same
+// operation stream — regardless of protocol, topology, or timing — must
+// produce identical images; the cross-protocol differential test relies
+// on this.
+func (o *Oracle) Image() map[msg.Block]uint64 {
+	img := make(map[msg.Block]uint64, len(o.latest))
+	for b, v := range o.latest {
+		img[b] = v
+	}
+	return img
+}
+
 // Reads and Writes report how many operations were checked.
 func (o *Oracle) Reads() uint64  { return o.reads }
 func (o *Oracle) Writes() uint64 { return o.writes }

@@ -35,14 +35,44 @@ type Processor struct {
 	warmupOps int
 	warmed    bool
 	onWarm    func()
+
+	// issueFire is the issue callback, bound once so the issue loop
+	// schedules without allocating a closure per event.
+	issueFire  func()
+	freeTokens *opToken
+}
+
+// opToken is a pooled completion callback for one in-flight operation.
+// Its fire closure is bound once when the token is first allocated.
+type opToken struct {
+	p    *Processor
+	op   Op
+	fire func()
+	next *opToken
+}
+
+// run recycles the token before completing, so the issue the completion
+// unblocks can reuse it.
+func (t *opToken) run() {
+	p, op := t.p, t.op
+	t.next = p.freeTokens
+	p.freeTokens = t
+	p.opDone(op)
 }
 
 // NewProcessor builds a processor that will issue limit operations.
 func NewProcessor(k *sim.Kernel, id int, gen Generator, ctrl Controller, cfg Config, rng *sim.Source, run *stats.Run, limit int, onDone func()) *Processor {
-	return &Processor{
+	p := &Processor{
 		k: k, id: id, gen: gen, ctrl: ctrl, cfg: cfg, rng: rng, run: run,
 		limit: limit, onDone: onDone,
 	}
+	p.issueFire = p.issueTick
+	return p
+}
+
+func (p *Processor) issueTick() {
+	p.issuePending = false
+	p.issueNext()
 }
 
 // Start schedules the first issue with a small random stagger so the
@@ -65,10 +95,7 @@ func (p *Processor) scheduleIssue(d sim.Time) {
 		return
 	}
 	p.issuePending = true
-	p.k.After(d, func() {
-		p.issuePending = false
-		p.issueNext()
-	})
+	p.k.After(d, p.issueFire)
 }
 
 func (p *Processor) issueNext() {
@@ -94,7 +121,15 @@ func (p *Processor) issueNext() {
 	if !op.Write {
 		p.loads++
 	}
-	p.ctrl.Access(op, func() { p.opDone(op) })
+	t := p.freeTokens
+	if t == nil {
+		t = &opToken{p: p}
+		t.fire = t.run
+	} else {
+		p.freeTokens = t.next
+	}
+	t.op = op
+	p.ctrl.Access(op, t.fire)
 	if p.issued < p.limit {
 		p.scheduleIssue(op.Think)
 	}

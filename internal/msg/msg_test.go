@@ -71,7 +71,8 @@ func TestMessageBytes(t *testing.T) {
 
 func TestCloneIsIndependent(t *testing.T) {
 	m := &Message{Kind: KindData, Tokens: 3, Owner: true, HasData: true, Data: 9}
-	c := m.Clone()
+	var pool Pool
+	c := pool.Clone(m)
 	c.Tokens = 1
 	c.Data = 10
 	if m.Tokens != 3 || m.Data != 9 {

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// refEvent is one event in the reference scheduler: a plain slice that
+// is linearly scanned for the (time, seq) minimum, the obviously-correct
+// model the timing wheel must match.
+type refEvent struct {
+	at   Time
+	seq  uint64
+	id   int
+	dead bool // fired or cancelled
+}
+
+type refKernel struct {
+	events []refEvent
+	seq    uint64
+	order  []int
+}
+
+func (r *refKernel) schedule(at Time, id int) {
+	r.events = append(r.events, refEvent{at: at, seq: r.seq, id: id})
+	r.seq++
+}
+
+func (r *refKernel) cancel(id int) {
+	for i := range r.events {
+		if r.events[i].id == id && !r.events[i].dead {
+			r.events[i].dead = true
+			return
+		}
+	}
+}
+
+func (r *refKernel) pending() int {
+	n := 0
+	for i := range r.events {
+		if !r.events[i].dead {
+			n++
+		}
+	}
+	return n
+}
+
+// runUntil fires events at or before limit in (time, seq) order,
+// spawning the same derived children the kernel actions spawn.
+func (r *refKernel) runUntil(limit Time, spawn func(parent int, at Time) (int, Time, bool)) {
+	for {
+		best := -1
+		for i := range r.events {
+			e := &r.events[i]
+			if e.dead || e.at > limit {
+				continue
+			}
+			if best < 0 || e.at < r.events[best].at ||
+				(e.at == r.events[best].at && e.seq < r.events[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e := &r.events[best]
+		e.dead = true
+		r.order = append(r.order, e.id)
+		if child, at, ok := spawn(e.id, e.at); ok {
+			r.schedule(at, child)
+		}
+	}
+}
+
+// FuzzKernelSchedule drives random schedule/cancel/run-until sequences
+// through the timing-wheel kernel and a linear-scan reference model and
+// requires identical firing order, pending counts, and clocks. Actions
+// also spawn children mid-run, exercising scheduling into the bucket
+// currently being drained.
+func FuzzKernelSchedule(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 0, 20, 0, 2, 50, 0})
+	f.Add([]byte{0, 1, 0, 0, 1, 0, 0, 1, 0, 3})
+	// Deltas with high bytes reach the wheel's upper levels and the
+	// overflow heap (delta is a uint16 count of 16ns steps below).
+	f.Add([]byte{0, 0xff, 0xff, 0, 0x10, 0x27, 0, 5, 0, 2, 0xff, 0x7f, 3})
+	f.Add([]byte{0, 7, 0, 1, 0, 0, 0, 7, 0, 2, 100, 0, 0, 9, 0, 3})
+	f.Add([]byte{0, 3, 0, 0, 3, 0, 1, 0, 0, 1, 1, 0, 2, 3, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := NewKernel()
+		ref := &refKernel{}
+		var kernelOrder []int
+		handles := map[int]*Event{}
+		nextID := 0
+
+		// spawn derives a deterministic child for roughly a third of
+		// fired events; ids above the spawn ceiling never re-spawn.
+		const spawnCeil = 1 << 20
+		spawn := func(parent int, at Time) (int, Time, bool) {
+			if parent%3 != 0 || parent >= spawnCeil {
+				return 0, 0, false
+			}
+			return parent + spawnCeil, at + Time(parent%4096)*Nanosecond/4, true
+		}
+
+		var schedule func(at Time, id int)
+		schedule = func(at Time, id int) {
+			handles[id] = k.Schedule(at, func() {
+				delete(handles, id) // fired events recycle; drop the handle
+				kernelOrder = append(kernelOrder, id)
+				if child, cat, ok := spawn(id, k.Now()); ok {
+					schedule(cat, child)
+				}
+			})
+		}
+
+		// alive returns the ids the reference still considers pending,
+		// in scheduling order, for cancel targeting.
+		alive := func() []int {
+			var ids []int
+			for i := range ref.events {
+				if !ref.events[i].dead {
+					ids = append(ids, ref.events[i].id)
+				}
+			}
+			return ids
+		}
+
+		for pc := 0; pc+1 <= len(data) && ref.seq < 2048; {
+			op := data[pc]
+			pc++
+			arg := uint16(0)
+			if pc+2 <= len(data) {
+				arg = binary.LittleEndian.Uint16(data[pc : pc+2])
+				pc += 2
+			}
+			switch op % 4 {
+			case 0: // schedule at now + arg*16ns (reaches all wheel levels)
+				at := k.Now() + Time(arg)*16*Nanosecond
+				id := nextID
+				nextID++
+				schedule(at, id)
+				ref.schedule(at, id)
+			case 1: // cancel a pending event
+				ids := alive()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[int(arg)%len(ids)]
+				k.Cancel(handles[id])
+				delete(handles, id)
+				ref.cancel(id)
+			case 2: // run until now + arg*16ns
+				limit := k.Now() + Time(arg)*16*Nanosecond
+				k.RunUntil(limit)
+				ref.runUntil(limit, spawn)
+			case 3: // drain
+				k.Run()
+				ref.runUntil(Forever, spawn)
+			}
+			if got, want := k.Pending(), ref.pending(); got != want {
+				t.Fatalf("after op %d: Pending() = %d, reference has %d", op%4, got, want)
+			}
+		}
+		k.Run()
+		ref.runUntil(Forever, spawn)
+
+		if len(kernelOrder) != len(ref.order) {
+			t.Fatalf("fired %d events, reference fired %d", len(kernelOrder), len(ref.order))
+		}
+		for i := range kernelOrder {
+			if kernelOrder[i] != ref.order[i] {
+				t.Fatalf("firing order diverged at %d: kernel %d, reference %d",
+					i, kernelOrder[i], ref.order[i])
+			}
+		}
+		if k.Pending() != ref.pending() {
+			t.Fatalf("final Pending() = %d, reference %d", k.Pending(), ref.pending())
+		}
+	})
+}

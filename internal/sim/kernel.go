@@ -1,17 +1,23 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Event is a scheduled action. Events are created by Kernel.Schedule and
 // may be cancelled before they fire.
+//
+// Event objects are owned by the kernel and recycled through a free list
+// once they fire or a cancellation is drained, so callers must drop
+// their reference to an event no later than when its action runs (the
+// usual pattern is for the action itself to clear the field holding the
+// event). Cancel is safe only on events that have not fired yet.
 type Event struct {
 	at     Time
 	seq    uint64
-	index  int // heap index, -1 when not queued
 	action func()
+	next   *Event // wheel-slot chain / free-list link
 }
 
 // At reports the time the event is scheduled to fire.
@@ -20,38 +26,49 @@ func (e *Event) At() Time { return e.at }
 // Cancelled reports whether the event has been cancelled or already fired.
 func (e *Event) Cancelled() bool { return e.action == nil }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
+// The event queue is a hierarchical timing wheel: wheelLevels levels of
+// wheelSlots buckets each, with a bucket granularity of 1<<granShift
+// picoseconds at level 0 and wheelSlots times coarser per level. A
+// bucket holds an unsorted chain of events; exact (time, sequence)
+// ordering is recovered by a small binary heap ("cur") that holds only
+// the events of the bucket the cursor is standing on. Events beyond the
+// top level's horizon (about 268 us) wait in an overflow heap and are
+// migrated into the wheel when the cursor reaches their region.
+//
+// Scheduling and cancelling are O(1); firing pays O(log b) for a bucket
+// of b events, which stays tiny because buckets subdivide time finely.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64 buckets per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 3
+	granShift   = 10 // level-0 bucket spans 1024 ps ~ 1 ns
+)
 
-func (q eventQueue) Len() int { return len(q) }
+// levelShift returns the right-shift that maps a time to its bucket
+// quotient at level l.
+func levelShift(l int) uint { return uint(granShift + l*wheelBits) }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// slotList is a FIFO chain of events within one wheel bucket.
+type slotList struct {
+	head, tail *Event
+}
+
+func (s *slotList) push(e *Event) {
+	e.next = nil
+	if s.tail == nil {
+		s.head = e
+	} else {
+		s.tail.next = e
 	}
-	return q[i].seq < q[j].seq
+	s.tail = e
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// take empties the list and returns its head.
+func (s *slotList) take() *Event {
+	h := s.head
+	s.head, s.tail = nil, nil
+	return h
 }
 
 // Kernel is a deterministic discrete-event scheduler. The zero value is
@@ -59,9 +76,21 @@ func (q *eventQueue) Pop() any {
 type Kernel struct {
 	now      Time
 	seq      uint64
-	queue    eventQueue
 	executed uint64
 	stopped  bool
+	live     int // scheduled events not yet fired or cancelled
+
+	// curStart is the start time of the bucket the cursor stands on;
+	// cur holds that bucket's events as a min-heap by (time, sequence).
+	curStart Time
+	cur      []*Event
+
+	levels [wheelLevels][wheelSlots]slotList
+	occ    [wheelLevels]uint64 // per-level bucket-occupancy bitmaps
+
+	overflow []*Event // min-heap by (time, sequence), beyond the wheel horizon
+
+	free *Event // recycled Event objects
 }
 
 // NewKernel returns a kernel positioned at time zero.
@@ -74,7 +103,30 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending reports how many events are waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.live }
+
+// alloc takes an event from the free list or the heap.
+func (k *Kernel) alloc(at Time, action func()) *Event {
+	e := k.free
+	if e == nil {
+		e = &Event{}
+	} else {
+		k.free = e.next
+	}
+	e.at = at
+	e.seq = k.seq
+	e.action = action
+	e.next = nil
+	k.seq++
+	return e
+}
+
+// release recycles a fired or cancellation-drained event.
+func (k *Kernel) release(e *Event) {
+	e.action = nil
+	e.next = k.free
+	k.free = e
+}
 
 // Schedule arranges for action to run at absolute time at. Scheduling in
 // the past panics: it always indicates a model bug, and silently clamping
@@ -86,10 +138,35 @@ func (k *Kernel) Schedule(at Time, action func()) *Event {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
-	e := &Event{at: at, seq: k.seq, action: action}
-	k.seq++
-	heap.Push(&k.queue, e)
+	e := k.alloc(at, action)
+	k.live++
+	k.place(e)
 	return e
+}
+
+// place files an event into the cur heap, a wheel bucket, or the
+// overflow heap. An event lands at the finest level whose bucket
+// quotient still matches the cursor's at the next level up, which keeps
+// every occupied bucket strictly ahead of the cursor index at its level
+// (no wrap-around aliasing).
+func (k *Kernel) place(e *Event) {
+	q := e.at >> granShift
+	cq := k.curStart >> granShift
+	if q <= cq {
+		// Current bucket, or behind a cursor that overshot during an
+		// idle advance: only the heap can order it.
+		k.heapPush(&k.cur, e)
+		return
+	}
+	for l := 0; l < wheelLevels; l++ {
+		if (q >> uint((l+1)*wheelBits)) == (cq >> uint((l+1)*wheelBits)) {
+			slot := int((q >> uint(l*wheelBits)) & wheelMask)
+			k.levels[l][slot].push(e)
+			k.occ[l] |= 1 << uint(slot)
+			return
+		}
+	}
+	k.heapPush(&k.overflow, e)
 }
 
 // After schedules action to run delay after the current time.
@@ -101,41 +178,107 @@ func (k *Kernel) After(delay Time, action func()) *Event {
 }
 
 // Cancel removes a previously scheduled event. Cancelling an event that
-// has already fired or been cancelled is a no-op.
+// has already fired or been cancelled is a no-op. The cancellation is
+// lazy: the event stays in its bucket until the cursor drains it.
 func (k *Kernel) Cancel(e *Event) {
 	if e == nil || e.action == nil {
 		return
 	}
 	e.action = nil
-	if e.index >= 0 {
-		heap.Remove(&k.queue, e.index)
-		e.index = -1
-	}
+	k.live--
 }
 
 // Stop makes the currently running Run/RunUntil call return after the
 // current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// step fires the earliest event. It reports false when the queue is empty.
-func (k *Kernel) step(limit Time) bool {
-	for len(k.queue) > 0 {
-		next := k.queue[0]
-		if next.at > limit {
+// advance moves the cursor to the next occupied bucket, cascading
+// coarser levels and the overflow heap into finer ones as boundaries
+// are crossed. It reports false when no events remain anywhere.
+func (k *Kernel) advance() bool {
+	for {
+		if len(k.cur) > 0 {
+			return true
+		}
+		// Next occupied bucket at the finest level that has one. The
+		// cursor index at each level only ever moves forward within
+		// its parent bucket, so the scan never wraps.
+		cascaded := false
+		for l := 0; l < wheelLevels; l++ {
+			sh := levelShift(l)
+			idx := int((k.curStart >> sh) & wheelMask)
+			above := k.occ[l] >> uint(idx+1) << uint(idx+1)
+			if above == 0 {
+				continue
+			}
+			slot := bits.TrailingZeros64(above)
+			q := (k.curStart>>sh)&^Time(wheelMask) | Time(slot)
+			k.curStart = q << sh
+			k.occ[l] &^= 1 << uint(slot)
+			for e := k.levels[l][slot].take(); e != nil; {
+				next := e.next
+				if e.action == nil {
+					k.release(e)
+				} else if l == 0 {
+					k.heapPush(&k.cur, e)
+				} else {
+					k.place(e)
+				}
+				e = next
+			}
+			cascaded = true
+			break
+		}
+		if cascaded {
+			continue
+		}
+		if len(k.overflow) == 0 {
 			return false
 		}
-		heap.Pop(&k.queue)
-		if next.action == nil {
-			continue // cancelled while queued
+		// Jump the cursor to the overflow's earliest region and pull
+		// in everything that now fits under the wheel horizon.
+		k.curStart = (k.overflow[0].at >> granShift) << granShift
+		top := levelShift(wheelLevels)
+		era := k.curStart >> top
+		for len(k.overflow) > 0 && k.overflow[0].at>>top == era {
+			e := k.heapPop(&k.overflow)
+			if e.action == nil {
+				k.release(e)
+			} else {
+				k.place(e)
+			}
 		}
-		k.now = next.at
-		action := next.action
-		next.action = nil
-		action()
-		k.executed++
-		return true
 	}
-	return false
+}
+
+// step fires the earliest event. It reports false when no event at or
+// before limit remains.
+func (k *Kernel) step(limit Time) bool {
+	for {
+		for len(k.cur) > 0 {
+			e := k.cur[0]
+			if e.action == nil {
+				k.heapPop(&k.cur)
+				k.release(e)
+				continue
+			}
+			if e.at > limit {
+				return false
+			}
+			k.heapPop(&k.cur)
+			k.now = e.at
+			action := e.action
+			e.action = nil
+			k.live--
+			k.release(e)
+			action()
+			k.executed++
+			return true
+		}
+		if !k.advance() {
+			return false
+		}
+	}
 }
 
 // Run executes events until the queue drains or Stop is called. It
@@ -158,4 +301,50 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		k.now = limit
 	}
 	return k.now
+}
+
+// heapPush inserts e into an (at, seq)-ordered min-heap.
+func (k *Kernel) heapPush(h *[]*Event, e *Event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+// heapPop removes and returns the minimum of the heap.
+func (k *Kernel) heapPop(h *[]*Event) *Event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && eventLess(q[c+1], q[c]) {
+			c++
+		}
+		if !eventLess(q[c], q[i]) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	*h = q
+	return top
+}
+
+func eventLess(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchChurn measures steady-state schedule+fire throughput with the
+// given number of events pending: every fired event schedules a
+// replacement, so the population stays constant while b.N events fire.
+func benchChurn(b *testing.B, pending int) {
+	k := NewKernel()
+	src := NewSource(42)
+	window := Time(pending) * 10 * Nanosecond // ~constant event density
+	fired := 0
+	var act func()
+	act = func() {
+		fired++
+		if fired >= b.N {
+			k.Stop()
+			return
+		}
+		k.After(src.Duration(window), act)
+	}
+	for i := 0; i < pending; i++ {
+		k.After(src.Duration(window), act)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	if fired < b.N && k.Pending() == 0 {
+		b.Fatalf("queue drained after %d events", fired)
+	}
+}
+
+// BenchmarkKernelChurn is the kernel's headline microbenchmark:
+// schedule+fire cycles at 1k to 1M pending events. Near-horizon events
+// cost O(1) bucket pushes regardless of population; only events beyond
+// the ~268us wheel horizon (the 1M case spreads over 10ms) fall back to
+// the overflow heap's log(n).
+func BenchmarkKernelChurn(b *testing.B) {
+	for _, pending := range []int{1_000, 32_000, 1_000_000} {
+		pending := pending
+		b.Run(fmt.Sprintf("pending=%d", pending), func(b *testing.B) {
+			benchChurn(b, pending)
+		})
+	}
+}
+
+// BenchmarkKernelSchedule measures pure insertion (no firing) across a
+// spread of future times touching every wheel level and the overflow
+// heap.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel()
+	src := NewSource(7)
+	action := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(src.Duration(Millisecond), action)
+	}
+}
+
+// BenchmarkKernelScheduleCancel measures the schedule+cancel round trip
+// (reissue-timer pattern: most timers are cancelled, not fired).
+// Cancellation is lazy, so the clock advances periodically to let the
+// cursor sweep cancelled events back into the pool, as simulated time
+// does in a real run.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := NewKernel()
+	src := NewSource(7)
+	action := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Cancel(k.Schedule(k.Now()+src.Duration(10*Microsecond), action))
+		if i&1023 == 1023 {
+			k.RunUntil(k.Now() + 20*Microsecond)
+		}
+	}
+}
+
+// TestKernelSteadyStateAllocs is a hard allocation gate on the hot
+// path: once the event pool and bucket heaps are warm, scheduling and
+// firing must allocate nothing. A regression here (a new closure, a
+// lost pool reuse) fails immediately rather than surfacing as a slow
+// drift in the end-to-end benchmarks.
+func TestKernelSteadyStateAllocs(t *testing.T) {
+	k := NewKernel()
+	src := NewSource(9)
+	var act func()
+	act = func() {
+		k.After(src.Duration(10*Microsecond), act)
+	}
+	for i := 0; i < 512; i++ {
+		k.After(src.Duration(10*Microsecond), act)
+	}
+	k.RunUntil(k.Now() + 200*Microsecond) // warm pools and heap capacity
+	allocs := testing.AllocsPerRun(200, func() {
+		k.RunUntil(k.Now() + 5*Microsecond)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state kernel churn allocates %.1f objects per 5us slice, want 0", allocs)
+	}
+}
+
+// TestKernelCancelAllocs verifies the cancel path is allocation-free in
+// steady state. Cancellation is lazy (a mark, no heap surgery), so the
+// clock must advance past the cancelled events for the cursor to sweep
+// them back into the pool — the timer pattern every protocol follows.
+func TestKernelCancelAllocs(t *testing.T) {
+	k := NewKernel()
+	src := NewSource(11)
+	action := func() {}
+	step := func() {
+		for i := 0; i < 16; i++ {
+			k.Cancel(k.Schedule(k.Now()+src.Duration(Microsecond), action))
+		}
+		k.RunUntil(k.Now() + 2*Microsecond)
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm the event pool
+	}
+	allocs := testing.AllocsPerRun(200, step)
+	if allocs > 0 {
+		t.Errorf("schedule+cancel+sweep allocates %.1f objects per 16 timers, want 0", allocs)
+	}
+}

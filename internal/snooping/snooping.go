@@ -59,6 +59,9 @@ type Cache struct {
 	// deferred holds foreign requests ordered between this node's own
 	// ordered request and its data arrival.
 	deferred map[msg.Block][]*msg.Message
+	// dsts is the broadcast destination scratch buffer, reused across
+	// broadcasts (Multicast copies what it keeps).
+	dsts []msg.Port
 }
 
 // NewCache builds node id's snooping controller and registers it.
@@ -94,16 +97,18 @@ func (c *Cache) StartMiss(m *machine.MSHR) {
 // broadcast sends an address transaction to every cache (including this
 // one, to establish its place in the total order) plus the home memory.
 func (c *Cache) broadcast(kind msg.Kind, b msg.Block) {
-	req := &msg.Message{
+	req := c.Net.NewMessage()
+	*req = msg.Message{
 		Kind: kind, Cat: msg.CatRequest,
 		Src: c.CachePort(), Addr: b.Base(), Requester: c.CachePort(),
 	}
 	n := c.Cfg.Procs
-	dsts := make([]msg.Port, 0, n+1)
+	dsts := c.dsts[:0]
 	for i := 0; i < n; i++ {
 		dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
 	}
 	dsts = append(dsts, c.HomePort(b))
+	c.dsts = dsts
 	c.Net.Multicast(req, dsts)
 }
 
@@ -143,7 +148,7 @@ func (c *Cache) ordered(m *msg.Message) {
 		// This node's own ordered request precedes m; it may end up the
 		// owner (GetM, or a migratory GetS grant), so m's disposition is
 		// decided when the data arrives.
-		c.deferred[b] = append(c.deferred[b], m)
+		c.deferred[b] = append(c.deferred[b], m.Retain())
 		return
 	}
 	c.foreign(m, b)
@@ -159,18 +164,20 @@ func (c *Cache) ownOrdered(m *msg.Message, b msg.Block) {
 		}
 		delete(c.wb, b)
 		home := c.HomePort(b)
+		out := c.Net.NewMessage()
 		if e.owner {
-			c.send(&msg.Message{
+			*out = msg.Message{
 				Kind: msg.KindPutM, Cat: msg.CatData,
 				Src: c.CachePort(), Dst: home, Addr: b.Base(),
 				HasData: true, Data: e.data, Dirty: e.dirty,
-			}, c.Cfg.L2Latency)
+			}
 		} else {
-			c.send(&msg.Message{
+			*out = msg.Message{
 				Kind: msg.KindWBStale, Cat: msg.CatControl,
 				Src: c.CachePort(), Dst: home, Addr: b.Base(),
-			}, c.Cfg.L2Latency)
+			}
 		}
+		c.send(out, c.Cfg.L2Latency)
 		return
 	}
 	mshr := c.Outstanding[b]
@@ -254,11 +261,13 @@ func (c *Cache) foreign(m *msg.Message, b msg.Block) {
 // respondData sends a data response. grantOwner marks transfers of
 // ownership (GetM responses and migratory GetS grants).
 func (c *Cache) respondData(to msg.Port, b msg.Block, data uint64, grantOwner, dirty bool, extra sim.Time) {
-	c.send(&msg.Message{
+	out := c.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindData, Cat: msg.CatData,
 		Src: c.CachePort(), Dst: to, Addr: b.Base(),
 		HasData: true, Data: data, Owner: grantOwner, Dirty: dirty,
-	}, c.Cfg.L2Latency+extra)
+	}
+	c.send(out, c.Cfg.L2Latency+extra)
 }
 
 func (c *Cache) send(m *msg.Message, lat sim.Time) {
@@ -266,7 +275,7 @@ func (c *Cache) send(m *msg.Message, lat sim.Time) {
 		c.Net.Send(m)
 		return
 	}
-	c.K.After(lat, func() { c.Net.Send(m) })
+	c.Net.SendAfter(m, lat)
 }
 
 func (c *Cache) dropLine(b msg.Block) {
@@ -296,6 +305,7 @@ func (c *Cache) onData(m *msg.Message) {
 	delete(c.deferred, b)
 	for _, d := range defs {
 		c.foreign(d, b)
+		c.Net.FreeMessage(d)
 	}
 }
 
@@ -345,7 +355,7 @@ func (m *Memory) Handle(mm *msg.Message) {
 	switch mm.Kind {
 	case msg.KindGetS, msg.KindGetM:
 		if l.wbPending > 0 {
-			l.deferred = append(l.deferred, mm)
+			l.deferred = append(l.deferred, mm.Retain())
 			return
 		}
 		m.serve(l, mm)
@@ -380,11 +390,12 @@ func (m *Memory) resolveWB(l *memLine) {
 	for i, d := range defs {
 		if l.wbPending > 0 {
 			// A drained request cannot re-raise wbPending, but keep the
-			// guard for safety: re-defer the remainder.
+			// guard for safety: re-defer the remainder (still retained).
 			l.deferred = append(l.deferred, defs[i:]...)
 			return
 		}
 		m.serve(l, d)
+		m.sys.Net.FreeMessage(d)
 	}
 }
 
@@ -394,7 +405,8 @@ func (m *Memory) serve(l *memLine, mm *msg.Message) {
 		return // a cache owner will respond
 	}
 	cfg := m.sys.Cfg
-	out := &msg.Message{
+	out := m.sys.Net.NewMessage()
+	*out = msg.Message{
 		Kind: msg.KindData, Cat: msg.CatData,
 		Src: m.Port(), Dst: mm.Requester, Addr: mm.Addr,
 		HasData: true, Data: l.data,
@@ -403,7 +415,7 @@ func (m *Memory) serve(l *memLine, mm *msg.Message) {
 		out.Owner = true
 		l.ownerBit = false
 	}
-	m.sys.K.After(cfg.CtrlLatency+cfg.MemLatency, func() { m.sys.Net.Send(out) })
+	m.sys.Net.SendAfter(out, cfg.CtrlLatency+cfg.MemLatency)
 }
 
 // System bundles the snooping machine's components.

@@ -1,0 +1,131 @@
+package tokencoherence
+
+import (
+	"fmt"
+	"testing"
+
+	"tokencoherence/internal/core"
+	"tokencoherence/internal/directory"
+	"tokencoherence/internal/hammer"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/snooping"
+	"tokencoherence/internal/topology"
+	"tokencoherence/internal/workload"
+)
+
+// TestCrossProtocolDifferentialInvariant is the repository's strongest
+// correctness net: all six protocols execute the same workload with the
+// same seed (hence the exact same per-processor operation streams), on
+// both interconnects, and every run must (a) pass the coherence oracle,
+// (b) pass the token-conservation audit where applicable, and (c) end
+// with the same final memory image — the last committed version of every
+// block — pairwise across all runs. Timing differs wildly between
+// protocols; the committed write history must not.
+//
+// The message pool is poisoned for the duration, so any use-after-free
+// in the pooled hot path shows up as a loudly wrong image or an oracle
+// violation rather than silently stale data.
+func TestCrossProtocolDifferentialInvariant(t *testing.T) {
+	msg.PoolPoison = true
+	defer func() { msg.PoolPoison = false }()
+
+	const (
+		procs  = 8
+		ops    = 400
+		warmup = 400
+		seed   = 7
+		wl     = "oltp"
+	)
+
+	type result struct {
+		name  string
+		image map[msg.Block]uint64
+	}
+	var results []result
+
+	for _, topo := range []string{"tree", "torus"} {
+		for _, proto := range []string{"tokenb", "tokend", "tokenm", "snooping", "directory", "hammer"} {
+			if proto == "snooping" && topo == "torus" {
+				continue // snooping requires the totally-ordered tree
+			}
+			name := fmt.Sprintf("%s/%s", proto, topo)
+			image := runDifferentialPoint(t, proto, topo, procs, ops, warmup, seed, wl)
+			results = append(results, result{name, image})
+		}
+	}
+
+	ref := results[0]
+	for _, r := range results[1:] {
+		if len(r.image) != len(ref.image) {
+			t.Fatalf("%s wrote %d blocks, %s wrote %d", r.name, len(r.image), ref.name, len(ref.image))
+		}
+		for b, v := range ref.image {
+			if got := r.image[b]; got != v {
+				t.Fatalf("memory image diverges at block %d: %s ended at v%d, %s at v%d",
+					b, ref.name, v, r.name, got)
+			}
+		}
+	}
+}
+
+// runDifferentialPoint builds and runs one protocol/topology system
+// directly (rather than through harness.Run) so the test can read the
+// oracle's final memory image.
+func runDifferentialPoint(t *testing.T, proto, topoName string, procs, ops, warmup int, seed uint64, wl string) map[msg.Block]uint64 {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Procs = procs
+	if cfg.TokensPerBlock < procs {
+		cfg.TokensPerBlock = procs * 2
+	}
+
+	var topo topology.Topology
+	if topoName == "tree" {
+		topo = topology.NewTree(procs)
+	} else {
+		topo = topology.NewTorusFor(procs)
+	}
+
+	params, err := workload.Commercial(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(params, procs)
+
+	sys := machine.NewSystem(cfg, topo, seed)
+	var ctrls []machine.Controller
+	var audit func() error
+	switch proto {
+	case "tokenb":
+		ts := core.BuildTokenB(sys)
+		ctrls, audit = ts.Controllers(), ts.Audit
+	case "tokend":
+		ts := core.BuildTokenD(sys)
+		ctrls, audit = ts.Controllers(), ts.Audit
+	case "tokenm":
+		ts := core.BuildTokenM(sys)
+		ctrls, audit = ts.Controllers(), ts.Audit
+	case "snooping":
+		ctrls = snooping.Build(sys).Controllers()
+	case "directory":
+		ctrls = directory.Build(sys).Controllers()
+	case "hammer":
+		ctrls = hammer.Build(sys).Controllers()
+	default:
+		t.Fatalf("unknown protocol %q", proto)
+	}
+
+	if _, err := sys.ExecuteWarm(ctrls, gen, warmup, ops); err != nil {
+		t.Fatalf("%s/%s: %v", proto, topoName, err)
+	}
+	if audit != nil {
+		if err := audit(); err != nil {
+			t.Fatalf("%s/%s token audit: %v", proto, topoName, err)
+		}
+	}
+	if err := sys.Oracle.Err(); err != nil {
+		t.Fatalf("%s/%s oracle: %v", proto, topoName, err)
+	}
+	return sys.Oracle.Image()
+}
