@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"tokencoherence/internal/engine"
+	"tokencoherence/internal/registry"
 	"tokencoherence/internal/sweeps"
 )
 
@@ -41,17 +43,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		kind     = fs.String("kind", "bandwidth", "sweep kind: bandwidth, procs, tokens, mshr")
-		wl       = fs.String("workload", "oltp", "workload for the sweep")
+		kind     = fs.String("kind", "bandwidth", "sweep kind: "+strings.Join(sweeps.Kinds(), ", "))
+		wl       = fs.String("workload", "oltp", "workload for the sweep: "+strings.Join(registry.WorkloadNames(), ", "))
 		ops      = fs.Int("ops", 2000, "measured operations per processor")
 		warmup   = fs.Int("warmup", 5000, "warmup operations per processor")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		parallel = fs.Int("parallel", 0, "worker pool size (0 = one per CPU)")
 		format   = fs.String("format", "csv", "output format: csv or json")
 		progress = fs.Bool("progress", false, "report progress on stderr")
+		list     = fs.Bool("list", false, "list registered sweep kinds and components, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		printComponents(stdout)
+		return nil
 	}
 	plan, cols, err := sweeps.ByKind(*kind, *wl, *seed)
 	if err != nil {
@@ -60,6 +67,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	plan.Ops = *ops
 	plan.Warmup = *warmup
 	return execute(plan, cols, *parallel, *format, *progress, stdout, stderr)
+}
+
+// printComponents enumerates the sweep kinds and the registry's
+// components, so users discover what -kind and -workload (and, for
+// custom plans, Point.Protocol/Topo) accept.
+func printComponents(w io.Writer) {
+	fmt.Fprintf(w, "sweep kinds: %s\n", strings.Join(sweeps.Kinds(), ", "))
+	fmt.Fprintf(w, "protocols:   %s\n", strings.Join(registry.ProtocolNames(), ", "))
+	fmt.Fprintf(w, "topologies:  %s\n", strings.Join(registry.TopologyNames(), ", "))
+	fmt.Fprintf(w, "workloads:   %s\n", strings.Join(registry.WorkloadNames(), ", "))
 }
 
 // execute runs the plan on the worker pool and streams rows to stdout.

@@ -55,3 +55,38 @@ func TestSweepBadFlags(t *testing.T) {
 		t.Fatal("unknown flag did not error")
 	}
 }
+
+func TestSweepListFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Sweep kinds plus the registry's protocols, topologies, and
+	// workloads must all be enumerated.
+	for _, want := range []string{
+		"sweep kinds:", "bandwidth", "procs", "tokens", "mshr",
+		"protocols:", "tokenb", "snooping", "directory", "hammer", "tokend", "tokenm",
+		"topologies:", "torus", "tree",
+		"workloads:", "apache", "oltp", "specjbb", "barnes",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list output missing %q:\n%s", want, got)
+		}
+	}
+	// -list must not run a sweep: no CSV rows on stdout.
+	if strings.Contains(got, "cycles_per_txn") {
+		t.Errorf("-list unexpectedly ran a sweep:\n%s", got)
+	}
+}
+
+func TestSweepUnknownKindListsRegistered(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-kind", "bogus"}, &out, &errw)
+	if err == nil {
+		t.Fatal("unknown sweep kind did not error")
+	}
+	if !strings.Contains(err.Error(), "registered: bandwidth, procs, tokens, mshr") {
+		t.Errorf("error does not list registered kinds: %v", err)
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	tokensim -experiment table2|fig4a|fig4b|fig5a|fig5b|scaling|all
 //	tokensim -protocol tokenb -topo torus -workload oltp -ops 4000
+//	tokensim -list
 //	tokensim -list-config
 //
 // Experiments print the corresponding paper table/figure rows; a custom
@@ -25,8 +26,8 @@ import (
 	"tokencoherence/internal/harness"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
+	"tokencoherence/internal/registry"
 	"tokencoherence/internal/stats"
-	"tokencoherence/internal/workload"
 )
 
 func main() {
@@ -46,9 +47,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		experiment = fs.String("experiment", "", "experiment to reproduce: "+strings.Join(harness.Experiments(), ", ")+", or 'all'")
-		protocol   = fs.String("protocol", "tokenb", "protocol for a custom run: tokenb, snooping, directory, hammer, tokend, tokenm")
-		topo       = fs.String("topo", "torus", "interconnect: torus or tree")
-		wl         = fs.String("workload", "oltp", "workload: "+strings.Join(workload.Names(), ", "))
+		protocol   = fs.String("protocol", "tokenb", "protocol for a custom run: "+strings.Join(registry.ProtocolNames(), ", "))
+		topo       = fs.String("topo", "torus", "interconnect: "+strings.Join(registry.TopologyNames(), ", "))
+		wl         = fs.String("workload", "oltp", "workload: "+strings.Join(registry.WorkloadNames(), ", "))
 		procs      = fs.Int("procs", 16, "number of processors")
 		ops        = fs.Int("ops", 4000, "measured operations per processor")
 		warmup     = fs.Int("warmup", 0, "warmup operations per processor (default 2x ops)")
@@ -57,11 +58,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		unlimited  = fs.Bool("unlimited", false, "unlimited link bandwidth")
 		perfectDir = fs.Bool("perfect-dir", false, "zero-latency directory lookup")
 		listConfig = fs.Bool("list-config", false, "print the Table 1 system parameters and exit")
+		list       = fs.Bool("list", false, "list registered protocols, policies, topologies, workloads, and experiments, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *list {
+		printComponents(stdout)
+		return nil
+	}
 	if *listConfig {
 		printConfig(stdout)
 		return nil
@@ -151,6 +157,17 @@ func pct(a, b uint64) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(b)
+}
+
+// printComponents enumerates the registry-resolved components and the
+// harness experiments, so users discover what the flags accept —
+// including anything registered beyond the built-ins.
+func printComponents(w io.Writer) {
+	fmt.Fprintf(w, "protocols:   %s\n", strings.Join(registry.ProtocolNames(), ", "))
+	fmt.Fprintf(w, "policies:    %s\n", strings.Join(registry.PolicyNames(), ", "))
+	fmt.Fprintf(w, "topologies:  %s\n", strings.Join(registry.TopologyNames(), ", "))
+	fmt.Fprintf(w, "workloads:   %s\n", strings.Join(registry.WorkloadNames(), ", "))
+	fmt.Fprintf(w, "experiments: %s\n", strings.Join(harness.Experiments(), ", "))
 }
 
 func printConfig(w io.Writer) {

@@ -49,3 +49,47 @@ func TestBadFlagValues(t *testing.T) {
 		t.Fatal("unknown flag did not error")
 	}
 }
+
+func TestListComponents(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"protocols:", "tokenb", "snooping", "directory", "hammer", "tokend", "tokenm",
+		"policies:",
+		"topologies:", "torus", "tree",
+		"workloads:", "apache", "oltp", "specjbb", "barnes",
+		"experiments:", "table2", "fig4a", "fig4b", "fig5a", "fig5b", "scaling",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list output missing %q:\n%s", want, got)
+		}
+	}
+	// -list must not run a simulation.
+	if strings.Contains(got, "avg miss latency") {
+		t.Errorf("-list unexpectedly simulated:\n%s", got)
+	}
+}
+
+func TestUnknownNamesReportRegistered(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-protocol", "bogus", "-ops", "50", "-procs", "4"}, &out, &errw)
+	if err == nil {
+		t.Fatal("unknown protocol did not error")
+	}
+	if !strings.Contains(err.Error(), "registered:") || !strings.Contains(err.Error(), "tokenb") {
+		t.Errorf("error does not list registered protocols: %v", err)
+	}
+	err = run([]string{"-topo", "ring", "-ops", "50", "-procs", "4"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), `unknown topology "ring"`) {
+		t.Errorf("unknown topology: %v", err)
+	}
+	// Snooping needs the ordered tree; pointing it at the torus must
+	// fail fast with the valid pairs.
+	err = run([]string{"-protocol", "snooping", "-topo", "torus", "-ops", "50", "-procs", "4"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "valid pairs: snooping/tree") {
+		t.Errorf("snooping/torus: %v", err)
+	}
+}

@@ -14,11 +14,27 @@ type TokenSystem struct {
 	Ledger   *Ledger
 }
 
+// WithPolicy returns a constructor that raises a performance policy to
+// a complete protocol on the correctness substrate: token-counting cache
+// and home memory controllers, persistent-request arbiters, and the
+// conservation ledger, with the policy deciding where transient requests
+// go. Every cache controller receives a fresh policy from newPolicy, so
+// stateful predictors need no synchronization. hints enables the home
+// memory's soft-state hint tracking (TokenD/TokenM-style redirection of
+// home-bound requests to probable holders).
+//
+// This is the paper's decoupling as an API: because the substrate
+// guarantees safety and starvation freedom regardless of destination
+// sets, any Policy — however speculative — yields a correct protocol.
+func WithPolicy(newPolicy func() Policy, hints bool) func(*machine.System) *TokenSystem {
+	return func(sys *machine.System) *TokenSystem { return build(sys, newPolicy, hints) }
+}
+
 // BuildTokenB constructs the complete Token Coherence system on sys: a
 // TokenB cache controller, a token-holding home memory controller, and a
 // persistent-request arbiter per node, all registered on the network.
 func BuildTokenB(sys *machine.System) *TokenSystem {
-	return build(sys, func() Policy { return broadcastPolicy{} }, false)
+	return WithPolicy(NewBroadcastPolicy, false)(sys)
 }
 
 // BuildTokenD constructs the directory-like performance protocol of §7:
@@ -26,14 +42,14 @@ func BuildTokenB(sys *machine.System) *TokenSystem {
 // them to probable holders. Same substrate, a fraction of the request
 // bandwidth.
 func BuildTokenD(sys *machine.System) *TokenSystem {
-	return build(sys, func() Policy { return homePolicy{} }, true)
+	return WithPolicy(NewHomePolicy, true)(sys)
 }
 
 // BuildTokenM constructs the destination-set-prediction performance
 // protocol of §7: multicast to predicted holders plus the home, with
 // broadcast fallback on reissue.
 func BuildTokenM(sys *machine.System) *TokenSystem {
-	return build(sys, func() Policy { return newPredictPolicy() }, true)
+	return WithPolicy(NewPredictPolicy, true)(sys)
 }
 
 func build(sys *machine.System, policy func() Policy, hints bool) *TokenSystem {

@@ -38,5 +38,8 @@
 //
 // The package also provides TokenD and TokenM, two further performance
 // protocols the paper sketches in Section 7, demonstrating that the
-// substrate admits multiple performance policies unchanged.
+// substrate admits multiple performance policies unchanged. The design
+// space is open: WithPolicy raises any user-written Policy to a complete
+// protocol on the unmodified substrate, and internal/registry publishes
+// such policies by name so the engine can run them like the built-ins.
 package core

@@ -22,6 +22,20 @@ type Policy interface {
 	Name() string
 }
 
+// NewBroadcastPolicy returns TokenB's policy: broadcast every transient
+// request to all other caches plus the home memory.
+func NewBroadcastPolicy() Policy { return broadcastPolicy{} }
+
+// NewHomePolicy returns TokenD's policy: send transient requests only to
+// the home memory, whose soft-state hints redirect them (enable the
+// hints with WithPolicy or TokenPolicy.Hints).
+func NewHomePolicy() Policy { return homePolicy{} }
+
+// NewPredictPolicy returns TokenM's policy: multicast to the predicted
+// holders of the block's macro-region plus the home, with broadcast
+// fallback on reissue.
+func NewPredictPolicy() Policy { return newPredictPolicy() }
+
 // broadcastPolicy is TokenB: every transient request goes to all other
 // caches plus the home memory.
 type broadcastPolicy struct{}

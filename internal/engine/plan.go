@@ -137,13 +137,22 @@ func (p Plan) Jobs() ([]Job, error) {
 	var jobs []Job
 	for _, wl := range workloads {
 		for _, v := range p.Variants {
+			// base is the (workload, variant) cell's point; the inner
+			// axes never change component names, so validating it once
+			// here means an unknown name or an impossible
+			// protocol/topology pair fails at expansion time, before any
+			// simulation starts.
+			base := v.Point
+			if wl != "" {
+				base.Workload = wl
+			}
+			if err := base.Validate(); err != nil {
+				return nil, fmt.Errorf("variant %q: %w", v.name(), err)
+			}
 			for _, mut := range mutations {
 				for _, unl := range unlimited {
 					for _, seed := range seeds {
-						pt := v.Point
-						if wl != "" {
-							pt.Workload = wl
-						}
+						pt := base
 						if hasUnlimited {
 							pt.Unlimited = unl
 						}

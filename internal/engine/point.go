@@ -8,22 +8,27 @@
 // Every simulation point is an independent deterministic run, so the
 // engine parallelizes across points freely: a plan executed with one
 // worker and with many workers emits byte-identical output.
+//
+// Points name their protocol, topology, and workload; the engine
+// resolves those names through internal/registry, so components
+// registered by users run exactly like the built-ins. Resolution happens
+// once per point — Point.Validate at plan-expansion time, then RunPoint
+// before constructing the machine — and never on the simulation hot
+// path. Unknown names fail early with the registered names in the
+// error.
 package engine
 
 import (
 	"fmt"
+	"strings"
 
-	"tokencoherence/internal/core"
-	"tokencoherence/internal/directory"
-	"tokencoherence/internal/hammer"
 	"tokencoherence/internal/machine"
-	"tokencoherence/internal/snooping"
+	"tokencoherence/internal/registry"
 	"tokencoherence/internal/stats"
-	"tokencoherence/internal/topology"
-	"tokencoherence/internal/workload"
 )
 
-// Protocol names.
+// Built-in protocol names (see internal/registry for the full, possibly
+// user-extended, set).
 const (
 	ProtoTokenB    = "tokenb"
 	ProtoSnooping  = "snooping"
@@ -33,7 +38,7 @@ const (
 	ProtoTokenM    = "tokenm"
 )
 
-// Topology names.
+// Built-in topology names.
 const (
 	TopoTree  = "tree"
 	TopoTorus = "torus"
@@ -42,8 +47,11 @@ const (
 // Point is one simulation configuration.
 type Point struct {
 	Protocol string
+	// Topo names a registered topology, or "" to use the protocol's
+	// default fabric: the first registered topology the protocol can run
+	// on (the tree for order-requiring protocols, the torus otherwise).
 	Topo     string
-	Workload string // commercial workload name, or "" to use Gen/NewGen
+	Workload string // registered workload name, or "" to use Gen/NewGen
 
 	// Gen is a pre-built generator. A generator carries mutable
 	// per-processor state, so a Gen-bearing point must expand to exactly
@@ -80,10 +88,82 @@ func (pt Point) withDefaults() Point {
 	return pt
 }
 
-// RunPoint executes one point and returns its statistics. Token
-// Coherence points are additionally audited for token conservation.
+// components holds a point's registry-resolved parts.
+type components struct {
+	proto registry.Protocol
+	topo  registry.Topology
+	// wl is zero when the point carries its own generator (Gen/NewGen).
+	wl registry.Workload
+}
+
+// resolve looks the point's named components up in the registry,
+// applying the topology default and enforcing the protocol's
+// interconnect-ordering capability. All name errors report the
+// registered alternatives.
+func (pt Point) resolve() (components, error) {
+	var c components
+	proto, ok := registry.LookupProtocol(pt.Protocol)
+	if !ok {
+		return c, fmt.Errorf("engine: unknown protocol %q (registered: %s)",
+			pt.Protocol, strings.Join(registry.ProtocolNames(), ", "))
+	}
+	c.proto = proto
+
+	if pt.Topo == "" {
+		topo, ok := registry.DefaultTopology(proto.RequiresOrdered)
+		if !ok {
+			return c, fmt.Errorf("engine: no registered topology is compatible with protocol %q (requires ordered: %v)",
+				pt.Protocol, proto.RequiresOrdered)
+		}
+		c.topo = topo
+	} else {
+		topo, ok := registry.LookupTopology(pt.Topo)
+		if !ok {
+			return c, fmt.Errorf("engine: unknown topology %q (registered: %s)",
+				pt.Topo, strings.Join(registry.TopologyNames(), ", "))
+		}
+		c.topo = topo
+	}
+	if proto.RequiresOrdered && !c.topo.Ordered {
+		var pairs []string
+		for _, name := range registry.OrderedTopologyNames() {
+			pairs = append(pairs, pt.Protocol+"/"+name)
+		}
+		return c, fmt.Errorf("engine: protocol %q requires a totally-ordered interconnect but topology %q is unordered (valid pairs: %s)",
+			pt.Protocol, c.topo.Name, strings.Join(pairs, ", "))
+	}
+
+	if pt.Gen == nil && pt.NewGen == nil {
+		wl, ok := registry.LookupWorkload(pt.Workload)
+		if !ok {
+			return c, fmt.Errorf("engine: unknown workload %q (registered: %s)",
+				pt.Workload, strings.Join(registry.WorkloadNames(), ", "))
+		}
+		c.wl = wl
+	}
+	return c, nil
+}
+
+// Validate checks that every component name the point references
+// resolves in the registry and that the protocol can run on the chosen
+// (or defaulted) topology. Plan expansion validates every job, so
+// misspelled names and impossible protocol/topology pairs fail before
+// any simulation starts, with the registered names in the error.
+func (pt Point) Validate() error {
+	_, err := pt.withDefaults().resolve()
+	return err
+}
+
+// RunPoint executes one point and returns its statistics. Components are
+// resolved through the registry once, up front; protocols that declare
+// an audit (Token Coherence checks token conservation) are audited after
+// the run.
 func RunPoint(pt Point) (*stats.Run, error) {
 	pt = pt.withDefaults()
+	comps, err := pt.resolve()
+	if err != nil {
+		return nil, err
+	}
 	cfg := machine.DefaultConfig()
 	cfg.Procs = pt.Procs
 	if cfg.TokensPerBlock < pt.Procs {
@@ -99,18 +179,10 @@ func RunPoint(pt Point) (*stats.Run, error) {
 		pt.Mutate(&cfg)
 	}
 
-	var topo topology.Topology
-	switch pt.Topo {
-	case TopoTree, "":
-		if pt.Topo == TopoTree || pt.Protocol == ProtoSnooping {
-			topo = topology.NewTree(pt.Procs)
-		} else {
-			topo = topology.NewTorusFor(pt.Procs)
-		}
-	case TopoTorus:
-		topo = topology.NewTorusFor(pt.Procs)
-	default:
-		return nil, fmt.Errorf("engine: unknown topology %q", pt.Topo)
+	topo := comps.topo.New(pt.Procs)
+	if topo.Ordered() != comps.topo.Ordered {
+		return nil, fmt.Errorf("engine: topology %q reports Ordered()=%v but is registered with Ordered=%v",
+			comps.topo.Name, topo.Ordered(), comps.topo.Ordered)
 	}
 
 	gen := pt.Gen
@@ -118,46 +190,19 @@ func RunPoint(pt Point) (*stats.Run, error) {
 		gen = pt.NewGen(pt.Procs)
 	}
 	if gen == nil {
-		params, err := workload.Commercial(pt.Workload)
-		if err != nil {
-			return nil, err
-		}
-		gen = workload.NewGenerator(params, pt.Procs)
+		gen = comps.wl.New(pt.Procs)
 	}
 
 	sys := machine.NewSystem(cfg, topo, pt.Seed)
-	var ctrls []machine.Controller
-	var audit func() error
-	switch pt.Protocol {
-	case ProtoTokenB:
-		ts := core.BuildTokenB(sys)
-		ctrls = ts.Controllers()
-		audit = ts.Audit
-	case ProtoTokenD:
-		ts := core.BuildTokenD(sys)
-		ctrls = ts.Controllers()
-		audit = ts.Audit
-	case ProtoTokenM:
-		ts := core.BuildTokenM(sys)
-		ctrls = ts.Controllers()
-		audit = ts.Audit
-	case ProtoSnooping:
-		ctrls = snooping.Build(sys).Controllers()
-	case ProtoDirectory:
-		ctrls = directory.Build(sys).Controllers()
-	case ProtoHammer:
-		ctrls = hammer.Build(sys).Controllers()
-	default:
-		return nil, fmt.Errorf("engine: unknown protocol %q", pt.Protocol)
-	}
+	ctrls, audit := comps.proto.Build(sys)
 
 	run, err := sys.ExecuteWarm(ctrls, gen, pt.Warmup, pt.Ops)
 	if err != nil {
-		return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
+		return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, comps.topo.Name, pt.Workload, err)
 	}
 	if audit != nil {
 		if err := audit(); err != nil {
-			return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, pt.Topo, pt.Workload, err)
+			return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, comps.topo.Name, pt.Workload, err)
 		}
 	}
 	return run, nil

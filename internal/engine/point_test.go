@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/workload"
+)
+
+// uniformTestGen builds a scaling-style microbenchmark generator.
+func uniformTestGen(procs int) machine.Generator {
+	return workload.NewUniform(256, 0.3, sim.Nanosecond, procs)
+}
+
+func TestValidateUnknownNamesListRegistered(t *testing.T) {
+	cases := []struct {
+		name string
+		pt   Point
+		want []string // substrings the error must carry
+	}{
+		{"protocol", Point{Protocol: "nope", Topo: TopoTorus, Workload: "oltp"},
+			[]string{`unknown protocol "nope"`, "registered:", ProtoTokenB, ProtoSnooping, ProtoTokenM}},
+		{"topology", Point{Protocol: ProtoTokenB, Topo: "mesh", Workload: "oltp"},
+			[]string{`unknown topology "mesh"`, "registered:", TopoTorus, TopoTree}},
+		{"workload", Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "nope"},
+			[]string{`unknown workload "nope"`, "registered:", "apache", "barnes"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			err := c.pt.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) = nil", c.pt)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateOrderingCapability(t *testing.T) {
+	// Snooping on the unordered torus is the paper's "not applicable"
+	// bar: the engine must reject it up front, naming the valid pairs.
+	err := Point{Protocol: ProtoSnooping, Topo: TopoTorus, Workload: "oltp"}.Validate()
+	if err == nil {
+		t.Fatal("snooping on the torus not rejected")
+	}
+	for _, want := range []string{"totally-ordered", `"torus" is unordered`, "valid pairs: snooping/tree"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if err := (Point{Protocol: ProtoSnooping, Topo: TopoTree, Workload: "oltp"}).Validate(); err != nil {
+		t.Errorf("snooping on the tree rejected: %v", err)
+	}
+}
+
+func TestEmptyTopologyDefaultsByCapability(t *testing.T) {
+	// An empty Topo resolves through the protocol's ordering capability:
+	// order-requiring protocols get the first ordered fabric (tree),
+	// everything else the first fabric (torus).
+	cases := []struct {
+		proto, wantTopo string
+	}{
+		{ProtoSnooping, "tree"},
+		{ProtoTokenB, "torus"},
+		{ProtoDirectory, "torus"},
+		{ProtoHammer, "torus"},
+	}
+	for _, c := range cases {
+		comps, err := Point{Protocol: c.proto, Workload: "oltp"}.withDefaults().resolve()
+		if err != nil {
+			t.Errorf("%s: %v", c.proto, err)
+			continue
+		}
+		if comps.topo.Name != c.wantTopo {
+			t.Errorf("%s with empty Topo resolved to %q, want %q", c.proto, comps.topo.Name, c.wantTopo)
+		}
+	}
+}
+
+func TestGenBearingPointSkipsWorkloadLookup(t *testing.T) {
+	// Scaling-style points carry their own generator and no workload
+	// name; validation must not demand one.
+	pt := Point{Protocol: ProtoTokenB, Topo: TopoTorus, NewGen: uniformTestGen, Procs: 4}
+	if err := pt.Validate(); err != nil {
+		t.Errorf("NewGen-bearing point rejected: %v", err)
+	}
+}
+
+func TestPlanExpansionValidatesEarly(t *testing.T) {
+	// Unknown names fail at Jobs() — before any simulation — with the
+	// offending variant named.
+	bad := Plan{Variants: []Variant{
+		{Name: "ok", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
+		{Name: "typo", Point: Point{Protocol: "tokenbb", Topo: TopoTorus}},
+	}, Workloads: []string{"oltp"}}
+	_, err := bad.Jobs()
+	if err == nil {
+		t.Fatal("plan with unknown protocol expanded")
+	}
+	for _, want := range []string{`variant "typo"`, `unknown protocol "tokenbb"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	// The workload axis is validated per cell too.
+	badWl := Plan{
+		Variants:  []Variant{{Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}}},
+		Workloads: []string{"oltp", "oltpp"},
+	}
+	if _, err := badWl.Jobs(); err == nil || !strings.Contains(err.Error(), `unknown workload "oltpp"`) {
+		t.Errorf("unknown workload on the plan axis: %v", err)
+	}
+
+	// Capability violations fail at expansion as well.
+	snoop := Plan{Variants: Grid([]string{ProtoSnooping}, []string{TopoTorus}), Workloads: []string{"oltp"}}
+	if _, err := snoop.Jobs(); err == nil || !strings.Contains(err.Error(), "totally-ordered") {
+		t.Errorf("snooping/torus plan: %v", err)
+	}
+}

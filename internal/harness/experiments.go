@@ -8,6 +8,7 @@ import (
 	"tokencoherence/internal/engine"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
+	"tokencoherence/internal/registry"
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/workload"
 )
@@ -39,7 +40,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 	plan := opt.plan([]engine.Variant{
 		{Name: "tokenb-torus", Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}},
 	})
-	plan.Workloads = workload.Names()
+	plan.Workloads = registry.WorkloadNames()
 	agg, err := runAggregate(plan, opt)
 	if err != nil {
 		return nil, err
@@ -93,14 +94,14 @@ type RuntimeBar struct {
 // limited and unlimited bandwidth, averaged over seeds.
 func runtimeBars(variants []engine.Variant, opt Options) ([]RuntimeBar, error) {
 	plan := opt.plan(variants)
-	plan.Workloads = workload.Names()
+	plan.Workloads = registry.WorkloadNames()
 	plan.Unlimited = []bool{false, true}
 	agg, err := runAggregate(plan, opt)
 	if err != nil {
 		return nil, err
 	}
 	var bars []RuntimeBar
-	for _, name := range workload.Names() {
+	for _, name := range registry.WorkloadNames() {
 		for _, v := range variants {
 			lim := agg.Find(v.Name, name, "", false)
 			inf := agg.Find(v.Name, name, "", true)
@@ -175,13 +176,13 @@ type TrafficBar struct {
 // workload, averaged over seeds.
 func trafficBars(variants []engine.Variant, opt Options) ([]TrafficBar, error) {
 	plan := opt.plan(variants)
-	plan.Workloads = workload.Names()
+	plan.Workloads = registry.WorkloadNames()
 	agg, err := runAggregate(plan, opt)
 	if err != nil {
 		return nil, err
 	}
 	var bars []TrafficBar
-	for _, name := range workload.Names() {
+	for _, name := range registry.WorkloadNames() {
 		for _, v := range variants {
 			cell := agg.Find(v.Name, name, "", false)
 			bar := TrafficBar{Workload: name, Config: v.Name, Total: cell.MeanBytesPerMiss()}
@@ -306,52 +307,81 @@ func PrintScaling(w io.Writer, rows []ScalingRow) {
 
 // --- Convenience ---------------------------------------------------------
 
-// Experiments lists the experiment names RunExperiment accepts.
-func Experiments() []string {
-	return []string{"table2", "fig4a", "fig4b", "fig5a", "fig5b", "scaling"}
+// experiment is one reproducible paper table or figure: a name plus the
+// function that computes it and prints the paper-style rows.
+type experiment struct {
+	name string
+	run  func(w io.Writer, opt Options) error
 }
 
-// RunExperiment runs one experiment by name and prints it to w.
-func RunExperiment(w io.Writer, name string, opt Options) error {
-	switch name {
-	case "table2":
+// experiments is the ordered table RunExperiment and Experiments resolve
+// through, in the paper's presentation order.
+var experiments = []experiment{
+	{"table2", func(w io.Writer, opt Options) error {
 		rows, err := Table2(opt)
 		if err != nil {
 			return err
 		}
 		PrintTable2(w, rows)
-	case "fig4a":
+		return nil
+	}},
+	{"fig4a", func(w io.Writer, opt Options) error {
 		bars, err := Fig4a(opt)
 		if err != nil {
 			return err
 		}
 		PrintRuntime(w, "Figure 4a: runtime, Snooping vs TokenB (normalized to snooping-tree)", "snooping-tree", bars)
-	case "fig4b":
+		return nil
+	}},
+	{"fig4b", func(w io.Writer, opt Options) error {
 		bars, err := Fig4b(opt)
 		if err != nil {
 			return err
 		}
 		PrintTraffic(w, "Figure 4b: traffic, Snooping vs TokenB (tree, bytes/miss)", bars)
-	case "fig5a":
+		return nil
+	}},
+	{"fig5a", func(w io.Writer, opt Options) error {
 		bars, err := Fig5a(opt)
 		if err != nil {
 			return err
 		}
 		PrintRuntime(w, "Figure 5a: runtime, Directory & Hammer vs TokenB (normalized to tokenb)", "tokenb", bars)
-	case "fig5b":
+		return nil
+	}},
+	{"fig5b", func(w io.Writer, opt Options) error {
 		bars, err := Fig5b(opt)
 		if err != nil {
 			return err
 		}
 		PrintTraffic(w, "Figure 5b: traffic, Directory & Hammer vs TokenB (torus, bytes/miss)", bars)
-	case "scaling":
+		return nil
+	}},
+	{"scaling", func(w io.Writer, opt Options) error {
 		rows, err := Scaling(opt, 64)
 		if err != nil {
 			return err
 		}
 		PrintScaling(w, rows)
-	default:
-		return fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments())
+		return nil
+	}},
+}
+
+// Experiments lists the experiment names RunExperiment accepts.
+func Experiments() []string {
+	out := make([]string, len(experiments))
+	for i, e := range experiments {
+		out[i] = e.name
 	}
-	return nil
+	return out
+}
+
+// RunExperiment runs one experiment by name and prints it to w.
+func RunExperiment(w io.Writer, name string, opt Options) error {
+	for _, e := range experiments {
+		if e.name == name {
+			return e.run(w, opt)
+		}
+	}
+	return fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments())
 }

@@ -8,7 +8,11 @@
 // The experiments are expressed as declarative engine.Plan grids and
 // executed on the parallel engine (see internal/engine); every grid
 // point is an independent deterministic simulation, so results are
-// identical at any parallelism.
+// identical at any parallelism. Component names in the grids — and the
+// workload axis the per-workload experiments iterate — resolve through
+// internal/registry, so experiments automatically cover workloads
+// registered beyond the built-ins, and RunExperiment itself resolves
+// experiment names through an ordered table rather than a switch.
 package harness
 
 import (

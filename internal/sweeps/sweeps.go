@@ -9,6 +9,7 @@ package sweeps
 
 import (
 	"fmt"
+	"strings"
 
 	"tokencoherence/internal/engine"
 	"tokencoherence/internal/harness"
@@ -17,26 +18,40 @@ import (
 	"tokencoherence/internal/workload"
 )
 
+// Kind is one named sweep: a plan builder taking the workload and seed
+// (kinds that sweep the workload axis themselves ignore wl).
+type Kind struct {
+	Name string
+	Plan func(wl string, seed uint64) (engine.Plan, []engine.Column)
+}
+
+// kinds is the ordered sweep table ByKind and Kinds resolve through.
+var kinds = []Kind{
+	{"bandwidth", Bandwidth},
+	{"procs", func(_ string, seed uint64) (engine.Plan, []engine.Column) { return Procs(seed) }},
+	{"tokens", Tokens},
+	{"mshr", MSHR},
+}
+
 // Kinds lists the available sweep kinds.
-func Kinds() []string { return []string{"bandwidth", "procs", "tokens", "mshr"} }
+func Kinds() []string {
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.Name
+	}
+	return out
+}
 
 // ByKind returns the named sweep's plan and output columns.
 func ByKind(kind, wl string, seed uint64) (engine.Plan, []engine.Column, error) {
-	switch kind {
-	case "bandwidth":
-		p, c := Bandwidth(wl, seed)
-		return p, c, nil
-	case "procs":
-		p, c := Procs(seed)
-		return p, c, nil
-	case "tokens":
-		p, c := Tokens(wl, seed)
-		return p, c, nil
-	case "mshr":
-		p, c := MSHR(wl, seed)
-		return p, c, nil
+	for _, k := range kinds {
+		if k.Name == kind {
+			p, c := k.Plan(wl, seed)
+			return p, c, nil
+		}
 	}
-	return engine.Plan{}, nil, fmt.Errorf("unknown sweep kind %q", kind)
+	return engine.Plan{}, nil, fmt.Errorf("unknown sweep kind %q (registered: %s)",
+		kind, strings.Join(Kinds(), ", "))
 }
 
 // Bandwidth shows where each protocol becomes bandwidth-bound: the

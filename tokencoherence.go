@@ -13,6 +13,8 @@
 //
 // # Quick start
 //
+// Simulate one point (see ExampleSimulate for the compiled version):
+//
 //	run, err := tokencoherence.Simulate(tokencoherence.Point{
 //	    Protocol: tokencoherence.ProtoTokenB,
 //	    Topo:     tokencoherence.TopoTorus,
@@ -26,32 +28,64 @@
 // or reproduce a whole table/figure:
 //
 //	tokencoherence.RunExperiment(os.Stdout, "table2", tokencoherence.Options{})
+//
+// # Extending the simulator
+//
+// Every component of a simulation point — protocol, token performance
+// policy, topology, workload — resolves through a component registry,
+// so new components plug in without touching the engine. This is the
+// paper's thesis as an API: the token-counting substrate guarantees
+// safety and starvation freedom no matter where requests are sent, so
+// the performance side is an open design space (§7).
+//
+//   - RegisterPolicy publishes a destination-set policy (an
+//     implementation of Policy) and makes it runnable as a protocol of
+//     the same name on the unmodified correctness substrate.
+//   - RegisterTopology publishes an interconnect fabric (an
+//     implementation of Topology).
+//   - RegisterWorkload publishes a memory-reference generator.
+//   - RegisterProtocol publishes a from-scratch protocol for users who
+//     build their own controllers.
+//
+// Components lists everything registered; Point.Validate (run
+// automatically at plan expansion) rejects unknown names with the
+// registered alternatives. See Example_extension for a custom
+// destination-set predictor and a ring topology registered and run
+// entirely through this package.
 package tokencoherence
 
 import (
 	"io"
 
+	"tokencoherence/internal/core"
 	"tokencoherence/internal/engine"
 	"tokencoherence/internal/harness"
 	"tokencoherence/internal/machine"
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/registry"
+	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
+	"tokencoherence/internal/topology"
 	"tokencoherence/internal/workload"
 )
 
-// Protocol identifiers accepted by Point.Protocol.
+// Protocol identifiers accepted by Point.Protocol. These are the
+// built-in registrations; Components().Protocols lists the full set
+// including user-registered protocols.
 const (
-	ProtoTokenB    = harness.ProtoTokenB
-	ProtoSnooping  = harness.ProtoSnooping
-	ProtoDirectory = harness.ProtoDirectory
-	ProtoHammer    = harness.ProtoHammer
-	ProtoTokenD    = harness.ProtoTokenD
-	ProtoTokenM    = harness.ProtoTokenM
+	ProtoTokenB    = engine.ProtoTokenB
+	ProtoSnooping  = engine.ProtoSnooping
+	ProtoDirectory = engine.ProtoDirectory
+	ProtoHammer    = engine.ProtoHammer
+	ProtoTokenD    = engine.ProtoTokenD
+	ProtoTokenM    = engine.ProtoTokenM
 )
 
-// Topology identifiers accepted by Point.Topo.
+// Topology identifiers accepted by Point.Topo (built-ins; see
+// Components().Topologies for the full set).
 const (
-	TopoTree  = harness.TopoTree
-	TopoTorus = harness.TopoTorus
+	TopoTree  = engine.TopoTree
+	TopoTorus = engine.TopoTorus
 )
 
 // Config holds the simulated machine's parameters (paper Table 1).
@@ -60,7 +94,9 @@ type Config = machine.Config
 // DefaultConfig returns the paper's 16-processor target system.
 func DefaultConfig() Config { return machine.DefaultConfig() }
 
-// Point describes one simulation configuration.
+// Point describes one simulation configuration. Its Protocol, Topo and
+// Workload name registered components; Validate reports unknown names
+// with the registered alternatives.
 type Point = harness.Point
 
 // Options tunes experiment sizes (operations, warmup, seeds, processors).
@@ -84,7 +120,8 @@ func RunExperiment(w io.Writer, name string, opt Options) error {
 }
 
 // Plan declaratively describes a cartesian grid of simulation points
-// (variants x workloads x mutations x bandwidth x seeds).
+// (variants x workloads x mutations x bandwidth x seeds). Expansion
+// validates every point's component names against the registry.
 type Plan = engine.Plan
 
 // Variant is one named protocol/topology configuration in a Plan.
@@ -129,10 +166,149 @@ func Grid(protocols, topos []string) []Variant { return engine.Grid(protocols, t
 // WorkloadParams describes a synthetic commercial workload.
 type WorkloadParams = workload.Params
 
-// Workloads lists the paper's commercial workloads (apache, oltp,
-// specjbb).
-func Workloads() []string { return workload.Names() }
+// Workloads lists the registered workloads: the paper's three commercial
+// mixes, barnes, and any workloads added with RegisterWorkload.
+func Workloads() []string { return registry.WorkloadNames() }
 
-// Workload returns the named workload's parameters for inspection or
-// customization.
+// Workload returns the named built-in workload's parameters for
+// inspection or customization (workloads added with RegisterWorkload
+// are opaque generator factories and have no Params).
 func Workload(name string) (WorkloadParams, error) { return workload.Commercial(name) }
+
+// --- Extension API -------------------------------------------------------
+//
+// The aliases below expose exactly the internal types an extension
+// needs, so custom policies, topologies, workloads, and protocols are
+// written against this package alone.
+
+// NodeID identifies one processor node.
+type NodeID = msg.NodeID
+
+// Unit addresses a controller within a node (cache, memory, arbiter).
+type Unit = msg.Unit
+
+// Unit values a policy's destination sets use.
+const (
+	UnitCache = msg.UnitCache
+	UnitMem   = msg.UnitMem
+)
+
+// Port addresses one controller on the interconnect: a (node, unit)
+// pair.
+type Port = msg.Port
+
+// Addr is a byte address; Block a cache-block number.
+type (
+	Addr  = msg.Addr
+	Block = msg.Block
+)
+
+// BlockOf returns the cache block containing a byte address.
+func BlockOf(a Addr) Block { return msg.BlockOf(a) }
+
+// Message is one interconnect message; policies observe incoming
+// token-carrying messages to train predictors.
+type Message = msg.Message
+
+// MSHR is an outstanding miss's state (the block being requested and the
+// progress of its token collection).
+type MSHR = machine.MSHR
+
+// TokenController is the Token Coherence cache controller a Policy
+// steers; it exposes the node's ID, the machine Config, and HomePort for
+// building destination sets.
+type TokenController = core.TokenB
+
+// Policy decides where the Token Coherence substrate sends transient
+// requests (the TokenB/TokenD/TokenM design space of paper §7). A policy
+// that guesses wrong only causes reissues — the substrate keeps every
+// destination set safe. Register implementations with RegisterPolicy.
+type Policy = core.Policy
+
+// Topology is a static interconnect graph with deterministic routing;
+// see the package documentation of the built-in tree and torus for the
+// multicast-tree requirement. Register implementations with
+// RegisterTopology.
+type Topology = topology.Topology
+
+// LinkID names one directed interconnect link (dense in [0, NumLinks)).
+type LinkID = topology.LinkID
+
+// Op is one processor memory operation produced by a Generator.
+type Op = machine.Op
+
+// Source is the deterministic per-processor random stream generators
+// draw from.
+type Source = sim.Source
+
+// Generator produces the per-processor operation stream of a workload.
+// Register implementations with RegisterWorkload.
+type Generator = machine.Generator
+
+// System is the simulated machine under construction, passed to a
+// ProtocolSpec's Build.
+type System = machine.System
+
+// Controller is the processor-facing side of a coherence controller.
+type Controller = machine.Controller
+
+// PolicySpec registers a token performance policy: a name, whether the
+// home memories keep soft-state hints, and a factory producing one fresh
+// Policy per cache controller.
+type PolicySpec = registry.TokenPolicy
+
+// ProtocolSpec registers a from-scratch protocol: a name, the
+// interconnect-ordering capability it requires, and a Build function
+// constructing its controllers (plus an optional end-of-run audit).
+type ProtocolSpec = registry.Protocol
+
+// TopologySpec registers an interconnect fabric: a name, whether it
+// delivers broadcasts in a total order, and a factory building it for a
+// processor count.
+type TopologySpec = registry.Topology
+
+// WorkloadSpec registers a workload: a name and a factory building a
+// fresh Generator for a processor count.
+type WorkloadSpec = registry.Workload
+
+// RegisterPolicy publishes a token performance policy and makes it
+// runnable as a protocol of the same name on the unmodified correctness
+// substrate: Point{Protocol: spec.Name} builds token-counting caches and
+// memories, persistent-request arbiters, and the conservation audit,
+// with spec.New's policies steering transient requests. It panics on a
+// duplicate or empty name.
+func RegisterPolicy(spec PolicySpec) { registry.RegisterPolicy(spec) }
+
+// RegisterProtocol publishes a protocol built from scratch. Most
+// extensions want RegisterPolicy instead, which inherits the substrate's
+// correctness guarantees. It panics on a duplicate or empty name.
+func RegisterProtocol(spec ProtocolSpec) { registry.RegisterProtocol(spec) }
+
+// RegisterTopology publishes an interconnect fabric under spec.Name;
+// spec.Ordered must match the built fabric's Ordered() (the engine
+// verifies this). It panics on a duplicate or empty name.
+func RegisterTopology(spec TopologySpec) { registry.RegisterTopology(spec) }
+
+// RegisterWorkload publishes a workload under spec.Name. It panics on a
+// duplicate or empty name.
+func RegisterWorkload(spec WorkloadSpec) { registry.RegisterWorkload(spec) }
+
+// ComponentSet enumerates the registered component names, in
+// deterministic registration order (built-ins first).
+type ComponentSet struct {
+	Protocols  []string
+	Policies   []string
+	Topologies []string
+	Workloads  []string
+}
+
+// Components lists every registered protocol, token performance policy,
+// topology, and workload.
+func Components() ComponentSet {
+	return ComponentSet{
+		Protocols:  registry.ProtocolNames(),
+		Policies:   registry.PolicyNames(),
+		Topologies: registry.TopologyNames(),
+		Workloads:  registry.WorkloadNames(),
+	}
+}
