@@ -10,7 +10,10 @@
 // Sweeps are declarative engine.Plan grids (see internal/sweeps)
 // executed on a bounded worker pool (-parallel, default one worker per
 // CPU); every point is an independent deterministic simulation, so the
-// rows are identical at any parallelism.
+// rows are identical at any parallelism. -columns selects any published
+// metric by name in place of the sweep's default columns
+// (-list-metrics shows the schema); -format json serializes the full
+// metric map per point.
 package main
 
 import (
@@ -52,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format   = fs.String("format", "csv", "output format: csv or json")
 		progress = fs.Bool("progress", false, "report progress on stderr")
 		list     = fs.Bool("list", false, "list registered sweep kinds and components, then exit")
+		columns  = fs.String("columns", "", "comma-separated CSV columns (identity fields, metric names, mutation tags) overriding the sweep's defaults")
+		listMet  = fs.Bool("list-metrics", false, "list the metric schema of the sweep's first point, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,9 +69,63 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *listMet {
+		return printMetrics(stdout, plan)
+	}
+	if *columns != "" {
+		if *format != "csv" {
+			return fmt.Errorf("-columns selects CSV columns and cannot be combined with -format %s (JSONL already carries the full metric map)", *format)
+		}
+		names := engine.SplitColumnSpec(*columns)
+		if len(names) == 0 {
+			return fmt.Errorf("-columns %q names no columns", *columns)
+		}
+		if err := rejectUnknownColumns(names, plan); err != nil {
+			return err
+		}
+		cols = engine.ColumnsByName(names)
+	}
 	plan.Ops = *ops
 	plan.Warmup = *warmup
 	return execute(plan, cols, *parallel, *format, *progress, stdout, stderr)
+}
+
+// rejectUnknownColumns fails a -columns selection naming neither an
+// identity field, a metric of the sweep's schema (unioned across its
+// protocols), nor one of its mutation tags — a typo would otherwise
+// render silent empty cells.
+func rejectUnknownColumns(names []string, plan engine.Plan) error {
+	descs, err := engine.PlanMetricSchema(plan)
+	if err != nil {
+		return err
+	}
+	var tags []string
+	seen := map[string]bool{}
+	for _, mut := range plan.Mutations {
+		for tag := range mut.Tags {
+			if !seen[tag] {
+				seen[tag] = true
+				tags = append(tags, tag)
+			}
+		}
+	}
+	if unknown := engine.UnknownColumns(names, descs, tags); len(unknown) > 0 {
+		return fmt.Errorf("unknown column(s) %s (identity fields, metric names from -list-metrics, or this sweep's tags %v)",
+			strings.Join(unknown, ", "), tags)
+	}
+	return nil
+}
+
+// printMetrics lists the metric schema the sweep's points expose —
+// unioned across the sweep's protocols, so protocol-specific metrics of
+// every variant show up — telling users what -columns accepts beyond
+// the identity fields and mutation tags.
+func printMetrics(w io.Writer, plan engine.Plan) error {
+	descs, err := engine.PlanMetricSchema(plan)
+	if err != nil {
+		return err
+	}
+	return engine.WriteMetricSchema(w, descs)
 }
 
 // printComponents enumerates the sweep kinds and the registry's

@@ -80,6 +80,87 @@ func TestSweepListFlag(t *testing.T) {
 	}
 }
 
+func TestSweepListMetricsFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list-metrics", "-kind", "bandwidth"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"cycles_per_txn", "bytes_per_miss", "reissues", "persistent_activations", "ns", "count"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list-metrics output missing %q:\n%s", want, got)
+		}
+	}
+	// -list-metrics must not run the sweep: no CSV data rows.
+	if strings.Contains(got, "tokenb,") {
+		t.Errorf("-list-metrics unexpectedly ran the sweep:\n%s", got)
+	}
+}
+
+func TestSweepColumnsFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-kind", "tokens", "-workload", "apache",
+		"-ops", "130", "-warmup", "130",
+		"-columns", "protocol, tokens_per_block ,misses,token_transfers"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "protocol,tokens_per_block,misses,token_transfers" {
+		t.Fatalf("-columns header = %q", lines[0])
+	}
+	if len(lines) < 2 || !strings.HasPrefix(lines[1], "tokenb,16,") {
+		t.Fatalf("-columns rows wrong:\n%s", out.String())
+	}
+}
+
+func TestSweepColumnsRejectsJSONFormat(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-kind", "tokens", "-format", "json", "-columns", "protocol"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-columns") {
+		t.Fatalf("-columns with -format json: err = %v, want rejection", err)
+	}
+}
+
+func TestSweepColumnsRejectsUnknownNames(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-kind", "tokens", "-columns", "protocol,cycles_per_tx"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), `cycles_per_tx`) {
+		t.Fatalf("typoed column: err = %v, want unknown-column rejection", err)
+	}
+	if err := run([]string{"-kind", "tokens", "-columns", " , "}, &out, &errw); err == nil {
+		t.Fatal("all-blank -columns spec not rejected")
+	}
+	// Mutation tags are valid column names.
+	if err := run([]string{"-kind", "tokens", "-ops", "120", "-warmup", "120",
+		"-workload", "apache", "-columns", "tokens_per_block,misses"}, &out, &errw); err != nil {
+		t.Fatalf("tag column rejected: %v", err)
+	}
+	// The validation schema unions over the sweep's protocols: the
+	// bandwidth sweep mixes tokenb/directory/hammer, so each protocol's
+	// own metric is selectable even though no single point has all three.
+	out.Reset()
+	if err := run([]string{"-kind", "bandwidth", "-ops", "120", "-warmup", "120",
+		"-workload", "apache", "-columns", "protocol,reissues,dir_home_requests,hammer_home_requests"}, &out, &errw); err != nil {
+		t.Fatalf("cross-protocol columns rejected: %v", err)
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); !strings.Contains(out.String(), "directory,") || len(lines) < 4 {
+		t.Fatalf("cross-protocol column output wrong:\n%s", out.String())
+	}
+}
+
+func TestSweepListMetricsUnionsProtocols(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list-metrics", "-kind", "bandwidth"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"reissues", "dir_home_requests", "hammer_home_requests"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("unioned -list-metrics missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestSweepUnknownKindListsRegistered(t *testing.T) {
 	var out, errw bytes.Buffer
 	err := run([]string{"-kind", "bogus"}, &out, &errw)

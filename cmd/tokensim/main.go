@@ -5,11 +5,15 @@
 //
 //	tokensim -experiment table2|fig4a|fig4b|fig5a|fig5b|scaling|all
 //	tokensim -protocol tokenb -topo torus -workload oltp -ops 4000
+//	tokensim -protocol tokenb -columns seed,cycles_per_txn,reissues
 //	tokensim -list
 //	tokensim -list-config
+//	tokensim -list-metrics
 //
 // Experiments print the corresponding paper table/figure rows; a custom
-// point prints its full statistics.
+// point prints its full statistics, or — with -columns — one CSV row per
+// seed selecting any published metric by name (-list-metrics shows the
+// schema).
 package main
 
 import (
@@ -58,7 +62,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		unlimited  = fs.Bool("unlimited", false, "unlimited link bandwidth")
 		perfectDir = fs.Bool("perfect-dir", false, "zero-latency directory lookup")
 		listConfig = fs.Bool("list-config", false, "print the Table 1 system parameters and exit")
-		list       = fs.Bool("list", false, "list registered protocols, policies, topologies, workloads, and experiments, then exit")
+		list       = fs.Bool("list", false, "list registered protocols, policies, topologies, workloads, probes, and experiments, then exit")
+		columns    = fs.String("columns", "", "emit the custom point as CSV with these comma-separated columns (identity fields and metric names) instead of the statistics block")
+		listMet    = fs.Bool("list-metrics", false, "list the metric schema of the selected protocol/topo/workload, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +78,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		printConfig(stdout)
 		return nil
 	}
+	if *listMet {
+		descs, err := engine.MetricSchema(harness.Point{
+			Protocol: *protocol, Topo: *topo, Workload: *wl, Procs: *procs,
+		})
+		if err != nil {
+			return err
+		}
+		return engine.WriteMetricSchema(stdout, descs)
+	}
 
 	seedList, err := parseSeeds(*seeds)
 	if err != nil {
@@ -80,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, Seeds: seedList, Parallel: *parallel}
 	if *experiment != "" {
+		if *columns != "" {
+			return fmt.Errorf("-columns applies to custom points and cannot be combined with -experiment (experiments print fixed paper-style tables)")
+		}
 		names := []string{*experiment}
 		if *experiment == "all" {
 			names = harness.Experiments()
@@ -111,6 +129,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Procs:  *procs,
 	}
 	eng := engine.Engine{Workers: *parallel}
+	if *columns != "" {
+		// CSV mode: stream the selected identity/metric columns per seed,
+		// rejecting names the point's schema cannot satisfy.
+		names := engine.SplitColumnSpec(*columns)
+		if len(names) == 0 {
+			return fmt.Errorf("-columns %q names no columns", *columns)
+		}
+		descs, err := engine.MetricSchema(plan.Variants[0].Point)
+		if err != nil {
+			return err
+		}
+		if unknown := engine.UnknownColumns(names, descs, nil); len(unknown) > 0 {
+			return fmt.Errorf("unknown column(s) %s (identity fields or metric names from -list-metrics)",
+				strings.Join(unknown, ", "))
+		}
+		sink := &engine.CSVSink{W: stdout, Columns: engine.ColumnsByName(names)}
+		_, err = eng.Execute(context.Background(), plan, sink)
+		return err
+	}
 	results, err := eng.Execute(context.Background(), plan)
 	// Print the completed seeds up to the first failure even when a
 	// later seed errored, as the serial loop used to.
@@ -167,6 +204,7 @@ func printComponents(w io.Writer) {
 	fmt.Fprintf(w, "policies:    %s\n", strings.Join(registry.PolicyNames(), ", "))
 	fmt.Fprintf(w, "topologies:  %s\n", strings.Join(registry.TopologyNames(), ", "))
 	fmt.Fprintf(w, "workloads:   %s\n", strings.Join(registry.WorkloadNames(), ", "))
+	fmt.Fprintf(w, "probes:      %s\n", strings.Join(registry.ProbeNames(), ", "))
 	fmt.Fprintf(w, "experiments: %s\n", strings.Join(harness.Experiments(), ", "))
 }
 

@@ -73,6 +73,61 @@ func TestListComponents(t *testing.T) {
 	}
 }
 
+func TestListMetricsFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list-metrics", "-protocol", "directory"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"cycles_per_txn", "avg_miss_ns", "dir_home_requests"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list-metrics output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "avg miss latency") {
+		t.Errorf("-list-metrics unexpectedly simulated:\n%s", got)
+	}
+	// The schema query goes through the registry: unknown names fail.
+	if err := run([]string{"-list-metrics", "-protocol", "bogus"}, &out, &errw); err == nil {
+		t.Error("-list-metrics with unknown protocol did not error")
+	}
+}
+
+func TestColumnsFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-protocol", "tokenb", "-workload", "oltp",
+		"-procs", "4", "-ops", "200", "-warmup", "200", "-seeds", "2,5",
+		"-columns", "seed,cycles_per_txn,misses,reissues"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 || lines[0] != "seed,cycles_per_txn,misses,reissues" {
+		t.Fatalf("-columns output wrong:\n%s", out.String())
+	}
+	if !strings.HasPrefix(lines[1], "2,") || !strings.HasPrefix(lines[2], "5,") {
+		t.Fatalf("-columns rows not in seed order:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "avg miss latency") {
+		t.Errorf("-columns also printed the statistics block:\n%s", out.String())
+	}
+}
+
+func TestColumnsFlagConflictsAndTypos(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-experiment", "table2", "-columns", "seed"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-experiment") {
+		t.Fatalf("-columns with -experiment: err = %v, want rejection", err)
+	}
+	err = run([]string{"-protocol", "tokenb", "-columns", "seed,cycles_per_tx"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "cycles_per_tx") {
+		t.Fatalf("typoed column: err = %v, want unknown-column rejection", err)
+	}
+	if err := run([]string{"-protocol", "tokenb", "-columns", ","}, &out, &errw); err == nil {
+		t.Fatal("all-blank -columns spec not rejected")
+	}
+}
+
 func TestUnknownNamesReportRegistered(t *testing.T) {
 	var out, errw bytes.Buffer
 	err := run([]string{"-protocol", "bogus", "-ops", "50", "-procs", "4"}, &out, &errw)

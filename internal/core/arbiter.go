@@ -5,6 +5,7 @@ import (
 
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
+	"tokencoherence/internal/stats"
 )
 
 // arbPhase is the arbiter state machine of Figure 3c.
@@ -39,6 +40,9 @@ type Arbiter struct {
 
 	// Activations counts served persistent requests (for tests/stats).
 	Activations uint64
+	// activations is the same count as a named metric, shared by every
+	// arbiter of the run.
+	activations *stats.Counter
 }
 
 type arbEntry struct {
@@ -52,6 +56,10 @@ type arbEntry struct {
 // NewArbiter builds node id's arbiter and registers it on the network.
 func NewArbiter(sys *machine.System, id msg.NodeID) *Arbiter {
 	a := &Arbiter{sys: sys, id: id}
+	a.activations = sys.Metrics.Counter(stats.Desc{
+		Name: "persistent_activations", Unit: "count", Fmt: "%.0f",
+		Help: "persistent requests activated by home arbiters",
+	})
 	sys.Net.Register(a.Port(), a)
 	return a
 }
@@ -120,6 +128,10 @@ func (a *Arbiter) startActivation() {
 	a.phase = arbActivating
 	a.deactRequested = false
 	a.Activations++
+	a.activations.Inc()
+	if o := a.sys.Obs; o != nil {
+		o.OnPersistentActivated(int(a.id), msg.BlockOf(a.queue[0].addr), a.sys.K.Now())
+	}
 	a.broadcast(msg.KindPersistentActivate, a.queue[0])
 }
 

@@ -7,6 +7,7 @@ import (
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
 )
 
 // TokenB is the Token-Coherence-using-Broadcast performance protocol
@@ -20,6 +21,12 @@ type TokenB struct {
 	machine.CacheBase
 	ledger *Ledger
 	policy Policy
+
+	// reissues and tokenMsgs are the substrate's named metrics, shared
+	// by every controller of the run (the MetricSet deduplicates the
+	// per-node registrations).
+	reissues  *stats.Counter
+	tokenMsgs *stats.Counter
 
 	// persist maps blocks with an active persistent request to the
 	// starving processor's port (the node's hardware table).
@@ -57,6 +64,14 @@ func NewTokenController(sys *machine.System, id msg.NodeID, ledger *Ledger, poli
 		starvingSeq: make(map[msg.Block]uint64),
 	}
 	c.InitBase(sys, id, c)
+	c.reissues = sys.Metrics.Counter(stats.Desc{
+		Name: "reissues", Unit: "count", Fmt: "%.0f",
+		Help: "transient-request reissue broadcasts (Token Coherence)",
+	})
+	c.tokenMsgs = sys.Metrics.Counter(stats.Desc{
+		Name: "token_transfers", Unit: "count", Fmt: "%.0f",
+		Help: "token-carrying messages received by cache controllers",
+	})
 	sys.Net.Register(c.CachePort(), c)
 	return c
 }
@@ -125,6 +140,10 @@ func (c *TokenB) onTimeout(m *machine.MSHR) {
 		return
 	}
 	m.Reissues++
+	c.reissues.Inc()
+	if o := c.Sys.Obs; o != nil {
+		o.OnReissued(int(c.ID), m.Block, m.Reissues, c.K.Now())
+	}
 	c.broadcastTransient(m, msg.CatReissue)
 	c.armTimer(m)
 }
@@ -259,6 +278,10 @@ func (c *TokenB) dropLine(b msg.Block) {
 func (c *TokenB) receiveTokens(m *msg.Message) {
 	b := msg.BlockOf(m.Addr)
 	c.ledger.Received(b, m.Tokens, m.Owner)
+	c.tokenMsgs.Inc()
+	if o := c.Sys.Obs; o != nil {
+		o.OnTokensTransferred(int(c.ID), b, m.Tokens, c.K.Now())
+	}
 	c.policy.Observe(c, m)
 	if starver, active := c.persist[b]; active && starver != c.CachePort() {
 		// Tokens arriving while another node's persistent request is

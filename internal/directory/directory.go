@@ -19,6 +19,7 @@ import (
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
 )
 
 // MOSI stable states in cache.Line.State.
@@ -464,11 +465,18 @@ type Memory struct {
 	sys   *machine.System
 	id    msg.NodeID
 	lines map[msg.Block]*dirLine
+	// homeReqs is the protocol's named metric: transactions serialized
+	// at home directories.
+	homeReqs *stats.Counter
 }
 
 // NewMemory builds and registers node id's directory controller.
 func NewMemory(sys *machine.System, id msg.NodeID) *Memory {
 	m := &Memory{sys: sys, id: id, lines: make(map[msg.Block]*dirLine)}
+	m.homeReqs = sys.Metrics.Counter(stats.Desc{
+		Name: "dir_home_requests", Unit: "count", Fmt: "%.0f",
+		Help: "requests serialized at home directories",
+	})
 	sys.Net.Register(m.Port(), m)
 	return m
 }
@@ -526,6 +534,7 @@ func (m *Memory) send(out *msg.Message, lat sim.Time) {
 }
 
 func (m *Memory) process(l *dirLine, mm *msg.Message) {
+	m.homeReqs.Inc()
 	req := mm.Requester
 	l.seq++
 	seq := l.seq

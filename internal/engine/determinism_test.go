@@ -21,8 +21,9 @@ func TestSweepDeterminismSerialVsParallel(t *testing.T) {
 		t.Run(kind, func(t *testing.T) {
 			t.Parallel()
 			// apache completes a transaction every 120 operations, so 150
-			// measured ops per processor keep every metric finite (the
-			// JSONL sink rejects the +Inf a transaction-less run reports).
+			// measured ops per processor keep every metric finite (a
+			// transaction-less run would serialize null cycles_per_txn,
+			// hiding the runtime metric this test wants covered).
 			plan, cols, err := sweeps.ByKind(kind, "apache", 3)
 			if err != nil {
 				t.Fatal(err)

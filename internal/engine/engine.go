@@ -16,7 +16,11 @@ import (
 type Result struct {
 	Job
 	Run *stats.Run
-	Err error
+	// Metrics is the run's metric snapshot: every named metric the
+	// machine, interconnect, protocol, and registered probes published.
+	// Sinks and column selectors read results through it by name.
+	Metrics *stats.Snapshot
+	Err     error
 }
 
 // Engine executes a Plan's jobs on a bounded worker pool. The zero
@@ -92,7 +96,7 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 				if err := runCtx.Err(); err != nil {
 					results[i].Err = err
 				} else {
-					results[i].Run, results[i].Err = runIsolated(results[i].Point)
+					results[i].Run, results[i].Metrics, results[i].Err = runIsolated(results[i].Point)
 				}
 				doneCh <- i
 			}
@@ -145,12 +149,12 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 
 // runIsolated executes one point, converting a panic into an error so a
 // single bad configuration cannot take down the whole sweep.
-func runIsolated(pt Point) (run *stats.Run, err error) {
+func runIsolated(pt Point) (run *stats.Run, snap *stats.Snapshot, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: point %s/%s/%s panicked: %v\n%s",
 				pt.Protocol, pt.Topo, pt.Workload, r, debug.Stack())
 		}
 	}()
-	return RunPoint(pt)
+	return RunPointMetrics(pt)
 }

@@ -159,11 +159,52 @@ func (pt Point) Validate() error {
 // an audit (Token Coherence checks token conservation) are audited after
 // the run.
 func RunPoint(pt Point) (*stats.Run, error) {
+	run, _, err := RunPointMetrics(pt)
+	return run, err
+}
+
+// RunPointMetrics executes one point and additionally returns its metric
+// snapshot: every measurement the machine, interconnect, protocol, and
+// registered probes published, captured after the run (and after the
+// protocol audit, when one is declared). The snapshot is non-nil
+// whenever a simulation actually ran, even one that then failed.
+func RunPointMetrics(pt Point) (*stats.Run, *stats.Snapshot, error) {
 	pt = pt.withDefaults()
 	comps, err := pt.resolve()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	sys, ctrls, audit, err := buildMachine(pt, comps)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	gen := pt.Gen
+	if pt.NewGen != nil {
+		gen = pt.NewGen(pt.Procs)
+	}
+	if gen == nil {
+		gen = comps.wl.New(pt.Procs)
+	}
+
+	run, err := sys.ExecuteWarm(ctrls, gen, pt.Warmup, pt.Ops)
+	if err != nil {
+		return run, sys.Metrics.Snapshot(), fmt.Errorf("%s/%s/%s: %w", pt.Protocol, comps.topo.Name, pt.Workload, err)
+	}
+	if audit != nil {
+		if err := audit(); err != nil {
+			return run, sys.Metrics.Snapshot(), fmt.Errorf("%s/%s/%s: %w", pt.Protocol, comps.topo.Name, pt.Workload, err)
+		}
+	}
+	return run, sys.Metrics.Snapshot(), nil
+}
+
+// buildMachine constructs the point's machine: configuration, topology,
+// system, the protocol's controllers (whose constructors publish the
+// protocol metrics), and finally every registered probe, attached in
+// registration order so probe metrics land after the built-ins in the
+// schema.
+func buildMachine(pt Point, comps components) (*machine.System, []machine.Controller, func() error, error) {
 	cfg := machine.DefaultConfig()
 	cfg.Procs = pt.Procs
 	if cfg.TokensPerBlock < pt.Procs {
@@ -181,29 +222,67 @@ func RunPoint(pt Point) (*stats.Run, error) {
 
 	topo := comps.topo.New(pt.Procs)
 	if topo.Ordered() != comps.topo.Ordered {
-		return nil, fmt.Errorf("engine: topology %q reports Ordered()=%v but is registered with Ordered=%v",
+		return nil, nil, nil, fmt.Errorf("engine: topology %q reports Ordered()=%v but is registered with Ordered=%v",
 			comps.topo.Name, topo.Ordered(), comps.topo.Ordered)
-	}
-
-	gen := pt.Gen
-	if pt.NewGen != nil {
-		gen = pt.NewGen(pt.Procs)
-	}
-	if gen == nil {
-		gen = comps.wl.New(pt.Procs)
 	}
 
 	sys := machine.NewSystem(cfg, topo, pt.Seed)
 	ctrls, audit := comps.proto.Build(sys)
-
-	run, err := sys.ExecuteWarm(ctrls, gen, pt.Warmup, pt.Ops)
-	if err != nil {
-		return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, comps.topo.Name, pt.Workload, err)
+	for _, pr := range registry.Probes() {
+		sys.Observe(pr.New(sys.Metrics))
 	}
-	if audit != nil {
-		if err := audit(); err != nil {
-			return run, fmt.Errorf("%s/%s/%s: %w", pt.Protocol, comps.topo.Name, pt.Workload, err)
+	return sys, ctrls, audit, nil
+}
+
+// MetricSchema reports the metric schema the point's simulation will
+// expose — machine, interconnect, protocol, and probe metrics, in their
+// deterministic registration order — without running it. The schema
+// depends on the protocol (each publishes its own metrics) and on the
+// registered probes; it does not depend on the workload, so the
+// point's workload may be left empty.
+func MetricSchema(pt Point) ([]stats.Desc, error) {
+	pt = pt.withDefaults()
+	if pt.Workload == "" && pt.Gen == nil && pt.NewGen == nil {
+		pt.NewGen = func(procs int) machine.Generator { return nil }
+	}
+	comps, err := pt.resolve()
+	if err != nil {
+		return nil, err
+	}
+	sys, _, _, err := buildMachine(pt, comps)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Metrics.Descs(), nil
+}
+
+// PlanMetricSchema unions MetricSchema over a plan's jobs — one query
+// per distinct protocol, first-seen order, deduplicated by name — so
+// discovery and column validation for mixed-protocol plans cover every
+// protocol-specific metric any row can publish.
+func PlanMetricSchema(plan Plan) ([]stats.Desc, error) {
+	jobs, err := plan.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	seenProto := make(map[string]bool)
+	seenName := make(map[string]bool)
+	var out []stats.Desc
+	for _, j := range jobs {
+		if seenProto[j.Point.Protocol] {
+			continue
+		}
+		seenProto[j.Point.Protocol] = true
+		descs, err := MetricSchema(j.Point)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range descs {
+			if !seenName[d.Name] {
+				seenName[d.Name] = true
+				out = append(out, d)
+			}
 		}
 	}
-	return run, nil
+	return out, nil
 }

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/stats"
@@ -31,42 +33,144 @@ func TagColumn(name string) Column {
 	return Column{Name: name, Value: func(r Result) string { return r.Tags[name] }}
 }
 
+// MetricColumn selects a metric by name from each result's snapshot,
+// rendered with the metric's declared format verb, so any measurement a
+// component or probe publishes — not just the hand-picked defaults — can
+// appear as a CSV column. A result whose schema lacks the metric (a
+// protocol that does not publish it) yields an empty cell.
+func MetricColumn(name string) Column {
+	return Column{Name: name, Value: func(r Result) string {
+		if r.Metrics == nil {
+			return ""
+		}
+		s, _ := r.Metrics.Formatted(name)
+		return s
+	}}
+}
+
+// Point-identity columns, selectable by name alongside metrics.
+var (
+	colVariant   = Column{"variant", func(r Result) string { return r.Variant }}
+	colTopo      = Column{"topo", func(r Result) string { return r.Point.Topo }}
+	colWorkload  = Column{"workload", func(r Result) string { return r.Point.Workload }}
+	colMutation  = Column{"mutation", func(r Result) string { return r.Mutation }}
+	colSeed      = Column{"seed", func(r Result) string { return strconv.FormatUint(r.Point.Seed, 10) }}
+	colUnlimited = Column{"unlimited", func(r Result) string { return strconv.FormatBool(r.Point.Unlimited) }}
+)
+
+// identityColumns lists them in DefaultColumns order.
+var identityColumns = []Column{
+	colVariant, ColProtocol, colTopo, colWorkload,
+	colMutation, colSeed, colUnlimited, ColProcs,
+}
+
+// ColumnByName resolves one column name: first the point-identity
+// columns (variant, protocol, topo, workload, mutation, seed, unlimited,
+// procs), then the result's metric schema, then its mutation tags. The
+// returned column never fails at selection time — an unknown name simply
+// renders empty cells — because the metric schema can vary per result in
+// a mixed-protocol plan.
+func ColumnByName(name string) Column {
+	for _, c := range identityColumns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return Column{Name: name, Value: func(r Result) string {
+		if r.Metrics != nil {
+			if s, ok := r.Metrics.Formatted(name); ok {
+				return s
+			}
+		}
+		return r.Tags[name]
+	}}
+}
+
+// ColumnsByName resolves a list of column names (see ColumnByName), the
+// engine-side implementation of the commands' -columns flag.
+func ColumnsByName(names []string) []Column {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = ColumnByName(n)
+	}
+	return cols
+}
+
+// SplitColumnSpec parses a comma-separated column-name list (the
+// commands' -columns flag syntax): blanks are trimmed, empty entries
+// dropped.
+func SplitColumnSpec(spec string) []string {
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// UnknownColumns returns the entries of names that match no identity
+// column, no metric in descs, and no tag key in tags — so commands can
+// reject a typoed -columns selection up front with the valid names,
+// instead of silently rendering empty cells. (Per-result resolution
+// still tolerates schema-less names: a mixed-protocol plan legitimately
+// lacks some metrics on some results.)
+func UnknownColumns(names []string, descs []stats.Desc, tags []string) []string {
+	known := make(map[string]bool, len(identityColumns)+len(descs)+len(tags))
+	for _, c := range identityColumns {
+		known[c.Name] = true
+	}
+	for _, d := range descs {
+		known[d.Name] = true
+	}
+	for _, t := range tags {
+		known[t] = true
+	}
+	var unknown []string
+	for _, n := range names {
+		if !known[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	return unknown
+}
+
+// WriteMetricSchema renders a metric schema as the commands'
+// -list-metrics table: name, unit, help, one metric per line.
+func WriteMetricSchema(w io.Writer, descs []stats.Desc) error {
+	for _, d := range descs {
+		if _, err := fmt.Fprintf(w, "%-24s %-12s %s\n", d.Name, d.Unit, d.Help); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Shared point-identity and metric columns; custom sweeps compose these
 // with TagColumn so their output formats stay in sync with
-// DefaultColumns.
+// DefaultColumns. The metric columns read the run's snapshot by name;
+// their formats come from the metric schema (see machine.System).
 var (
-	ColProtocol     = Column{"protocol", func(r Result) string { return r.Point.Protocol }}
-	ColProcs        = Column{"procs", func(r Result) string { return strconv.Itoa(r.Point.Procs) }}
-	ColCyclesPerTxn = Column{"cycles_per_txn", func(r Result) string { return fmt.Sprintf("%.2f", r.Run.CyclesPerTransaction()) }}
-	ColAvgMissNS    = Column{"avg_miss_ns", func(r Result) string { return fmt.Sprintf("%.1f", r.Run.AvgMissLatency().Nanoseconds()) }}
-	ColBytesPerMiss = Column{"bytes_per_miss", func(r Result) string { return fmt.Sprintf("%.1f", r.Run.BytesPerMiss()) }}
-	ColReissuedPct  = Column{"reissued_pct", func(r Result) string {
-		m := r.Run.Misses
-		return fmt.Sprintf("%.2f", m.Frac(m.ReissuedOnce+m.ReissuedMore))
-	}}
-	ColPersistentPct = Column{"persistent_pct", func(r Result) string {
-		m := r.Run.Misses
-		return fmt.Sprintf("%.3f", m.Frac(m.Persistent))
-	}}
+	ColProtocol      = Column{"protocol", func(r Result) string { return r.Point.Protocol }}
+	ColProcs         = Column{"procs", func(r Result) string { return strconv.Itoa(r.Point.Procs) }}
+	ColCyclesPerTxn  = MetricColumn("cycles_per_txn")
+	ColAvgMissNS     = MetricColumn("avg_miss_ns")
+	ColBytesPerMiss  = MetricColumn("bytes_per_miss")
+	ColReissuedPct   = MetricColumn("reissued_pct")
+	ColPersistentPct = MetricColumn("persistent_pct")
 )
 
 // DefaultColumns identify the point and report the headline metrics.
 func DefaultColumns() []Column {
-	return []Column{
-		{"variant", func(r Result) string { return r.Variant }},
-		ColProtocol,
-		{"topo", func(r Result) string { return r.Point.Topo }},
-		{"workload", func(r Result) string { return r.Point.Workload }},
-		{"mutation", func(r Result) string { return r.Mutation }},
-		{"seed", func(r Result) string { return strconv.FormatUint(r.Point.Seed, 10) }},
-		{"unlimited", func(r Result) string { return strconv.FormatBool(r.Point.Unlimited) }},
-		ColProcs,
+	cols := make([]Column, 0, len(identityColumns)+5)
+	cols = append(cols, identityColumns...)
+	return append(cols,
 		ColCyclesPerTxn,
 		ColAvgMissNS,
 		ColBytesPerMiss,
 		ColReissuedPct,
 		ColPersistentPct,
-	}
+	)
 }
 
 // CSVSink writes a header then one row per successful result.
@@ -106,26 +210,45 @@ func (s *CSVSink) writeRow(field func(Column) string) error {
 
 // --- JSON lines --------------------------------------------------------
 
-// JSONLSink writes one JSON object per successful result.
+// JSONLSink writes one JSON object per successful result: the point's
+// identity, the headline metrics as top-level fields (null when
+// non-finite), and the full metric map (every named metric whose value
+// is finite — JSON cannot encode the Inf a transaction-less run
+// reports — with keys sorted by the JSON encoder, hence deterministic).
 type JSONLSink struct {
 	W io.Writer
 }
 
+// jsonFloat marshals like a plain float64 except that the non-finite
+// values JSON cannot encode (the +Inf a transaction-less run reports)
+// become null instead of failing the whole sweep at its last step.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
 type jsonlRecord struct {
-	Variant       string            `json:"variant"`
-	Protocol      string            `json:"protocol"`
-	Topo          string            `json:"topo"`
-	Workload      string            `json:"workload,omitempty"`
-	Mutation      string            `json:"mutation,omitempty"`
-	Tags          map[string]string `json:"tags,omitempty"`
-	Seed          uint64            `json:"seed"`
-	Unlimited     bool              `json:"unlimited,omitempty"`
-	Procs         int               `json:"procs,omitempty"`
-	CyclesPerTxn  float64           `json:"cycles_per_txn"`
-	AvgMissNS     float64           `json:"avg_miss_ns"`
-	BytesPerMiss  float64           `json:"bytes_per_miss"`
-	ReissuedPct   float64           `json:"reissued_pct"`
-	PersistentPct float64           `json:"persistent_pct"`
+	Variant       string             `json:"variant"`
+	Protocol      string             `json:"protocol"`
+	Topo          string             `json:"topo"`
+	Workload      string             `json:"workload,omitempty"`
+	Mutation      string             `json:"mutation,omitempty"`
+	Tags          map[string]string  `json:"tags,omitempty"`
+	Seed          uint64             `json:"seed"`
+	Unlimited     bool               `json:"unlimited,omitempty"`
+	Procs         int                `json:"procs,omitempty"`
+	CyclesPerTxn  jsonFloat          `json:"cycles_per_txn"`
+	AvgMissNS     jsonFloat          `json:"avg_miss_ns"`
+	BytesPerMiss  jsonFloat          `json:"bytes_per_miss"`
+	ReissuedPct   jsonFloat          `json:"reissued_pct"`
+	PersistentPct jsonFloat          `json:"persistent_pct"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Begin implements Sink.
@@ -144,11 +267,14 @@ func (s *JSONLSink) Emit(r Result) error {
 		Seed:          r.Point.Seed,
 		Unlimited:     r.Point.Unlimited,
 		Procs:         r.Point.Procs,
-		CyclesPerTxn:  r.Run.CyclesPerTransaction(),
-		AvgMissNS:     r.Run.AvgMissLatency().Nanoseconds(),
-		BytesPerMiss:  r.Run.BytesPerMiss(),
-		ReissuedPct:   m.Frac(m.ReissuedOnce + m.ReissuedMore),
-		PersistentPct: m.Frac(m.Persistent),
+		CyclesPerTxn:  jsonFloat(r.Run.CyclesPerTransaction()),
+		AvgMissNS:     jsonFloat(r.Run.AvgMissLatency().Nanoseconds()),
+		BytesPerMiss:  jsonFloat(r.Run.BytesPerMiss()),
+		ReissuedPct:   jsonFloat(m.Frac(m.ReissuedOnce + m.ReissuedMore)),
+		PersistentPct: jsonFloat(m.Frac(m.Persistent)),
+	}
+	if r.Metrics != nil {
+		rec.Metrics = r.Metrics.FiniteMap()
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {

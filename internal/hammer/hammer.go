@@ -30,6 +30,7 @@ import (
 	"tokencoherence/internal/cache"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
+	"tokencoherence/internal/stats"
 )
 
 // MOSI stable states in cache.Line.State.
@@ -306,11 +307,18 @@ type Memory struct {
 	// probeDsts caches, per requesting node, the static probe broadcast
 	// set (every cache but the requester's).
 	probeDsts [][]msg.Port
+	// homeReqs is the protocol's named metric: transactions serialized
+	// at home controllers.
+	homeReqs *stats.Counter
 }
 
 // NewMemory builds and registers node id's home controller.
 func NewMemory(sys *machine.System, id msg.NodeID) *Memory {
 	m := &Memory{sys: sys, id: id, lines: make(map[msg.Block]*homeLine)}
+	m.homeReqs = sys.Metrics.Counter(stats.Desc{
+		Name: "hammer_home_requests", Unit: "count", Fmt: "%.0f",
+		Help: "transactions serialized at home controllers",
+	})
 	sys.Net.Register(m.Port(), m)
 	return m
 }
@@ -379,6 +387,7 @@ func (m *Memory) probeTargets(req msg.NodeID) []msg.Port {
 // startGet broadcasts probes to every node except the requester and
 // fetches the memory copy in parallel.
 func (m *Memory) startGet(l *homeLine, mm *msg.Message) {
+	m.homeReqs.Inc()
 	l.busy = true
 	cfg := m.sys.Cfg
 	probe := m.sys.Net.NewMessage()
@@ -399,6 +408,7 @@ func (m *Memory) startGet(l *homeLine, mm *msg.Message) {
 
 // startPut grants the writeback slot.
 func (m *Memory) startPut(l *homeLine, mm *msg.Message) {
+	m.homeReqs.Inc()
 	l.busy = true
 	out := m.sys.Net.NewMessage()
 	*out = msg.Message{

@@ -43,6 +43,11 @@ type Point = engine.Point
 // points are additionally audited for token conservation.
 func Run(pt Point) (*stats.Run, error) { return engine.RunPoint(pt) }
 
+// RunMetrics executes one point and additionally returns its metric
+// snapshot — every named metric the machine, interconnect, protocol,
+// and registered probes published.
+func RunMetrics(pt Point) (*stats.Run, *stats.Snapshot, error) { return engine.RunPointMetrics(pt) }
+
 // Options tunes experiment size; the zero value gives quick defaults.
 type Options struct {
 	// Ops per processor (default 4000).

@@ -88,4 +88,21 @@ func TestNetworkSteadyStateAllocs(t *testing.T) {
 	if allocs > 0 {
 		t.Errorf("steady-state traffic allocates %.1f objects per 5us slice, want 0", allocs)
 	}
+
+	// A counting observer must not break the zero-alloc guarantee either:
+	// the per-hop event is a pooled-free callback into probe code.
+	var hops uint64
+	n.SetObserver(&stats.Observer{
+		NetworkHop: func(link int, cat msg.Category, bytes int, at sim.Time) { hops++ },
+	})
+	allocs = testing.AllocsPerRun(100, func() {
+		k.RunUntil(k.Now() + 5*sim.Microsecond)
+	})
+	n.SetObserver(nil)
+	if hops == 0 {
+		t.Fatal("observer saw no hops")
+	}
+	if allocs > 0 {
+		t.Errorf("traffic with a counting observer allocates %.1f objects per 5us slice, want 0", allocs)
+	}
 }

@@ -97,6 +97,10 @@ type Network struct {
 	pool    msg.Pool
 	freeOps *netOp
 	freeMcs *mcast
+
+	// obs receives per-link-traversal events; nil (the default) keeps
+	// the message path free of observer work.
+	obs *stats.Observer
 }
 
 // New builds a network. traffic may be nil to skip accounting.
@@ -126,6 +130,40 @@ func New(k *sim.Kernel, topo topology.Topology, cfg Config, traffic *stats.Traff
 
 // Topology exposes the underlying fabric.
 func (n *Network) Topology() topology.Topology { return n.topo }
+
+// SetObserver attaches (or clears) the observer that receives NetworkHop
+// events. The machine layer calls this when probes attach; with no
+// observer the hot path pays only a nil check per link traversal.
+func (n *Network) SetObserver(o *stats.Observer) { n.obs = o }
+
+// PublishMetrics registers the network's traffic accounting in ms: total
+// and per-category interconnect bytes and link traversals, read from the
+// same Traffic the run resets at the warmup boundary. It is a no-op for
+// networks built without traffic accounting.
+func (n *Network) PublishMetrics(ms *stats.MetricSet) {
+	tr := n.traffic
+	if tr == nil {
+		return
+	}
+	ms.Derived(stats.Desc{
+		Name: "bytes_total", Unit: "bytes", Fmt: "%.0f",
+		Help: "interconnect bytes, weighted by links traversed",
+	}, func() float64 { return float64(tr.TotalBytes()) })
+	for c := 0; c < msg.NumCategories; c++ {
+		cat := msg.Category(c)
+		ms.Derived(stats.Desc{
+			Name: "bytes_" + cat.Slug(), Unit: "bytes", Fmt: "%.0f",
+			Help: "interconnect bytes in category " + cat.String(),
+		}, func() float64 { return float64(tr.Bytes(cat)) })
+	}
+	for c := 0; c < msg.NumCategories; c++ {
+		cat := msg.Category(c)
+		ms.Derived(stats.Desc{
+			Name: "msgs_" + cat.Slug(), Unit: "count", Fmt: "%.0f",
+			Help: "link traversals by messages in category " + cat.String(),
+		}, func() float64 { return float64(tr.Messages(cat)) })
+	}
+}
 
 // Register attaches a handler to a port. Registering a port twice
 // panics: it always indicates mis-wiring during system construction.
@@ -261,6 +299,9 @@ func (n *Network) hop(m *msg.Message, path []topology.LinkID, t, ser sim.Time) {
 		n.nextFree[link] = d + ser
 	}
 	arrival := d + n.cfg.LinkLatency
+	if n.obs != nil {
+		n.obs.OnNetworkHop(int(link), m.Cat, m.Bytes(), d)
+	}
 	if len(path) == 1 {
 		n.deliver(m, arrival+ser) // tail arrives one serialization later
 		return
@@ -370,6 +411,9 @@ func (n *Network) walk(mc *mcast, nodes []*mcNode, t sim.Time, ser sim.Time) {
 			n.nextFree[nd.link] = d + ser
 		}
 		arrival := d + n.cfg.LinkLatency
+		if n.obs != nil {
+			n.obs.OnNetworkHop(int(nd.link), m.Cat, m.Bytes(), d)
+		}
 		for _, dst := range nd.dests {
 			cp := n.CloneMessage(m)
 			cp.Dst = dst

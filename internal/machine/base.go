@@ -99,6 +99,9 @@ type CacheBase struct {
 	Oracle *Oracle
 	Rng    *sim.Source
 	Hooks  CacheHooks
+	// Sys is the owning system; event sites read Sys.Obs through it so
+	// observers attached after protocol construction are still seen.
+	Sys *System
 
 	L1          *cache.Cache
 	L2          *cache.Cache
@@ -149,6 +152,7 @@ func (b *CacheBase) waiterFor(op Op, done func()) func() {
 
 // InitBase wires the shared state; protocol constructors call it.
 func (b *CacheBase) InitBase(sys *System, id msg.NodeID, hooks CacheHooks) {
+	b.Sys = sys
 	b.K = sys.K
 	b.Net = sys.Net
 	b.ID = id
@@ -201,6 +205,9 @@ func (b *CacheBase) Access(op Op, done func()) {
 	m.Waiters = append(m.Waiters, b.waiterFor(op, done))
 	b.Outstanding[blk] = m
 	b.Run.Misses.Issued++
+	if o := b.Sys.Obs; o != nil {
+		o.OnMissIssued(int(b.ID), blk, op.Write, m.Issued)
+	}
 	if op.Write && b.L2.Lookup(blk) != nil {
 		b.Run.Upgrades++
 	}
@@ -276,6 +283,9 @@ func (b *CacheBase) CompleteMiss(m *MSHR) {
 		b.Run.Misses.ReissuedOnce++
 	case m.Reissues > 1:
 		b.Run.Misses.ReissuedMore++
+	}
+	if o := b.Sys.Obs; o != nil {
+		o.OnMissCompleted(int(b.ID), m.Block, m.Reissues, m.Persistent, lat)
 	}
 	waiters := m.Waiters
 	m.Waiters = nil

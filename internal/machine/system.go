@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tokencoherence/internal/interconnect"
+	"tokencoherence/internal/msg"
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
 	"tokencoherence/internal/topology"
@@ -21,6 +22,27 @@ type System struct {
 	Run    *stats.Run
 	Oracle *Oracle
 	Rng    *sim.Source
+
+	// Metrics is the run's named-metric registry. NewSystem publishes the
+	// machine, kernel, and interconnect measurements; protocol packages
+	// add theirs at Build; probes add derived metrics when they attach.
+	Metrics *stats.MetricSet
+	// Obs fans simulation events out to the attached observers; nil (the
+	// default) keeps every event site a single pointer check. Attach
+	// observers with Observe, never by writing the field.
+	Obs *stats.Observer
+}
+
+// Observe attaches an observer (merging it with any already attached)
+// and propagates the merged chain to the interconnect. Attach before
+// Execute; events fired earlier are lost. A nil observer is a no-op, so
+// probes that only register derived metrics can return nil.
+func (s *System) Observe(o *stats.Observer) {
+	if o == nil {
+		return
+	}
+	s.Obs = stats.MergeObservers(s.Obs, o)
+	s.Net.SetObserver(s.Obs)
 }
 
 // NewSystem wires an empty system. The topology's node count must match
@@ -32,15 +54,80 @@ func NewSystem(cfg Config, topo topology.Topology, seed uint64) *System {
 	}
 	k := sim.NewKernel()
 	run := &stats.Run{}
-	return &System{
-		K:      k,
-		Cfg:    cfg,
-		Topo:   topo,
-		Net:    interconnect.New(k, topo, cfg.Net, &run.Traffic),
-		Run:    run,
-		Oracle: NewOracle(),
-		Rng:    sim.NewSource(seed ^ 0x5bf0_3635_dcf5_9e11),
+	s := &System{
+		K:       k,
+		Cfg:     cfg,
+		Topo:    topo,
+		Net:     interconnect.New(k, topo, cfg.Net, &run.Traffic),
+		Run:     run,
+		Oracle:  NewOracle(),
+		Rng:     sim.NewSource(seed ^ 0x5bf0_3635_dcf5_9e11),
+		Metrics: stats.NewMetricSet(),
 	}
+	s.publishMetrics()
+	s.Net.PublishMetrics(s.Metrics)
+	return s
+}
+
+// publishMetrics registers the machine layer's measurements — everything
+// the Run struct accumulates, plus the kernel's event counts — as named
+// metrics. Registration order is fixed, so the schema is deterministic
+// (see the engine's schema golden test).
+func (s *System) publishMetrics() {
+	ms, r := s.Metrics, s.Run
+	derived := func(name, unit, format, help string, read func() float64) {
+		ms.Derived(stats.Desc{Name: name, Unit: unit, Fmt: format, Help: help}, read)
+	}
+	derived("elapsed_ns", "ns", "%.0f", "measured simulated interval",
+		func() float64 { return r.Elapsed.Nanoseconds() })
+	derived("transactions", "count", "%.0f", "workload transactions completed",
+		func() float64 { return float64(r.Transactions) })
+	derived("cycles_per_txn", "cycles/txn", "%.2f", "runtime in 1 GHz cycles per completed transaction",
+		func() float64 { return r.CyclesPerTransaction() })
+	derived("accesses", "count", "%.0f", "memory operations performed",
+		func() float64 { return float64(r.Accesses) })
+	derived("l1_hits", "count", "%.0f", "accesses satisfied by the L1 latency filter",
+		func() float64 { return float64(r.L1Hits) })
+	derived("l2_hits", "count", "%.0f", "accesses satisfied by the L2",
+		func() float64 { return float64(r.L2Hits) })
+	derived("upgrades", "count", "%.0f", "write misses on a resident readable line",
+		func() float64 { return float64(r.Upgrades) })
+	derived("writebacks", "count", "%.0f", "L2 victim lines evicted through the protocol",
+		func() float64 { return float64(r.Writeback) })
+	derived("misses", "count", "%.0f", "coherence misses issued",
+		func() float64 { return float64(r.Misses.Issued) })
+	derived("misses_not_reissued", "count", "%.0f", "misses satisfied by their first request",
+		func() float64 { return float64(r.Misses.NotReissued()) })
+	derived("misses_reissued_once", "count", "%.0f", "misses reissued exactly once",
+		func() float64 { return float64(r.Misses.ReissuedOnce) })
+	derived("misses_reissued_more", "count", "%.0f", "misses reissued more than once",
+		func() float64 { return float64(r.Misses.ReissuedMore) })
+	derived("misses_persistent", "count", "%.0f", "misses escalated to a persistent request",
+		func() float64 { return float64(r.Misses.Persistent) })
+	derived("reissued_pct", "percent", "%.2f", "percentage of misses reissued at least once",
+		func() float64 { return r.Misses.Frac(r.Misses.ReissuedOnce + r.Misses.ReissuedMore) })
+	derived("persistent_pct", "percent", "%.3f", "percentage of misses resolved persistently",
+		func() float64 { return r.Misses.Frac(r.Misses.Persistent) })
+	derived("avg_miss_ns", "ns", "%.1f", "mean coherence-miss latency",
+		func() float64 { return r.AvgMissLatency().Nanoseconds() })
+	derived("miss_latency_p50_ns", "ns", "%.0f", "median miss latency (histogram bucket upper bound)",
+		func() float64 { return r.MissLatencies.Quantile(0.50).Nanoseconds() })
+	derived("miss_latency_p99_ns", "ns", "%.0f", "99th-percentile miss latency (histogram bucket upper bound)",
+		func() float64 { return r.MissLatencies.Quantile(0.99).Nanoseconds() })
+	derived("miss_latency_max_ns", "ns", "%.0f", "largest observed miss latency",
+		func() float64 { return r.MissLatencies.Max().Nanoseconds() })
+	derived("bytes_per_miss", "bytes/miss", "%.1f", "interconnect bytes per coherence miss",
+		func() float64 { return r.BytesPerMiss() })
+	for c := 0; c < msg.NumCategories; c++ {
+		cat := msg.Category(c)
+		derived("bytes_per_miss_"+cat.Slug(), "bytes/miss", "%.1f",
+			"category "+cat.String()+" bytes per coherence miss",
+			func() float64 { return r.CategoryBytesPerMiss(cat) })
+	}
+	derived("events_scheduled", "count", "%.0f", "kernel events scheduled over the whole run (warmup included)",
+		func() float64 { return float64(s.K.Scheduled()) })
+	derived("events_executed", "count", "%.0f", "kernel events fired over the whole run (warmup included)",
+		func() float64 { return float64(s.K.Executed()) })
 }
 
 // Execute drives opsPerProc operations from gen through each controller
@@ -75,6 +162,7 @@ func (s *System) ExecuteWarm(ctrls []Controller, gen Generator, warmup, opsPerPr
 				cold--
 				if cold == 0 {
 					s.Run.Reset()
+					s.Metrics.Reset()
 					warmStart = s.K.Now()
 				}
 			}

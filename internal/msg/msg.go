@@ -210,6 +210,22 @@ func (c Category) String() string {
 	return fmt.Sprintf("Category(%d)", uint8(c))
 }
 
+// Slug returns the category's identifier-safe short name, used to build
+// per-category metric names like "bytes_request".
+func (c Category) Slug() string {
+	switch c {
+	case CatRequest:
+		return "request"
+	case CatReissue:
+		return "reissue"
+	case CatControl:
+		return "control"
+	case CatData:
+		return "data"
+	}
+	return fmt.Sprintf("category%d", uint8(c))
+}
+
 // Message is one coherence message. A message is owned by the network
 // from Send/Multicast until delivery; each destination receives its own
 // copy and may mutate it freely during Handle. The network recycles the

@@ -75,8 +75,9 @@ func init() {
 		}
 		p := params
 		RegisterWorkload(Workload{
-			Name: name,
-			New:  func(procs int) machine.Generator { return workload.NewGenerator(p, procs) },
+			Name:   name,
+			New:    func(procs int) machine.Generator { return workload.NewGenerator(p, procs) },
+			Params: &p,
 		})
 	}
 }

@@ -35,7 +35,9 @@ import (
 
 	"tokencoherence/internal/core"
 	"tokencoherence/internal/machine"
+	"tokencoherence/internal/stats"
 	"tokencoherence/internal/topology"
+	"tokencoherence/internal/workload"
 )
 
 // table is the shared registry mechanism: a named-component map with a
@@ -256,6 +258,12 @@ type Workload struct {
 	// New builds a fresh generator for procs processors. Generators carry
 	// mutable per-processor state, so every simulation point gets its own.
 	New func(procs int) machine.Generator
+
+	// Params optionally carries the synthetic-workload parameters behind
+	// New, so parameter-inspection surfaces (the facade's Workload
+	// function) resolve through the registry like every lookup. Nil marks
+	// an opaque generator factory.
+	Params *workload.Params
 }
 
 var workloads = newTable[Workload]("workload")
@@ -276,3 +284,50 @@ func LookupWorkload(name string) (Workload, bool) { return workloads.lookup(name
 // (the paper's three commercial workloads first, then barnes, then any
 // user registrations).
 func WorkloadNames() []string { return workloads.list() }
+
+// --- Probes -------------------------------------------------------------
+
+// Probe describes one registered measurement probe. Probes are
+// cross-cutting: unlike the components above, which a Point selects by
+// name, every registered probe attaches to every simulation the engine
+// runs. New is called once per simulation point with the run's MetricSet;
+// the probe registers the metrics it derives (counters, gauges,
+// histograms, derived values) and returns an Observer subscribing to the
+// events it needs — or nil, for probes that only re-derive existing
+// measurements. Metrics the probe registers reset automatically at the
+// warmup boundary. With no probes registered — the default — observers
+// stay nil and the simulation hot path is untouched.
+type Probe struct {
+	// Name identifies the probe in Components listings.
+	Name string
+
+	// New attaches the probe to one run. It must not retain state across
+	// calls: the engine runs points in parallel, and each call's metrics
+	// and observer belong to one simulation.
+	New func(ms *stats.MetricSet) *stats.Observer
+}
+
+var probes = newTable[Probe]("probe")
+
+// RegisterProbe publishes a probe. It panics if p.Name is empty or
+// already registered, or if p.New is nil.
+func RegisterProbe(p Probe) {
+	if p.New == nil {
+		panic(fmt.Sprintf("registry: probe %q has no New function", p.Name))
+	}
+	probes.register(p.Name, p)
+}
+
+// Probes lists the registered probes in registration order.
+func Probes() []Probe {
+	var out []Probe
+	for _, name := range probes.list() {
+		if p, ok := probes.lookup(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ProbeNames lists the registered probe names in registration order.
+func ProbeNames() []string { return probes.list() }

@@ -8,6 +8,7 @@ import (
 
 	"tokencoherence/internal/core"
 	"tokencoherence/internal/machine"
+	"tokencoherence/internal/stats"
 	"tokencoherence/internal/topology"
 )
 
@@ -170,6 +171,68 @@ func TestRegisterRejectsNilFactories(t *testing.T) {
 	})
 	mustPanic(t, `registry: workload "nilnew" has no New function`, func() {
 		RegisterWorkload(Workload{Name: "nilnew"})
+	})
+	mustPanic(t, `registry: probe "nilnew" has no New function`, func() {
+		RegisterProbe(Probe{Name: "nilnew"})
+	})
+}
+
+// TestBuiltinWorkloadsCarryParams pins the facade's parameter lookup
+// path: every built-in workload registers its Params alongside its
+// generator factory.
+func TestBuiltinWorkloadsCarryParams(t *testing.T) {
+	for _, name := range []string{"apache", "oltp", "specjbb", "barnes"} {
+		wl, ok := LookupWorkload(name)
+		if !ok {
+			t.Fatalf("builtin workload %q missing", name)
+		}
+		if wl.Params == nil || wl.Params.Name != name {
+			t.Errorf("workload %q Params = %+v", name, wl.Params)
+		}
+	}
+}
+
+// TestProbeRegistration pins the probe table's ordering and the
+// attach-time contract (New receives the run's MetricSet).
+func TestProbeRegistration(t *testing.T) {
+	names := []string{"probe-b-test", "probe-a-test"}
+	for _, n := range names {
+		n := n
+		RegisterProbe(Probe{
+			Name: n,
+			New: func(ms *stats.MetricSet) *stats.Observer {
+				ms.Counter(stats.Desc{Name: "metric_" + n})
+				return nil
+			},
+		})
+	}
+	got := ProbeNames()
+	// Registration order, not lexical order.
+	bi, ai := -1, -1
+	for i, n := range got {
+		switch n {
+		case "probe-b-test":
+			bi = i
+		case "probe-a-test":
+			ai = i
+		}
+	}
+	if bi == -1 || ai == -1 || bi > ai {
+		t.Fatalf("ProbeNames() = %v, want probe-b-test before probe-a-test", got)
+	}
+	ms := stats.NewMetricSet()
+	for _, p := range Probes() {
+		if p.Name == "probe-b-test" || p.Name == "probe-a-test" {
+			p.New(ms)
+		}
+	}
+	for _, want := range []string{"metric_probe-b-test", "metric_probe-a-test"} {
+		if _, ok := ms.Lookup(want); !ok {
+			t.Errorf("probe did not register %q (have %v)", want, ms.Names())
+		}
+	}
+	mustPanic(t, `registry: duplicate probe "probe-b-test"`, func() {
+		RegisterProbe(Probe{Name: "probe-b-test", New: func(ms *stats.MetricSet) *stats.Observer { return nil }})
 	})
 }
 

@@ -102,6 +102,11 @@ func (k *Kernel) Now() Time { return k.now }
 // Executed reports how many events have fired so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
+// Scheduled reports how many events have ever been scheduled (fired,
+// cancelled, or still pending). Together with Executed it is the
+// kernel's contribution to the run's metric schema.
+func (k *Kernel) Scheduled() uint64 { return k.seq }
+
 // Pending reports how many events are waiting in the queue.
 func (k *Kernel) Pending() int { return k.live }
 

@@ -32,6 +32,7 @@ import (
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
 )
 
 // MOSI stable states stored in cache.Line.State.
@@ -62,6 +63,9 @@ type Cache struct {
 	// dsts is the broadcast destination scratch buffer, reused across
 	// broadcasts (Multicast copies what it keeps).
 	dsts []msg.Port
+	// broadcasts is the protocol's named metric: address transactions
+	// placed on the ordered fabric (requests and PutMs).
+	broadcasts *stats.Counter
 }
 
 // NewCache builds node id's snooping controller and registers it.
@@ -71,6 +75,10 @@ func NewCache(sys *machine.System, id msg.NodeID) *Cache {
 		deferred: make(map[msg.Block][]*msg.Message),
 	}
 	c.InitBase(sys, id, c)
+	c.broadcasts = sys.Metrics.Counter(stats.Desc{
+		Name: "snoop_broadcasts", Unit: "count", Fmt: "%.0f",
+		Help: "address transactions broadcast on the ordered fabric",
+	})
 	sys.Net.Register(c.CachePort(), c)
 	return c
 }
@@ -97,6 +105,7 @@ func (c *Cache) StartMiss(m *machine.MSHR) {
 // broadcast sends an address transaction to every cache (including this
 // one, to establish its place in the total order) plus the home memory.
 func (c *Cache) broadcast(kind msg.Kind, b msg.Block) {
+	c.broadcasts.Inc()
 	req := c.Net.NewMessage()
 	*req = msg.Message{
 		Kind: kind, Cat: msg.CatRequest,

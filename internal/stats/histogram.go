@@ -41,6 +41,22 @@ func (h *Histogram) Observe(d sim.Time) {
 // Count reports the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Merge folds other's samples into h (bucket-wise), so per-seed
+// distributions can aggregate into one grid-cell distribution.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Mean reports the mean latency.
 func (h *Histogram) Mean() sim.Time {
 	if h.count == 0 {

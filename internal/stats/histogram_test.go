@@ -50,6 +50,72 @@ func TestHistogramQuantileMonotonic(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileValues(t *testing.T) {
+	var h Histogram
+	// 90 fast samples at ~100ns (bucket [64, 128)) and 10 slow ones at
+	// ~10us (bucket [8192, 16384)): the paper's bimodal reissue tail.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * sim.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * sim.Microsecond)
+	}
+	// Quantiles report the containing bucket's upper bound.
+	if got := h.Quantile(0.5); got != 128*sim.Nanosecond {
+		t.Errorf("p50 = %v, want 128ns", got)
+	}
+	if got := h.Quantile(0.90); got != 128*sim.Nanosecond {
+		t.Errorf("p90 = %v, want 128ns", got)
+	}
+	if got := h.Quantile(0.95); got != 16384*sim.Nanosecond {
+		t.Errorf("p95 = %v, want 16.384us", got)
+	}
+	if got := h.Quantile(1.0); got != 16384*sim.Nanosecond {
+		t.Errorf("p100 = %v, want 16.384us", got)
+	}
+	// q<=0 and the empty histogram report zero.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 = %v, want 0", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	samples := []sim.Time{3 * sim.Nanosecond, 90 * sim.Nanosecond, 2 * sim.Microsecond, 40 * sim.Nanosecond}
+	for i, d := range samples {
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		all.Observe(d)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Mean() != all.Mean() || a.Max() != all.Max() {
+		t.Fatalf("merged n=%d mean=%v max=%v, want n=%d mean=%v max=%v",
+			a.Count(), a.Mean(), a.Max(), all.Count(), all.Mean(), all.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q%.2f: merged %v, direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.String() != all.String() {
+		t.Errorf("merged String differs:\n%s\nvs\n%s", a.String(), all.String())
+	}
+	// Merging nil or an empty histogram is a no-op.
+	before := a
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a != before {
+		t.Error("merging nil/empty changed the histogram")
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	var h Histogram
 	h.Observe(-5 * sim.Nanosecond)

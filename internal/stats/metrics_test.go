@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+func TestMetricSetRegistrationOrderAndSchema(t *testing.T) {
+	ms := NewMetricSet()
+	c := ms.Counter(Desc{Name: "c", Unit: "count", Help: "a counter"})
+	g := ms.Gauge(Desc{Name: "g", Unit: "ratio"})
+	h := ms.Histogram(Desc{Name: "h", Unit: "ns"})
+	ms.Derived(Desc{Name: "d", Unit: "x", Fmt: "%.2f"}, func() float64 { return 42.5 })
+
+	if got, want := ms.Names(), []string{"c", "g", "h", "d"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	descs := ms.Descs()
+	if descs[0].Kind != KindCounter || descs[1].Kind != KindGauge ||
+		descs[2].Kind != KindHistogram || descs[3].Kind != KindDerived {
+		t.Fatalf("kinds wrong: %+v", descs)
+	}
+	if descs[0].Fmt != "%g" {
+		t.Errorf("default Fmt = %q, want %%g", descs[0].Fmt)
+	}
+
+	c.Add(3)
+	c.Inc()
+	g.Set(1.5)
+	h.Observe(100 * sim.Nanosecond)
+	h.Observe(300 * sim.Nanosecond)
+
+	if v, ok := ms.Value("c"); !ok || v != 4 {
+		t.Errorf("Value(c) = %v, %v", v, ok)
+	}
+	if v, ok := ms.Value("g"); !ok || v != 1.5 {
+		t.Errorf("Value(g) = %v, %v", v, ok)
+	}
+	if v, ok := ms.Value("h"); !ok || v != 200 {
+		t.Errorf("Value(h) = %v, %v (want histogram mean in ns)", v, ok)
+	}
+	if _, ok := ms.Value("missing"); ok {
+		t.Error("Value(missing) reported ok")
+	}
+	if d, ok := ms.Lookup("d"); !ok || d.Unit != "x" {
+		t.Errorf("Lookup(d) = %+v, %v", d, ok)
+	}
+}
+
+func TestMetricSetSharedRegistration(t *testing.T) {
+	// Per-node components register the same metric once each; identical
+	// descriptors must return the shared instance.
+	ms := NewMetricSet()
+	d := Desc{Name: "acts", Unit: "count", Fmt: "%.0f"}
+	a, b := ms.Counter(d), ms.Counter(d)
+	if a != b {
+		t.Fatal("identical counter registrations did not share storage")
+	}
+	a.Inc()
+	b.Inc()
+	if v, _ := ms.Value("acts"); v != 2 {
+		t.Errorf("shared counter = %v, want 2", v)
+	}
+	if n := len(ms.Names()); n != 1 {
+		t.Errorf("Names() has %d entries, want 1", n)
+	}
+}
+
+func TestMetricSetConflictPanics(t *testing.T) {
+	for name, register := range map[string]func(ms *MetricSet){
+		"different descriptor": func(ms *MetricSet) {
+			ms.Counter(Desc{Name: "m", Unit: "count"})
+			ms.Counter(Desc{Name: "m", Unit: "bytes"})
+		},
+		"different kind": func(ms *MetricSet) {
+			ms.Counter(Desc{Name: "m"})
+			ms.Gauge(Desc{Name: "m"})
+		},
+		"derived re-registration": func(ms *MetricSet) {
+			ms.Derived(Desc{Name: "m"}, func() float64 { return 0 })
+			ms.Derived(Desc{Name: "m"}, func() float64 { return 0 })
+		},
+		"empty name": func(ms *MetricSet) {
+			ms.Counter(Desc{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			register(NewMetricSet())
+		}()
+	}
+}
+
+func TestMetricSetReset(t *testing.T) {
+	ms := NewMetricSet()
+	c := ms.Counter(Desc{Name: "c"})
+	g := ms.Gauge(Desc{Name: "g"})
+	h := ms.Histogram(Desc{Name: "h"})
+	ext := 7.0
+	ms.Derived(Desc{Name: "d"}, func() float64 { return ext })
+
+	c.Add(10)
+	g.Set(3)
+	h.Observe(5 * sim.Nanosecond)
+	ms.Reset()
+
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("owned metrics not zeroed: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+	if v, _ := ms.Value("d"); v != 7 {
+		t.Errorf("derived metric disturbed by Reset: %v", v)
+	}
+	// The returned handles stay live after Reset.
+	c.Inc()
+	if v, _ := ms.Value("c"); v != 1 {
+		t.Errorf("counter dead after Reset: %v", v)
+	}
+}
+
+func TestSnapshotCapturesAndFormats(t *testing.T) {
+	ms := NewMetricSet()
+	c := ms.Counter(Desc{Name: "c", Fmt: "%.0f"})
+	ms.Derived(Desc{Name: "pi", Fmt: "%.2f"}, func() float64 { return 3.14159 })
+	c.Add(5)
+
+	snap := ms.Snapshot()
+	c.Add(100) // must not affect the captured value
+	if v, ok := snap.Value("c"); !ok || v != 5 {
+		t.Errorf("snapshot Value(c) = %v, %v", v, ok)
+	}
+	if s, ok := snap.Formatted("pi"); !ok || s != "3.14" {
+		t.Errorf("Formatted(pi) = %q, %v", s, ok)
+	}
+	if _, ok := snap.Formatted("nope"); ok {
+		t.Error("Formatted(nope) reported ok")
+	}
+	if got, want := snap.Names(), []string{"c", "pi"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot Names() = %v, want %v", got, want)
+	}
+	if d, ok := snap.Desc("pi"); !ok || d.Fmt != "%.2f" {
+		t.Errorf("snapshot Desc(pi) = %+v, %v", d, ok)
+	}
+	if snap.Len() != 2 {
+		t.Errorf("Len = %d", snap.Len())
+	}
+}
+
+func TestSnapshotFiniteMapFiltersNonFinite(t *testing.T) {
+	ms := NewMetricSet()
+	ms.Derived(Desc{Name: "inf"}, func() float64 { return math.Inf(1) })
+	ms.Derived(Desc{Name: "nan"}, func() float64 { return math.NaN() })
+	ms.Derived(Desc{Name: "ok"}, func() float64 { return 1 })
+	m := ms.Snapshot().FiniteMap()
+	if !reflect.DeepEqual(m, map[string]float64{"ok": 1}) {
+		t.Errorf("FiniteMap = %v", m)
+	}
+}
+
+func TestObserverNilSafety(t *testing.T) {
+	var o *Observer
+	// Every dispatcher must be a no-op on a nil observer and on an
+	// observer with unset fields.
+	o.OnMissIssued(0, 1, true, 0)
+	o.OnMissCompleted(0, 1, 0, false, 0)
+	o.OnReissued(0, 1, 1, 0)
+	o.OnPersistentActivated(0, 1, 0)
+	o.OnTokensTransferred(0, 1, 1, 0)
+	o.OnNetworkHop(0, 0, 8, 0)
+	empty := &Observer{}
+	empty.OnMissIssued(0, 1, true, 0)
+	empty.OnNetworkHop(0, 0, 8, 0)
+}
+
+func TestMergeObservers(t *testing.T) {
+	if MergeObservers(nil, nil) != nil {
+		t.Error("merging two nils should stay nil")
+	}
+	a := &Observer{MissIssued: func(proc int, block msg.Block, write bool, at sim.Time) {}}
+	if MergeObservers(a, nil) != a || MergeObservers(nil, a) != a {
+		t.Error("merging with nil should return the other observer unchanged")
+	}
+
+	var order []string
+	mk := func(name string) *Observer {
+		return &Observer{
+			MissIssued: func(proc int, block msg.Block, write bool, at sim.Time) {
+				order = append(order, name+"-issue")
+			},
+			NetworkHop: func(link int, cat msg.Category, bytes int, at sim.Time) {
+				order = append(order, name+"-hop")
+			},
+		}
+	}
+	merged := MergeObservers(MergeObservers(mk("a"), mk("b")), mk("c"))
+	merged.OnMissIssued(1, 2, true, 3)
+	merged.OnNetworkHop(0, msg.CatData, 72, 4)
+	want := []string{"a-issue", "b-issue", "c-issue", "a-hop", "b-hop", "c-hop"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("fan-out order = %v, want %v", order, want)
+	}
+
+	// A merged chain containing an observer with an unset field must not
+	// fire nor crash for that event.
+	order = nil
+	partial := MergeObservers(mk("a"), &Observer{})
+	partial.OnReissued(0, 1, 1, 0)
+	partial.OnMissIssued(0, 1, false, 0)
+	if !reflect.DeepEqual(order, []string{"a-issue"}) {
+		t.Errorf("partial fan-out = %v", order)
+	}
+	// Events neither operand subscribes to stay unsubscribed in the
+	// merged observer, preserving the event sites' nil fast path.
+	if partial.Reissued != nil || partial.MissCompleted != nil || partial.TokensTransferred != nil || partial.PersistentActivated != nil {
+		t.Error("merge subscribed to events neither operand watches")
+	}
+	if partial.MissIssued == nil || partial.NetworkHop == nil {
+		t.Error("merge dropped subscribed events")
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+// Observer subscribes to simulation events so probes can derive metrics
+// the fixed Run counters do not carry (latency CDFs, per-block heat,
+// inter-reissue intervals, ...). Every field is optional; a nil Observer
+// is valid and free. The simulation fires events through the nil-safe
+// On* methods, so with no observer attached — the default — the hot path
+// pays a single nil check per event site and allocates nothing.
+//
+// Events fire during warmup too; metrics a probe registers in the run's
+// MetricSet are zeroed automatically at the warmup boundary (see
+// MetricSet.Reset), so most probes need no warmup handling of their own.
+type Observer struct {
+	// MissIssued fires when a processor's access misses and a new
+	// coherence transaction starts.
+	MissIssued func(proc int, block msg.Block, write bool, at sim.Time)
+	// MissCompleted fires when the miss commits, with its reissue count,
+	// whether it escalated to a persistent request, and its latency.
+	MissCompleted func(proc int, block msg.Block, reissues int, persistent bool, latency sim.Time)
+	// Reissued fires when a Token Coherence transient request times out
+	// and is reissued (attempt counts from 1).
+	Reissued func(proc int, block msg.Block, attempt int, at sim.Time)
+	// PersistentActivated fires when a home arbiter activates a
+	// persistent request (the starvation-avoidance mechanism engaging).
+	PersistentActivated func(home int, block msg.Block, at sim.Time)
+	// TokensTransferred fires when a cache controller receives a
+	// token-carrying message.
+	TokensTransferred func(proc int, block msg.Block, tokens int, at sim.Time)
+	// NetworkHop fires for every interconnect link traversal (unicast
+	// hops and multicast tree edges; local same-node deliveries cross no
+	// link and fire nothing).
+	NetworkHop func(link int, cat msg.Category, bytes int, at sim.Time)
+}
+
+// OnMissIssued fires MissIssued if subscribed. Safe on a nil receiver.
+func (o *Observer) OnMissIssued(proc int, block msg.Block, write bool, at sim.Time) {
+	if o != nil && o.MissIssued != nil {
+		o.MissIssued(proc, block, write, at)
+	}
+}
+
+// OnMissCompleted fires MissCompleted if subscribed. Safe on a nil receiver.
+func (o *Observer) OnMissCompleted(proc int, block msg.Block, reissues int, persistent bool, latency sim.Time) {
+	if o != nil && o.MissCompleted != nil {
+		o.MissCompleted(proc, block, reissues, persistent, latency)
+	}
+}
+
+// OnReissued fires Reissued if subscribed. Safe on a nil receiver.
+func (o *Observer) OnReissued(proc int, block msg.Block, attempt int, at sim.Time) {
+	if o != nil && o.Reissued != nil {
+		o.Reissued(proc, block, attempt, at)
+	}
+}
+
+// OnPersistentActivated fires PersistentActivated if subscribed. Safe on
+// a nil receiver.
+func (o *Observer) OnPersistentActivated(home int, block msg.Block, at sim.Time) {
+	if o != nil && o.PersistentActivated != nil {
+		o.PersistentActivated(home, block, at)
+	}
+}
+
+// OnTokensTransferred fires TokensTransferred if subscribed. Safe on a
+// nil receiver.
+func (o *Observer) OnTokensTransferred(proc int, block msg.Block, tokens int, at sim.Time) {
+	if o != nil && o.TokensTransferred != nil {
+		o.TokensTransferred(proc, block, tokens, at)
+	}
+}
+
+// OnNetworkHop fires NetworkHop if subscribed. Safe on a nil receiver.
+func (o *Observer) OnNetworkHop(link int, cat msg.Category, bytes int, at sim.Time) {
+	if o != nil && o.NetworkHop != nil {
+		o.NetworkHop(link, cat, bytes, at)
+	}
+}
+
+// MergeObservers fans events out to both observers (either may be nil;
+// merging with nil returns the other unchanged). Attaching n probes
+// builds a chain of depth n once, before the simulation starts. The
+// merged observer subscribes to an event only when at least one operand
+// does, so events nobody watches keep their single-nil-check fast path.
+func MergeObservers(a, b *Observer) *Observer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	m := &Observer{}
+	if a.MissIssued != nil || b.MissIssued != nil {
+		m.MissIssued = func(proc int, block msg.Block, write bool, at sim.Time) {
+			a.OnMissIssued(proc, block, write, at)
+			b.OnMissIssued(proc, block, write, at)
+		}
+	}
+	if a.MissCompleted != nil || b.MissCompleted != nil {
+		m.MissCompleted = func(proc int, block msg.Block, reissues int, persistent bool, latency sim.Time) {
+			a.OnMissCompleted(proc, block, reissues, persistent, latency)
+			b.OnMissCompleted(proc, block, reissues, persistent, latency)
+		}
+	}
+	if a.Reissued != nil || b.Reissued != nil {
+		m.Reissued = func(proc int, block msg.Block, attempt int, at sim.Time) {
+			a.OnReissued(proc, block, attempt, at)
+			b.OnReissued(proc, block, attempt, at)
+		}
+	}
+	if a.PersistentActivated != nil || b.PersistentActivated != nil {
+		m.PersistentActivated = func(home int, block msg.Block, at sim.Time) {
+			a.OnPersistentActivated(home, block, at)
+			b.OnPersistentActivated(home, block, at)
+		}
+	}
+	if a.TokensTransferred != nil || b.TokensTransferred != nil {
+		m.TokensTransferred = func(proc int, block msg.Block, tokens int, at sim.Time) {
+			a.OnTokensTransferred(proc, block, tokens, at)
+			b.OnTokensTransferred(proc, block, tokens, at)
+		}
+	}
+	if a.NetworkHop != nil || b.NetworkHop != nil {
+		m.NetworkHop = func(link int, cat msg.Category, bytes int, at sim.Time) {
+			a.OnNetworkHop(link, cat, bytes, at)
+			b.OnNetworkHop(link, cat, bytes, at)
+		}
+	}
+	return m
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -117,6 +118,49 @@ func TestSampleMedianOdd(t *testing.T) {
 	s := Sample{Values: []float64{9, 1, 5}}
 	if got := s.Median(); got != 5 {
 		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+func TestSampleMedianEven(t *testing.T) {
+	// Even n: the median averages the two central order statistics, and
+	// Median must not disturb the sample's own ordering.
+	s := Sample{Values: []float64{9, 1, 5, 3}}
+	if got := s.Median(); got != 4 {
+		t.Errorf("Median = %v, want 4", got)
+	}
+	if !reflect.DeepEqual(s.Values, []float64{9, 1, 5, 3}) {
+		t.Errorf("Median mutated Values: %v", s.Values)
+	}
+	two := Sample{Values: []float64{10, 20}}
+	if got := two.Median(); got != 15 {
+		t.Errorf("Median of two = %v, want 15", got)
+	}
+}
+
+func TestSampleSingleValueStdDev(t *testing.T) {
+	// n=1 has no dispersion estimate; the n-1 denominator must not
+	// divide by zero.
+	s := Sample{Values: []float64{42}}
+	if got := s.StdDev(); got != 0 {
+		t.Errorf("StdDev of single value = %v, want 0", got)
+	}
+	if got := s.Mean(); got != 42 {
+		t.Errorf("Mean = %v, want 42", got)
+	}
+	if got := s.Median(); got != 42 {
+		t.Errorf("Median = %v, want 42", got)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	if got := s.String(); got != "0.0 ± 0.0 (n=0)" {
+		t.Errorf("empty String = %q", got)
+	}
+	s.Add(2)
+	s.Add(4)
+	if got := s.String(); got != "3.0 ± 1.4 (n=2)" {
+		t.Errorf("String = %q", got)
 	}
 }
 

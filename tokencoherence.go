@@ -46,6 +46,9 @@
 //   - RegisterWorkload publishes a memory-reference generator.
 //   - RegisterProtocol publishes a from-scratch protocol for users who
 //     build their own controllers.
+//   - RegisterProbe publishes a measurement probe that subscribes to
+//     simulation events and derives new named metrics, selectable in
+//     CSV output via MetricColumn (see MetricSchema for discovery).
 //
 // Components lists everything registered; Point.Validate (run
 // automatically at plan expansion) rejects unknown names with the
@@ -55,7 +58,9 @@
 package tokencoherence
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"tokencoherence/internal/core"
 	"tokencoherence/internal/engine"
@@ -110,6 +115,18 @@ type Run = stats.Run
 // coherence oracle.
 func Simulate(pt Point) (*Run, error) { return harness.Run(pt) }
 
+// SimulateMetrics executes one simulation point and additionally returns
+// its metric snapshot: every named metric the machine, interconnect,
+// protocol, and registered probes published, readable by name (see
+// MetricSchema for discovery).
+func SimulateMetrics(pt Point) (*Run, *MetricSnapshot, error) { return harness.RunMetrics(pt) }
+
+// MetricSchema reports the named metrics the point's simulation will
+// expose — without running it. The schema is deterministic for a fixed
+// set of registered components and probes; different protocols publish
+// different protocol-specific metrics.
+func MetricSchema(pt Point) ([]MetricDesc, error) { return engine.MetricSchema(pt) }
+
 // Experiments lists the reproducible paper experiments.
 func Experiments() []string { return harness.Experiments() }
 
@@ -156,6 +173,17 @@ type Column = engine.Column
 // TagColumn reads a mutation tag as its own CSV column.
 func TagColumn(name string) Column { return engine.TagColumn(name) }
 
+// MetricColumn selects any published metric by name as a CSV column,
+// rendered with the metric's declared format.
+func MetricColumn(name string) Column { return engine.MetricColumn(name) }
+
+// ColumnByName resolves a column name: point-identity columns first,
+// then metrics, then mutation tags.
+func ColumnByName(name string) Column { return engine.ColumnByName(name) }
+
+// ColumnsByName resolves a list of column names (see ColumnByName).
+func ColumnsByName(names []string) []Column { return engine.ColumnsByName(names) }
+
 // DefaultColumns are CSVSink's standard point-identity and metric
 // columns.
 func DefaultColumns() []Column { return engine.DefaultColumns() }
@@ -170,10 +198,24 @@ type WorkloadParams = workload.Params
 // mixes, barnes, and any workloads added with RegisterWorkload.
 func Workloads() []string { return registry.WorkloadNames() }
 
-// Workload returns the named built-in workload's parameters for
-// inspection or customization (workloads added with RegisterWorkload
-// are opaque generator factories and have no Params).
-func Workload(name string) (WorkloadParams, error) { return workload.Commercial(name) }
+// Workload returns the named workload's parameters for inspection or
+// customization. It resolves through the component registry, so the
+// answer is consistent with Workloads(): an unregistered name errors
+// with the registered alternatives, and a registered workload whose
+// generator factory carries no parameters (most RegisterWorkload
+// registrations) errors with a message saying exactly that instead of
+// pretending the workload does not exist.
+func Workload(name string) (WorkloadParams, error) {
+	w, ok := registry.LookupWorkload(name)
+	if !ok {
+		return WorkloadParams{}, fmt.Errorf("tokencoherence: unknown workload %q (registered: %s)",
+			name, strings.Join(registry.WorkloadNames(), ", "))
+	}
+	if w.Params == nil {
+		return WorkloadParams{}, fmt.Errorf("tokencoherence: workload %q is an opaque generator factory with no inspectable parameters", name)
+	}
+	return *w.Params, nil
+}
 
 // --- Extension API -------------------------------------------------------
 //
@@ -241,6 +283,29 @@ type Op = machine.Op
 // draw from.
 type Source = sim.Source
 
+// Time is a simulated time or duration in picoseconds (observer events
+// carry it).
+type Time = sim.Time
+
+// Common durations expressed in Time units.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// Category classifies interconnect messages for traffic accounting.
+type Category = msg.Category
+
+// Traffic categories (paper Figures 4b, 5b).
+const (
+	CatRequest = msg.CatRequest
+	CatReissue = msg.CatReissue
+	CatControl = msg.CatControl
+	CatData    = msg.CatData
+)
+
 // Generator produces the per-processor operation stream of a workload.
 // Register implementations with RegisterWorkload.
 type Generator = machine.Generator
@@ -268,8 +333,53 @@ type ProtocolSpec = registry.Protocol
 type TopologySpec = registry.Topology
 
 // WorkloadSpec registers a workload: a name and a factory building a
-// fresh Generator for a processor count.
+// fresh Generator for a processor count (plus optional inspectable
+// Params).
 type WorkloadSpec = registry.Workload
+
+// --- Metrics & observability ---------------------------------------------
+
+// MetricDesc is one metric's schema entry: name, unit, help text, and
+// CSV format verb.
+type MetricDesc = stats.Desc
+
+// MetricSet is a run's named-metric registry; probes register the
+// metrics they derive into it.
+type MetricSet = stats.MetricSet
+
+// MetricSnapshot is an immutable capture of a run's metrics, readable by
+// name (Result.Metrics carries one per executed plan job).
+type MetricSnapshot = stats.Snapshot
+
+// CounterMetric is a monotonically increasing event count registered in
+// a MetricSet.
+type CounterMetric = stats.Counter
+
+// GaugeMetric is a point-in-time value registered in a MetricSet.
+type GaugeMetric = stats.Gauge
+
+// LatencyHistogram is a power-of-two-bucketed latency histogram;
+// MetricSet.Histogram registers one whose snapshot value is its mean.
+type LatencyHistogram = stats.Histogram
+
+// Observer subscribes to simulation events (miss issue/complete,
+// reissue, persistent-request activation, token transfer, network hop).
+// All fields are optional; with no observers attached the simulation hot
+// path is untouched.
+type Observer = stats.Observer
+
+// ProbeSpec registers a measurement probe: a name plus a New function
+// called once per simulation with the run's MetricSet, returning the
+// observer the probe wants attached (or nil for derived-only probes).
+// Registered probes attach to every simulation run through this package.
+type ProbeSpec = registry.Probe
+
+// RegisterProbe publishes a measurement probe. Probes derive new named
+// metrics from observer events — latency CDFs, per-category message
+// rates, anything the fixed statistics do not carry — and their metrics
+// are selectable in CSV output via MetricColumn and serialized by
+// JSONLSink like the built-ins. It panics on a duplicate or empty name.
+func RegisterProbe(spec ProbeSpec) { registry.RegisterProbe(spec) }
 
 // RegisterPolicy publishes a token performance policy and makes it
 // runnable as a protocol of the same name on the unmodified correctness
@@ -300,15 +410,17 @@ type ComponentSet struct {
 	Policies   []string
 	Topologies []string
 	Workloads  []string
+	Probes     []string
 }
 
 // Components lists every registered protocol, token performance policy,
-// topology, and workload.
+// topology, workload, and probe.
 func Components() ComponentSet {
 	return ComponentSet{
 		Protocols:  registry.ProtocolNames(),
 		Policies:   registry.PolicyNames(),
 		Topologies: registry.TopologyNames(),
 		Workloads:  registry.WorkloadNames(),
+		Probes:     registry.ProbeNames(),
 	}
 }

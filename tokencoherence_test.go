@@ -50,11 +50,17 @@ func TestRunExperimentFacade(t *testing.T) {
 }
 
 func TestWorkloadFacade(t *testing.T) {
-	if got := Workloads(); len(got) != 4 {
+	// The built-ins are a registration-order prefix; other tests in this
+	// binary may append registrations of their own, so do not assert the
+	// exact length.
+	got := Workloads()
+	if len(got) < 4 {
 		t.Fatalf("Workloads() = %v", got)
 	}
-	if got := Workloads(); got[3] != "barnes" {
-		t.Errorf("Workloads()[3] = %q, want barnes", got[3])
+	for i, want := range []string{"apache", "oltp", "specjbb", "barnes"} {
+		if got[i] != want {
+			t.Errorf("Workloads()[%d] = %q, want %q", i, got[i], want)
+		}
 	}
 	p, err := Workload("apache")
 	if err != nil || p.Name != "apache" {
@@ -62,6 +68,79 @@ func TestWorkloadFacade(t *testing.T) {
 	}
 	if _, err := Workload("nope"); err == nil {
 		t.Error("unknown workload not rejected")
+	}
+}
+
+// fixedStrideGen is a trivial custom workload: every processor strides
+// through its own private region (no sharing, fully deterministic).
+type fixedStrideGen struct {
+	next []Addr
+}
+
+func newFixedStrideGen(procs int) *fixedStrideGen {
+	g := &fixedStrideGen{next: make([]Addr, procs)}
+	for i := range g.next {
+		g.next[i] = Addr(i) << 20
+	}
+	return g
+}
+
+func (g *fixedStrideGen) Next(proc int, rng *Source) Op {
+	a := g.next[proc]
+	g.next[proc] += 64
+	return Op{Addr: a, Write: proc%2 == 0, Think: 2 * Nanosecond, EndTxn: a%1024 == 0}
+}
+
+// TestWorkloadRegistryResolution locks in the registry fix: a workload
+// added through the public facade must be fully visible through it —
+// listed by Workloads, runnable by name, and distinguished by Workload()
+// from a workload that does not exist at all. (It previously reported
+// registered-but-opaque workloads as unknown because it bypassed the
+// registry and consulted only the built-in parameter table.)
+func TestWorkloadRegistryResolution(t *testing.T) {
+	RegisterWorkload(WorkloadSpec{
+		Name: "stride-test",
+		New:  func(procs int) Generator { return newFixedStrideGen(procs) },
+	})
+
+	found := false
+	for _, name := range Workloads() {
+		if name == "stride-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered workload missing from Workloads()")
+	}
+
+	// Workload() resolves through the registry: an opaque registration
+	// is reported as parameterless, not as unknown.
+	_, err := Workload("stride-test")
+	if err == nil || !strings.Contains(err.Error(), "opaque generator factory") {
+		t.Fatalf("Workload(stride-test) = %v, want opaque-factory error", err)
+	}
+	if _, err := Workload("never-registered"); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload") ||
+		!strings.Contains(err.Error(), "stride-test") {
+		t.Fatalf("Workload(never-registered) = %v, want unknown error listing registered names", err)
+	}
+
+	// The registered name is runnable end to end by name.
+	run, err := Simulate(Point{
+		Protocol: ProtoTokenB, Workload: "stride-test",
+		Procs: 4, Ops: 200, Warmup: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Accesses == 0 || run.Transactions == 0 {
+		t.Errorf("implausible custom-workload run: %d accesses, %d transactions", run.Accesses, run.Transactions)
+	}
+
+	// A registration that does carry parameters is inspectable.
+	params, err := Workload("oltp")
+	if err != nil || params.Name != "oltp" {
+		t.Errorf("Workload(oltp) = %+v, %v", params, err)
 	}
 }
 
