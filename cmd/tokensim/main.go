@@ -55,8 +55,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		topo       = fs.String("topo", "torus", "interconnect: "+strings.Join(registry.TopologyNames(), ", "))
 		wl         = fs.String("workload", "oltp", "workload: "+strings.Join(registry.WorkloadNames(), ", "))
 		procs      = fs.Int("procs", 16, "number of processors")
+		maxProcs   = fs.Int("maxprocs", 0, "largest system size the scaling experiment sweeps, up to 256 (default 64)")
 		ops        = fs.Int("ops", 4000, "measured operations per processor")
-		warmup     = fs.Int("warmup", 0, "warmup operations per processor (default 2x ops)")
+		warmup     = fs.Int("warmup", 0, "warmup operations per processor (default 2x ops; negative for a cold-cache run)")
 		seeds      = fs.String("seeds", "1", "comma-separated seeds")
 		parallel   = fs.Int("parallel", 0, "worker pool size for multi-point runs (0 = one per CPU)")
 		unlimited  = fs.Bool("unlimited", false, "unlimited link bandwidth")
@@ -93,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, Seeds: seedList, Parallel: *parallel}
+	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, MaxProcs: *maxProcs, Seeds: seedList, Parallel: *parallel}
 	if *experiment != "" {
 		if *columns != "" {
 			return fmt.Errorf("-columns applies to custom points and cannot be combined with -experiment (experiments print fixed paper-style tables)")
@@ -115,7 +116,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// on the engine's worker pool (results are printed in seed order
 	// regardless of parallelism).
 	w := *warmup
-	if w == 0 {
+	switch {
+	case w < 0:
+		w = engine.NoWarmup // explicitly cold: zero warmup operations
+	case w == 0:
 		w = 2 * *ops
 	}
 	plan := engine.Plan{

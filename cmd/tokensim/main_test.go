@@ -34,6 +34,42 @@ func TestCustomPointSmoke(t *testing.T) {
 	}
 }
 
+// TestScalingMaxProcsFlag drives the scaling experiment through the new
+// -maxprocs axis: the sweep must stop at the requested size and carry
+// the snooping-on-tree column.
+func TestScalingMaxProcsFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-experiment", "scaling", "-maxprocs", "8", "-ops", "60", "-warmup", "60"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "snoop B/miss") {
+		t.Errorf("scaling output missing the snooping-on-tree column:\n%s", got)
+	}
+	if !strings.Contains(got, "\n     8 ") {
+		t.Errorf("scaling output missing the 8-processor row:\n%s", got)
+	}
+	if strings.Contains(got, "\n    16 ") {
+		t.Errorf("-maxprocs 8 sweep ran past 8 processors:\n%s", got)
+	}
+}
+
+// TestColdWarmupFlag: a negative -warmup requests an explicitly cold
+// cache (zero warmup operations), which a plain 0 cannot express (it
+// means "default to 2x ops").
+func TestColdWarmupFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-protocol", "tokenb", "-topo", "torus", "-workload", "oltp",
+		"-procs", "4", "-ops", "200", "-warmup", "-1", "-seeds", "1"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "avg miss latency") {
+		t.Fatalf("cold run produced no statistics:\n%s", out.String())
+	}
+}
+
 func TestBadFlagValues(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run([]string{"-seeds", "nope"}, &out, &errw); err == nil {

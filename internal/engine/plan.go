@@ -70,7 +70,9 @@ type Plan struct {
 	Seeds []uint64
 
 	// Ops, Warmup and Procs apply to every job when nonzero, overriding
-	// the variant's Point.
+	// the variant's Point. Warmup distinguishes "unset" (0, keep the
+	// variant's) from "explicitly cold" (NoWarmup, run zero warmup
+	// operations).
 	Ops    int
 	Warmup int
 	Procs  int
@@ -138,13 +140,17 @@ func (p Plan) Jobs() ([]Job, error) {
 	for _, wl := range workloads {
 		for _, v := range p.Variants {
 			// base is the (workload, variant) cell's point; the inner
-			// axes never change component names, so validating it once
-			// here means an unknown name or an impossible
-			// protocol/topology pair fails at expansion time, before any
+			// axes never change component names or sizing, so validating
+			// it once here means an unknown name, an impossible
+			// protocol/topology pair, or a system size the topology
+			// cannot carry fails at expansion time, before any
 			// simulation starts.
 			base := v.Point
 			if wl != "" {
 				base.Workload = wl
+			}
+			if p.Procs != 0 {
+				base.Procs = p.Procs
 			}
 			if err := base.Validate(); err != nil {
 				return nil, fmt.Errorf("variant %q: %w", v.name(), err)
@@ -164,9 +170,6 @@ func (p Plan) Jobs() ([]Job, error) {
 						}
 						if p.Warmup != 0 {
 							pt.Warmup = p.Warmup
-						}
-						if p.Procs != 0 {
-							pt.Procs = p.Procs
 						}
 						if mut.Apply != nil {
 							base, apply := pt.Mutate, mut.Apply

@@ -63,9 +63,12 @@ type Point struct {
 	// parallel execution.
 	NewGen func(procs int) machine.Generator
 
-	Procs  int
-	Ops    int // operations per processor (measured)
-	Warmup int // cache-warming operations per processor (unmeasured)
+	Procs int
+	Ops   int // operations per processor (measured)
+	// Warmup is the cache-warming operation count per processor
+	// (unmeasured). Negative values (canonically NoWarmup) request an
+	// explicitly cold start; they normalize to zero warmup operations.
+	Warmup int
 	Seed   uint64
 
 	// Unlimited removes the bandwidth limit (infinite links).
@@ -76,6 +79,12 @@ type Point struct {
 	Mutate func(*machine.Config)
 }
 
+// NoWarmup is the explicit-cold sentinel for Point.Warmup, Plan.Warmup,
+// and the harness Options: layers that treat a zero warmup count as
+// "unset, apply the default" pass NoWarmup to request genuinely zero
+// warmup operations (cold-cache measurement).
+const NoWarmup = -1
+
 // withDefaults fills the sizing fields RunPoint would otherwise default
 // internally, so expanded plan jobs report the values that actually ran.
 func (pt Point) withDefaults() Point {
@@ -84,6 +93,9 @@ func (pt Point) withDefaults() Point {
 	}
 	if pt.Ops == 0 {
 		pt.Ops = 4000
+	}
+	if pt.Warmup < 0 {
+		pt.Warmup = 0 // NoWarmup: explicitly cold
 	}
 	return pt
 }
@@ -123,6 +135,11 @@ func (pt Point) resolve() (components, error) {
 				pt.Topo, strings.Join(registry.TopologyNames(), ", "))
 		}
 		c.topo = topo
+	}
+	if c.topo.Check != nil {
+		if err := c.topo.Check(pt.Procs); err != nil {
+			return c, fmt.Errorf("engine: topology %q cannot carry %d processors: %w", c.topo.Name, pt.Procs, err)
+		}
 	}
 	if proto.RequiresOrdered && !c.topo.Ordered {
 		var pairs []string

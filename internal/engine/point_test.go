@@ -93,6 +93,86 @@ func TestGenBearingPointSkipsWorkloadLookup(t *testing.T) {
 	}
 }
 
+func TestValidateTopologySizeCheck(t *testing.T) {
+	// Registered topologies advertise the sizes they can carry; Validate
+	// consults the Check hook so impossible system sizes fail at
+	// plan-expansion time with a clear error, not with a mid-run panic.
+	ok := []Point{
+		{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp", Procs: 256},
+		{Protocol: ProtoSnooping, Topo: TopoTree, Workload: "oltp", Procs: 64},
+		{Protocol: ProtoSnooping, Topo: TopoTree, Workload: "oltp", Procs: 256},
+		{Protocol: ProtoSnooping, Topo: TopoTree, Workload: "oltp", Procs: 100}, // padded leaf layer
+	}
+	for _, pt := range ok {
+		if err := pt.Validate(); err != nil {
+			t.Errorf("Validate(%s/%s procs=%d) = %v, want nil", pt.Protocol, pt.Topo, pt.Procs, err)
+		}
+	}
+	bad := []struct {
+		pt   Point
+		want string
+	}{
+		{Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp", Procs: 7}, "prime"},
+		{Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp", Procs: 2}, "at least 4"},
+		{Point{Protocol: ProtoSnooping, Topo: TopoTree, Workload: "oltp", Procs: 257}, "4..256"},
+	}
+	for _, c := range bad {
+		err := c.pt.Validate()
+		if err == nil {
+			t.Errorf("Validate(%s/%s procs=%d) = nil, want size error", c.pt.Protocol, c.pt.Topo, c.pt.Procs)
+			continue
+		}
+		for _, want := range []string{"cannot carry", c.want} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q missing %q", err, want)
+			}
+		}
+	}
+}
+
+func TestPlanProcsValidatedEarly(t *testing.T) {
+	// The plan-level Procs override participates in expansion-time
+	// validation: a size the topology cannot carry fails at Jobs().
+	plan := Plan{
+		Variants:  []Variant{{Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus}}},
+		Workloads: []string{"oltp"},
+		Procs:     7,
+	}
+	if _, err := plan.Jobs(); err == nil || !strings.Contains(err.Error(), "cannot carry 7") {
+		t.Errorf("plan with prime torus size: err = %v, want early size rejection", err)
+	}
+}
+
+func TestWarmupSentinel(t *testing.T) {
+	// Plan.Warmup = 0 keeps the variant's warmup; NoWarmup forces an
+	// explicitly cold start (zero warmup ops) — previously impossible
+	// because zero was conflated with "unset".
+	variant := Variant{Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp", Warmup: 50}}
+
+	keep := Plan{Variants: []Variant{variant}, Ops: 100}
+	jobs, err := keep.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Point.Warmup != 50 {
+		t.Errorf("Plan.Warmup=0 job warmup = %d, want the variant's 50", jobs[0].Point.Warmup)
+	}
+
+	cold := Plan{Variants: []Variant{variant}, Ops: 100, Warmup: NoWarmup}
+	jobs, err = cold.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Point.Warmup != 0 {
+		t.Errorf("Plan.Warmup=NoWarmup job warmup = %d, want 0", jobs[0].Point.Warmup)
+	}
+
+	// A negative Warmup on the point itself normalizes the same way.
+	if got := (Point{Warmup: NoWarmup}).withDefaults().Warmup; got != 0 {
+		t.Errorf("Point{Warmup: NoWarmup}.withDefaults().Warmup = %d, want 0", got)
+	}
+}
+
 func TestPlanExpansionValidatesEarly(t *testing.T) {
 	// Unknown names fail at Jobs() — before any simulation — with the
 	// offending variant named.

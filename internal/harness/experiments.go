@@ -229,14 +229,27 @@ func PrintTraffic(w io.Writer, title string, bars []TrafficBar) {
 
 // --- Scalability (question 5) -------------------------------------------
 
-// ScalingRow reports traffic per miss at one system size.
+// ScalingRow reports traffic per miss and runtime at one system size,
+// for TokenB, Directory and Hammer on the torus plus the traditional
+// snooping baseline on the ordered broadcast tree.
 type ScalingRow struct {
-	Procs          int
-	TokenBPerMiss  float64
-	DirPerMiss     float64
+	Procs int
+
+	// Bytes per miss, per configuration.
+	TokenBPerMiss float64
+	DirPerMiss    float64
+	HammerPerMiss float64
+	SnoopPerMiss  float64 // snooping on the tree
+
+	// Cycles per transaction, per configuration.
+	TokenBCycles float64
+	DirectoryCyc float64
+	HammerCycles float64
+	SnoopCycles  float64 // snooping on the tree
+
+	// TrafficRatio is TokenB/Directory bytes per miss (the paper's ~2x
+	// at 64 processors); RuntimeRatioTB is Directory/TokenB runtime.
 	TrafficRatio   float64
-	TokenBCycles   float64
-	DirectoryCyc   float64
 	RuntimeRatioTB float64
 }
 
@@ -246,22 +259,35 @@ func uniformGen(procs int) machine.Generator {
 	return workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, procs)
 }
 
+// scalingConfigs are the protocol/fabric pairs the scalability study
+// sweeps across system sizes: the paper's TokenB-vs-Directory torus
+// comparison, extended with Hammer on the torus and the traditional
+// snooping baseline on the multi-level ordered tree (possible beyond 16
+// processors now that the tree is un-capped).
+var scalingConfigs = []struct{ proto, topo string }{
+	{ProtoTokenB, TopoTorus},
+	{ProtoDirectory, TopoTorus},
+	{ProtoHammer, TopoTorus},
+	{ProtoSnooping, TopoTree},
+}
+
 // Scaling runs the uniform-sharing microbenchmark from 4 to maxProcs
 // processors (paper §6 question 5: at 64 processors TokenB uses roughly
-// twice Directory's interconnect bandwidth).
+// twice Directory's interconnect bandwidth). maxProcs may extend to 256;
+// zero defaults to the options' MaxProcs (64 when unset).
 func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
 	if maxProcs == 0 {
-		maxProcs = 64
+		maxProcs = opt.maxProcs()
 	}
 	var sizes []int
 	var variants []engine.Variant
 	for procs := 4; procs <= maxProcs; procs *= 2 {
 		sizes = append(sizes, procs)
-		for _, proto := range []string{ProtoTokenB, ProtoDirectory} {
+		for _, cfg := range scalingConfigs {
 			variants = append(variants, engine.Variant{
-				Name: fmt.Sprintf("%s-%dp", proto, procs),
+				Name: fmt.Sprintf("%s-%dp", cfg.proto, procs),
 				Point: Point{
-					Protocol: proto, Topo: TopoTorus,
+					Protocol: cfg.proto, Topo: cfg.topo,
 					NewGen: uniformGen, Procs: procs,
 				},
 			})
@@ -275,14 +301,21 @@ func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
 	}
 	var rows []ScalingRow
 	for _, procs := range sizes {
-		tb := agg.Find(fmt.Sprintf("%s-%dp", ProtoTokenB, procs), "", "", false)
-		dir := agg.Find(fmt.Sprintf("%s-%dp", ProtoDirectory, procs), "", "", false)
+		cell := func(proto string) *engine.Aggregate {
+			return agg.Find(fmt.Sprintf("%s-%dp", proto, procs), "", "", false)
+		}
+		tb, dir := cell(ProtoTokenB), cell(ProtoDirectory)
+		ham, snp := cell(ProtoHammer), cell(ProtoSnooping)
 		row := ScalingRow{
 			Procs:         procs,
 			TokenBPerMiss: tb.MeanBytesPerMiss(),
 			TokenBCycles:  tb.MeanCyclesPerTxn(),
 			DirPerMiss:    dir.MeanBytesPerMiss(),
 			DirectoryCyc:  dir.MeanCyclesPerTxn(),
+			HammerPerMiss: ham.MeanBytesPerMiss(),
+			HammerCycles:  ham.MeanCyclesPerTxn(),
+			SnoopPerMiss:  snp.MeanBytesPerMiss(),
+			SnoopCycles:   snp.MeanCyclesPerTxn(),
 		}
 		if row.DirPerMiss > 0 {
 			row.TrafficRatio = row.TokenBPerMiss / row.DirPerMiss
@@ -297,11 +330,13 @@ func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
 
 // PrintScaling formats the scalability study.
 func PrintScaling(w io.Writer, rows []ScalingRow) {
-	fmt.Fprintln(w, "Scalability microbenchmark (question 5): TokenB vs Directory, torus")
-	fmt.Fprintf(w, "%6s %16s %16s %14s %16s\n", "procs", "tokenB B/miss", "dir B/miss", "traffic ratio", "dir/tokenB time")
+	fmt.Fprintln(w, "Scalability microbenchmark (question 5): TokenB vs Directory vs Hammer (torus), Snooping (tree)")
+	fmt.Fprintf(w, "%6s %14s %14s %14s %14s %14s %16s\n",
+		"procs", "tokenB B/miss", "dir B/miss", "hammer B/miss", "snoop B/miss", "traffic ratio", "dir/tokenB time")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d %16.1f %16.1f %14.2f %16.2f\n",
-			r.Procs, r.TokenBPerMiss, r.DirPerMiss, r.TrafficRatio, r.RuntimeRatioTB)
+		fmt.Fprintf(w, "%6d %14.1f %14.1f %14.1f %14.1f %14.2f %16.2f\n",
+			r.Procs, r.TokenBPerMiss, r.DirPerMiss, r.HammerPerMiss, r.SnoopPerMiss,
+			r.TrafficRatio, r.RuntimeRatioTB)
 	}
 }
 
@@ -358,7 +393,7 @@ var experiments = []experiment{
 		return nil
 	}},
 	{"scaling", func(w io.Writer, opt Options) error {
-		rows, err := Scaling(opt, 64)
+		rows, err := Scaling(opt, 0) // sweeps up to opt.MaxProcs (default 64)
 		if err != nil {
 			return err
 		}

@@ -39,6 +39,10 @@ const (
 // Point is one simulation configuration.
 type Point = engine.Point
 
+// NoWarmup requests an explicitly cold start (zero warmup operations)
+// where a zero Warmup would mean "unset, use the default".
+const NoWarmup = engine.NoWarmup
+
 // Run executes one point and returns its statistics. Token Coherence
 // points are additionally audited for token conservation.
 func Run(pt Point) (*stats.Run, error) { return engine.RunPoint(pt) }
@@ -52,12 +56,17 @@ func RunMetrics(pt Point) (*stats.Run, *stats.Snapshot, error) { return engine.R
 type Options struct {
 	// Ops per processor (default 4000).
 	Ops int
-	// Warmup ops per processor before measurement (default 2x Ops).
+	// Warmup ops per processor before measurement (default 2x Ops; set
+	// NoWarmup for an explicitly cold-cache measurement — a plain zero
+	// means "unset").
 	Warmup int
 	// Seeds to average over (default {1}).
 	Seeds []uint64
 	// Procs (default 16).
 	Procs int
+	// MaxProcs caps the largest system size the scaling experiment
+	// sweeps (default 64, the paper's §6 endpoint; up to 256).
+	MaxProcs int
 	// Parallel bounds the worker pool that executes the experiment grid
 	// (default 0 = one worker per CPU). Results do not depend on it.
 	Parallel int
@@ -70,11 +79,32 @@ func (o Options) ops() int {
 	return o.Ops
 }
 
+// warmup resolves the warmup axis: NoWarmup (negative) is explicitly
+// cold, zero is unset (default 2x Ops).
 func (o Options) warmup() int {
+	if o.Warmup < 0 {
+		return 0
+	}
 	if o.Warmup == 0 {
 		return 2 * o.ops()
 	}
 	return o.Warmup
+}
+
+// planWarmup encodes warmup() for engine.Plan, where zero means "keep
+// the variant's": an explicitly cold run becomes the NoWarmup sentinel.
+func (o Options) planWarmup() int {
+	if w := o.warmup(); w != 0 {
+		return w
+	}
+	return engine.NoWarmup
+}
+
+func (o Options) maxProcs() int {
+	if o.MaxProcs == 0 {
+		return 64
+	}
+	return o.MaxProcs
 }
 
 func (o Options) seeds() []uint64 {
@@ -103,7 +133,7 @@ func (o Options) plan(variants []engine.Variant) engine.Plan {
 		Variants: variants,
 		Seeds:    o.seeds(),
 		Ops:      o.ops(),
-		Warmup:   o.warmup(),
+		Warmup:   o.planWarmup(),
 		Procs:    o.procs(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"tokencoherence/internal/engine"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/workload"
@@ -213,6 +214,95 @@ func TestScalingShape(t *testing.T) {
 	if rows[0].TrafficRatio >= rows[len(rows)-1].TrafficRatio {
 		t.Errorf("traffic ratio did not grow with system size: %.2f -> %.2f",
 			rows[0].TrafficRatio, rows[len(rows)-1].TrafficRatio)
+	}
+	for _, r := range rows {
+		// The new columns must be populated at every size: Hammer
+		// broadcasts and collects acks, so it burns the most bandwidth;
+		// snooping rides the ordered tree.
+		if r.HammerPerMiss <= r.TokenBPerMiss {
+			t.Errorf("%dp: Hammer traffic (%.1f B/miss) not above TokenB (%.1f)",
+				r.Procs, r.HammerPerMiss, r.TokenBPerMiss)
+		}
+		if r.SnoopPerMiss <= 0 || r.SnoopCycles <= 0 {
+			t.Errorf("%dp: snooping-on-tree column empty (%.1f B/miss, %.1f cyc/txn)",
+				r.Procs, r.SnoopPerMiss, r.SnoopCycles)
+		}
+	}
+}
+
+// TestScaling64Smoke is the CI smoke for large ordered-tree systems: the
+// full scaling sweep — snooping on the multi-level tree included — must
+// carry 64 processors within the -short budget. The snooping run doubles
+// as the total-order proof at 64 nodes: the protocol is only correct on
+// a fabric that delivers broadcasts in one global order, and its oracle
+// audit fails loudly when that order breaks.
+func TestScaling64Smoke(t *testing.T) {
+	rows, err := Scaling(Options{Ops: 100, Warmup: 100}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // 4, 8, 16, 32, 64
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.Procs != 64 {
+		t.Fatalf("last row procs = %d, want 64", last.Procs)
+	}
+	if last.SnoopPerMiss <= 0 || last.SnoopCycles <= 0 {
+		t.Errorf("snooping-on-tree empty at 64 procs (%.1f B/miss, %.1f cyc/txn)",
+			last.SnoopPerMiss, last.SnoopCycles)
+	}
+	if last.TrafficRatio <= rows[0].TrafficRatio {
+		t.Errorf("TokenB/Directory traffic ratio did not grow: %.2f at 4p -> %.2f at 64p",
+			rows[0].TrafficRatio, last.TrafficRatio)
+	}
+}
+
+// TestScaling256 drives the sweep to its 256-processor ceiling — four
+// tree levels, a 16x16 torus — and is skipped in -short mode (the 64p
+// smoke covers large trees there).
+func TestScaling256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-processor sweep skipped in -short mode")
+	}
+	rows, err := Scaling(Options{Ops: 30, Warmup: 30}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 || rows[6].Procs != 256 {
+		t.Fatalf("rows = %d (last procs %d), want 7 up to 256", len(rows), rows[len(rows)-1].Procs)
+	}
+	for _, r := range rows {
+		if r.SnoopPerMiss <= 0 {
+			t.Errorf("%dp: snooping-on-tree column empty", r.Procs)
+		}
+	}
+}
+
+func TestOptionsWarmupSentinel(t *testing.T) {
+	// Zero means unset (2x Ops), NoWarmup means an explicitly cold
+	// cache — the conflation that made cold-cache measurement
+	// impossible is locked out here.
+	if got := (Options{Ops: 500}).warmup(); got != 1000 {
+		t.Errorf("unset warmup = %d, want 1000 (2x Ops)", got)
+	}
+	if got := (Options{Ops: 500, Warmup: 250}).warmup(); got != 250 {
+		t.Errorf("explicit warmup = %d, want 250", got)
+	}
+	if got := (Options{Ops: 500, Warmup: NoWarmup}).warmup(); got != 0 {
+		t.Errorf("NoWarmup warmup = %d, want 0", got)
+	}
+	// The engine plan keeps the distinction: explicit cold reaches the
+	// jobs as zero warmup ops.
+	plan := (Options{Ops: 500, Warmup: NoWarmup}).plan([]engine.Variant{
+		{Point: Point{Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp"}},
+	})
+	jobs, err := plan.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Point.Warmup != 0 {
+		t.Errorf("cold plan job warmup = %d, want 0", jobs[0].Point.Warmup)
 	}
 }
 

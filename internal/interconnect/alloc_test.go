@@ -17,6 +17,7 @@ import (
 type forwarder struct {
 	n     *Network
 	id    msg.NodeID
+	nodes int
 	hops  int
 	dsts  []msg.Port
 	total *int
@@ -31,7 +32,7 @@ func (f *forwarder) Handle(m *msg.Message) {
 	*out = msg.Message{
 		Kind: msg.KindGetS, Cat: msg.CatRequest,
 		Src: msg.Port{Node: f.id, Unit: msg.UnitCache},
-		Dst: msg.Port{Node: (f.id + 3) % 16, Unit: msg.UnitCache},
+		Dst: msg.Port{Node: (f.id + 3) % msg.NodeID(f.nodes), Unit: msg.UnitCache},
 	}
 	f.n.Send(out)
 	if f.id == 0 {
@@ -50,27 +51,48 @@ func (f *forwarder) Handle(m *msg.Message) {
 // TestNetworkSteadyStateAllocs is the interconnect's hard allocation
 // gate: with the message pool, netOp records, multicast slabs and path
 // cache warm, sustained traffic (unicast, local, and broadcast) must
-// allocate nothing per message.
+// allocate nothing per message. The gate covers the paper's 16-node
+// fabrics and both 256-node configurations — the un-capped four-level
+// ordered tree and the 16x16 torus — so the O(n^2) precomputed path
+// cache and the pooled multicast slabs stay allocation-free at the
+// largest size the experiments sweep.
 func TestNetworkSteadyStateAllocs(t *testing.T) {
+	fabrics := []struct {
+		name string
+		topo topology.Topology
+	}{
+		{"torus-16", topology.NewTorus(4, 4)},
+		{"tree-16", topology.NewTree(16)},
+		{"torus-256", topology.NewTorusFor(256)},
+		{"tree-256", topology.NewTree(256)},
+	}
+	for _, f := range fabrics {
+		f := f
+		t.Run(f.name, func(t *testing.T) { testSteadyStateAllocs(t, f.topo) })
+	}
+}
+
+func testSteadyStateAllocs(t *testing.T, topo topology.Topology) {
 	k := sim.NewKernel()
 	var tr stats.Traffic
-	n := New(k, topology.NewTorus(4, 4), DefaultConfig(), &tr)
+	n := New(k, topo, DefaultConfig(), &tr)
+	nodes := topo.Nodes()
 	var dsts []msg.Port
-	for i := 0; i < 16; i++ {
+	for i := 0; i < nodes; i++ {
 		dsts = append(dsts, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
 	}
 	total := 0
-	for i := 0; i < 16; i++ {
+	for i := 0; i < nodes; i++ {
 		n.Register(msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache},
-			&forwarder{n: n, id: msg.NodeID(i), dsts: dsts, total: &total})
+			&forwarder{n: n, id: msg.NodeID(i), nodes: nodes, dsts: dsts, total: &total})
 	}
 	// Seed one token per node and warm all pools.
-	for i := 0; i < 16; i++ {
+	for i := 0; i < nodes; i++ {
 		m := n.NewMessage()
 		*m = msg.Message{
 			Kind: msg.KindGetS, Cat: msg.CatRequest,
 			Src: msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache},
-			Dst: msg.Port{Node: msg.NodeID((i + 1) % 16), Unit: msg.UnitCache},
+			Dst: msg.Port{Node: msg.NodeID((i + 1) % nodes), Unit: msg.UnitCache},
 		}
 		n.Send(m)
 	}

@@ -467,7 +467,9 @@ func TestExecuteWarmResetsStatistics(t *testing.T) {
 func TestExecuteWithoutWarmupCountsEverything(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Procs = 2
-	sys := NewSystem(cfg, topology.NewTorusFor(2), 3)
+	// NewTorusFor rejects sizes below 2x2; an explicit degenerate ring
+	// is fine for this two-controller wiring test.
+	sys := NewSystem(cfg, topology.NewTorus(2, 1), 3)
 	ctrls := []Controller{&warmCtrl{k: sys.K}, &warmCtrl{k: sys.K}}
 	run, err := sys.Execute(ctrls, fixedGen{think: sim.Nanosecond}, 25)
 	if err != nil {

@@ -21,11 +21,13 @@ func init() {
 		Name:    "torus",
 		Ordered: false,
 		New:     func(procs int) topology.Topology { return topology.NewTorusFor(procs) },
+		Check:   topology.CheckTorusFor,
 	})
 	RegisterTopology(Topology{
 		Name:    "tree",
 		Ordered: true,
 		New:     func(procs int) topology.Topology { return topology.NewTree(procs) },
+		Check:   func(procs int) error { return topology.CheckTree(procs, topology.TreeFanout) },
 	})
 
 	// Protocols, in the order the engine historically enumerated them:

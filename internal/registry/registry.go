@@ -205,6 +205,12 @@ type Topology struct {
 
 	// New builds the fabric for procs processor nodes.
 	New func(procs int) topology.Topology
+
+	// Check optionally validates a processor count before construction.
+	// The engine consults it at plan-expansion time (Point.Validate), so
+	// sizes New would panic on fail early with a clear error instead of
+	// mid-run. Nil means every size New accepts.
+	Check func(procs int) error
 }
 
 var topologies = newTable[Topology]("topology")

@@ -273,24 +273,35 @@ func TestRegisteredWorkloadBuildsFreshGenerators(t *testing.T) {
 }
 
 // TestBuiltinTopologySizing pins the constructors behind the entries:
-// the torus accepts any positive size, the tree only the paper's small
-// multiples of four.
+// both fabrics now carry 4..256 processors (the tree multi-level beyond
+// 16), and both advertise a Check that rejects sizes New would panic on
+// — before construction, so plan expansion can fail with a clear error.
 func TestBuiltinTopologySizing(t *testing.T) {
 	torus, _ := LookupTopology("torus")
-	if n := torus.New(64).Nodes(); n != 64 {
-		t.Errorf("torus.New(64).Nodes() = %d", n)
-	}
 	tree, _ := LookupTopology("tree")
-	if n := tree.New(16).Nodes(); n != 16 {
-		t.Errorf("tree.New(16).Nodes() = %d", n)
+	for _, n := range []int{4, 16, 64, 256} {
+		if got := torus.New(n).Nodes(); got != n {
+			t.Errorf("torus.New(%d).Nodes() = %d", n, got)
+		}
+		if got := tree.New(n).Nodes(); got != n {
+			t.Errorf("tree.New(%d).Nodes() = %d", n, got)
+		}
+		if err := torus.Check(n); err != nil {
+			t.Errorf("torus.Check(%d) = %v", n, err)
+		}
+		if err := tree.Check(n); err != nil {
+			t.Errorf("tree.Check(%d) = %v", n, err)
+		}
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("tree.New(64) did not panic")
-			}
-		}()
-		var tp topology.Topology = tree.New(64)
-		_ = tp
-	}()
+	// The tree is capped where the interconnect's O(n^2) path cache and
+	// multicast slabs stop being cheap; the torus rejects primes (dead
+	// North/South links) and sub-2x2 sizes.
+	if err := tree.Check(topology.MaxTreeNodes + 1); err == nil {
+		t.Error("tree.Check(257) = nil, want error")
+	}
+	for _, n := range []int{3, 7} {
+		if err := torus.Check(n); err == nil {
+			t.Errorf("torus.Check(%d) = nil, want error", n)
+		}
+	}
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Source is a small deterministic pseudo-random number generator
 // (SplitMix64). Every stochastic decision in the simulator draws from a
 // Source seeded by the run configuration so that runs replay exactly.
@@ -57,17 +59,29 @@ func (s *Source) Duration(d Time) Time {
 // Bool returns true with probability p.
 func (s *Source) Bool(p float64) bool { return s.Float64() < p }
 
-// Geometric returns a sample from a geometric-like distribution with the
-// given mean, always at least 1. It is used for think times and burst
-// lengths where a long tail is wanted without unbounded values.
+// Geometric returns a sample from a geometric distribution with the
+// given mean (success probability 1/mean, support {1, 2, ...}), always
+// at least 1 and capped at 16x the mean. It is used for think times and
+// burst lengths where a long tail is wanted without unbounded values.
+//
+// The sample is drawn by closed-form inverse-CDF transform — a single
+// Float64 per call — rather than by Bernoulli rejection, which costs
+// O(mean) draws per sample and dominated large-system runs at the
+// workloads' nanosecond-scale mean think times (~6000 draws per
+// generated op at a 6 ns mean).
 func (s *Source) Geometric(mean float64) int {
 	if mean <= 1 {
 		return 1
 	}
-	p := 1 / mean
-	n := 1
-	for n < int(mean*16) && !s.Bool(p) {
-		n++
+	// For U uniform in [0,1), 1 + floor(log(1-U) / log(1-p)) is
+	// geometric with P(n=k) = p(1-p)^(k-1), exactly the distribution
+	// the rejection loop sampled.
+	n := 1 + int(math.Log(1-s.Float64())/math.Log(1-1/mean))
+	if n < 1 {
+		n = 1
+	}
+	if tail := int(mean * 16); n > tail {
+		n = tail
 	}
 	return n
 }

@@ -141,6 +141,62 @@ func TestGeometricMeanAndFloor(t *testing.T) {
 	}
 }
 
+// TestGeometricDistribution locks the closed-form inverse-CDF sampler to
+// the distribution the O(mean) rejection loop produced: sample mean
+// within 2% of the requested mean over 1e5 draws, floor of 1, tail
+// capped at 16x the mean. The 6000 case is the workloads' 6 ns mean
+// think time in picoseconds — the hot-path case the closed form exists
+// for.
+func TestGeometricDistribution(t *testing.T) {
+	for _, mean := range []float64{2, 8, 100, 6000} {
+		s := NewSource(97)
+		const n = 100000
+		tail := int(mean * 16)
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := s.Geometric(mean)
+			if v < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", mean, v)
+			}
+			if v > tail {
+				t.Fatalf("Geometric(%v) = %d above the 16x cap %d", mean, v, tail)
+			}
+			sum += float64(v)
+		}
+		got := sum / n
+		if got < mean*0.98 || got > mean*1.02 {
+			t.Errorf("Geometric(%v) sample mean = %v, want within 2%%", mean, got)
+		}
+	}
+}
+
+// TestGeometricSingleDraw pins the O(1) hot-path property: one sample
+// consumes exactly one value from the stream, where the rejection loop
+// consumed O(mean) (~6000 at the workloads' 6 ns mean think time).
+func TestGeometricSingleDraw(t *testing.T) {
+	a, b := NewSource(5), NewSource(5)
+	for i := 0; i < 100; i++ {
+		a.Geometric(6000)
+		b.Uint64()
+		if a.state != b.state {
+			t.Fatalf("draw %d: Geometric(6000) advanced the stream by more than one value", i)
+		}
+	}
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	// 6000 is the workloads' 6 ns mean think time in picoseconds; the
+	// old rejection loop cost ~6000 RNG draws per sample here.
+	s := NewSource(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Geometric(6000)
+	}
+	benchSink = sink
+}
+
+var benchSink int
+
 // Property: Intn(n) is always within bounds for any positive n.
 func TestPropertyIntnBounds(t *testing.T) {
 	f := func(seed uint64, n uint16) bool {

@@ -1,6 +1,7 @@
 // Package topology models the two interconnect fabrics evaluated in the
-// paper (Figure 1): a two-level totally-ordered pipelined broadcast tree
-// built from discrete switches, and a directly-connected two-dimensional
+// paper (Figure 1): a totally-ordered pipelined broadcast tree built
+// from discrete switches (two levels for the paper's 16 processors,
+// deeper for larger systems), and a directly-connected two-dimensional
 // bidirectional torus with no ordering guarantees.
 //
 // A topology maps (source node, destination node) to an ordered sequence
@@ -72,20 +73,47 @@ func NewTorus(w, h int) *Torus {
 	return &Torus{w: w, h: h}
 }
 
-// NewTorusFor returns a roughly-square torus with exactly n nodes,
-// used by the scalability experiment (4=2x2, 8=4x2, ..., 64=8x8).
+// CheckTorusFor reports whether NewTorusFor can build a proper 2D torus
+// with exactly n nodes: n must be at least 4 (the smallest torus is 2x2)
+// and must factor into two dimensions of at least 2 each. A prime n
+// would degenerate to an n x 1 ring whose North/South links are dead yet
+// counted by NumLinks, skewing per-link traffic metrics, so it is
+// rejected instead.
+func CheckTorusFor(n int) error {
+	if n < 4 {
+		return fmt.Errorf("torus needs at least 4 nodes (2x2), got %d", n)
+	}
+	if squarestFactor(n) < 2 {
+		return fmt.Errorf("torus size %d is prime and would degenerate to a %dx1 ring with dead links; choose a composite size", n, n)
+	}
+	return nil
+}
+
+// squarestFactor returns the largest divisor of n that is at most
+// sqrt(n) — the height of the most-square w x h factorization (w >= h).
+func squarestFactor(n int) int {
+	h := 1
+	for h*h <= n {
+		h++
+	}
+	for h--; h > 1; h-- {
+		if n%h == 0 {
+			return h
+		}
+	}
+	return 1
+}
+
+// NewTorusFor returns the most-square torus with exactly n nodes, used
+// by the scalability experiment (4=2x2, 8=4x2, ..., 64=8x8, 256=16x16).
+// It searches downward from sqrt(n) for the squarest factorization and
+// panics on sizes CheckTorusFor rejects (n < 4 or prime).
 func NewTorusFor(n int) *Torus {
-	if n <= 0 {
-		panic("topology: torus size must be positive")
+	if err := CheckTorusFor(n); err != nil {
+		panic("topology: " + err.Error())
 	}
-	w := 1
-	for w*w < n {
-		w++
-	}
-	for n%w != 0 {
-		w++
-	}
-	return NewTorus(w, n/w)
+	h := squarestFactor(n)
+	return NewTorus(n/h, h)
 }
 
 func (t *Torus) Name() string  { return "torus" }
@@ -163,59 +191,155 @@ func (t *Torus) Path(src, dst msg.NodeID) []LinkID {
 	return path
 }
 
-// Tree is the paper's two-level indirect broadcast tree (Figure 1a):
-// n leaf nodes, n/fanout incoming switches, one root switch, and
-// n/fanout outgoing switches. Every message — unicast or broadcast —
-// crosses four links (node, in-switch, root, out-switch, node), and
-// because all traffic funnels through the single root over FIFO links,
-// broadcasts are delivered to every node in one total order. That total
-// order is what traditional snooping requires; the root is also the
-// fabric's bandwidth bottleneck, which the evaluation exposes.
+// Tree is the paper's indirect broadcast tree (Figure 1a), generalized
+// from the paper's two levels to a k-ary multi-level fabric: n leaf
+// nodes, a tier of incoming switches per level funneling up to a single
+// root switch, and a mirrored tier of outgoing switches per level
+// fanning back down. Every message — unicast or broadcast — climbs
+// Levels() links to the root and descends Levels() links to its
+// destination, and because all traffic funnels through the single root
+// over FIFO links, broadcasts are delivered to every node in one total
+// order. That total order is what traditional snooping requires; the
+// root is also the fabric's bandwidth bottleneck, which the evaluation
+// exposes — more sharply the deeper the tree.
+//
+// For n = fanout^L the tree is the natural complete k-ary tree; any
+// other 4 <= n <= MaxTreeNodes is carried by padding the leaf layer up
+// to the next power of the fanout — switch tiers shrink by ceil
+// division, so only switches with at least one live descendant (and
+// their links) exist, keeping link IDs dense.
 type Tree struct {
 	n      int
 	fanout int
+	levels int
+	// width[t] is the number of entities at tier t: width[0] = n leaf
+	// nodes, then ever-smaller switch tiers up to width[levels] = 1, the
+	// root.
+	width []int
+	// pow[t] = fanout^t, so a node's tier-t ancestor is node/pow[t].
+	pow []int
+	// upOff[t] and downOff[t] are the first link IDs of the level-t
+	// banks (see NumLinks).
+	upOff, downOff []int
+	numLinks       int
+}
+
+// TreeFanout is the paper's switch fan-out of four.
+const TreeFanout = 4
+
+// MaxTreeNodes caps the tree (and the sizes the experiments sweep) at
+// 256 processors: the interconnect precomputes a per-(src,dst) path
+// cache and pools multicast tree slabs, both sized O(n^2), which stay
+// comfortably allocation-gated at this bound.
+const MaxTreeNodes = 256
+
+// CheckTree reports whether NewTreeFanout can build the ordered
+// broadcast tree for n nodes: 4 <= n <= MaxTreeNodes with fanout >= 2.
+func CheckTree(n, fanout int) error {
+	if fanout < 2 {
+		return fmt.Errorf("tree fanout must be at least 2, got %d", fanout)
+	}
+	if n < 4 || n > MaxTreeNodes {
+		return fmt.Errorf("tree supports 4..%d nodes, got %d", MaxTreeNodes, n)
+	}
+	return nil
 }
 
 // NewTree constructs the ordered broadcast tree for n nodes with the
-// paper's fan-out of four. n must be a positive multiple of the fanout
-// and at most fanout*fanout (the paper's 16-processor configuration uses
-// 9 switches).
-func NewTree(n int) *Tree {
-	const fanout = 4
-	if n <= 0 || n%fanout != 0 || n > fanout*fanout {
-		panic(fmt.Sprintf("topology: tree supports multiples of %d up to %d nodes, got %d", fanout, fanout*fanout, n))
+// paper's fan-out of four: two levels for the paper's 16-processor
+// configuration (nine switches), three for 64, four for 256.
+func NewTree(n int) *Tree { return NewTreeFanout(n, TreeFanout) }
+
+// NewTreeFanout constructs a k-ary ordered broadcast tree. It panics on
+// sizes CheckTree rejects.
+func NewTreeFanout(n, fanout int) *Tree {
+	if err := CheckTree(n, fanout); err != nil {
+		panic("topology: " + err.Error())
 	}
-	return &Tree{n: n, fanout: fanout}
+	t := &Tree{n: n, fanout: fanout}
+	// Depth: the smallest L with fanout^L >= n (the padded leaf layer is
+	// fanout^L wide; only the first n slots are populated).
+	t.levels = 1
+	for p := fanout; p < n; p *= fanout {
+		t.levels++
+	}
+	t.width = make([]int, t.levels+1)
+	t.pow = make([]int, t.levels+1)
+	t.width[0], t.pow[0] = n, 1
+	for l := 1; l <= t.levels; l++ {
+		t.width[l] = (t.width[l-1] + fanout - 1) / fanout
+		t.pow[l] = t.pow[l-1] * fanout
+	}
+	// Link banks, two per level: the up banks in climbing order, then
+	// the down banks from the root back to the leaves, so the paper's
+	// 16-node two-level numbering (node->in-switch, in-switch->root,
+	// root->out-switch, out-switch->node) is reproduced exactly.
+	t.upOff = make([]int, t.levels)
+	t.downOff = make([]int, t.levels)
+	off := 0
+	for l := 0; l < t.levels; l++ {
+		t.upOff[l] = off
+		off += t.width[l]
+	}
+	for l := t.levels - 1; l >= 0; l-- {
+		t.downOff[l] = off
+		off += t.width[l]
+	}
+	t.numLinks = off
+	return t
 }
 
 func (t *Tree) Name() string  { return "tree" }
 func (t *Tree) Ordered() bool { return true }
 func (t *Tree) Nodes() int    { return t.n }
 
+// Fanout reports the per-switch fan-out (the paper uses 4).
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Levels reports the tree depth: every path crosses 2*Levels() links.
+func (t *Tree) Levels() int { return t.levels }
+
 // Switches reports the number of discrete switch chips ("glue logic"):
-// in-switches + root + out-switches.
-func (t *Tree) Switches() int { return 2*(t.n/t.fanout) + 1 }
+// one incoming and one outgoing switch per non-root tier entity, plus
+// the single root (9 for the paper's 16-processor system).
+func (t *Tree) Switches() int {
+	s := 1
+	for l := 1; l < t.levels; l++ {
+		s += 2 * t.width[l]
+	}
+	return s
+}
 
-// Directed links, numbered in four banks:
+// Directed links, numbered in two banks per level:
 //
-//	bank 0: node i        -> in-switch i/fanout   (n links)
-//	bank 1: in-switch j   -> root                 (n/fanout links)
-//	bank 2: root          -> out-switch j         (n/fanout links)
-//	bank 3: out-switch    -> node i               (n links)
-func (t *Tree) NumLinks() int { return 2*t.n + 2*(t.n/t.fanout) }
+//	up bank l:   tier-l entity i     -> tier-(l+1) switch i/fanout  (width[l] links)
+//	down bank l: tier-(l+1) switch   -> tier-l entity i             (width[l] links)
+//
+// Up banks come first in climbing order, then down banks from the root
+// outward, so for the paper's two-level 16-node tree the four banks are
+// exactly the historical node->in-switch, in-switch->root,
+// root->out-switch, out-switch->node numbering.
+func (t *Tree) NumLinks() int { return t.numLinks }
 
-func (t *Tree) upLink(n msg.NodeID) LinkID   { return LinkID(n) }
-func (t *Tree) inRootLink(sw int) LinkID     { return LinkID(t.n + sw) }
-func (t *Tree) rootOutLink(sw int) LinkID    { return LinkID(t.n + t.n/t.fanout + sw) }
-func (t *Tree) downLink(n msg.NodeID) LinkID { return LinkID(t.n + 2*(t.n/t.fanout) + int(n)) }
+// upLink is the level-l link out of node n's tier-l ancestor.
+func (t *Tree) upLink(l int, n msg.NodeID) LinkID {
+	return LinkID(t.upOff[l] + int(n)/t.pow[l])
+}
+
+// downLink is the level-l link into node n's tier-l ancestor.
+func (t *Tree) downLink(l int, n msg.NodeID) LinkID {
+	return LinkID(t.downOff[l] + int(n)/t.pow[l])
+}
 
 // Path always routes through the root — including src == dst — because
 // a node must observe its own broadcast in the global order.
 func (t *Tree) Path(src, dst msg.NodeID) []LinkID {
-	return []LinkID{
-		t.upLink(src),
-		t.inRootLink(int(src) / t.fanout),
-		t.rootOutLink(int(dst) / t.fanout),
-		t.downLink(dst),
+	path := make([]LinkID, 0, 2*t.levels)
+	for l := 0; l < t.levels; l++ {
+		path = append(path, t.upLink(l, src))
 	}
+	for l := t.levels - 1; l >= 0; l-- {
+		path = append(path, t.downLink(l, dst))
+	}
+	return path
 }

@@ -65,6 +65,25 @@ func TestTreeSwitchCount(t *testing.T) {
 	if got := NewTree(16).Switches(); got != 9 {
 		t.Errorf("Switches() = %d, want 9", got)
 	}
+	// Multi-level: 64 = 16 in + 4 mid in, mirrored out, plus the root;
+	// 256 adds one more tier.
+	if got := NewTree(64).Switches(); got != 41 {
+		t.Errorf("NewTree(64).Switches() = %d, want 41", got)
+	}
+	if got := NewTree(256).Switches(); got != 169 {
+		t.Errorf("NewTree(256).Switches() = %d, want 169", got)
+	}
+}
+
+func TestTreeLevels(t *testing.T) {
+	cases := []struct{ n, levels int }{
+		{4, 1}, {8, 2}, {16, 2}, {32, 3}, {64, 3}, {100, 4}, {128, 4}, {256, 4},
+	}
+	for _, c := range cases {
+		if got := NewTree(c.n).Levels(); got != c.levels {
+			t.Errorf("NewTree(%d).Levels() = %d, want %d", c.n, got, c.levels)
+		}
+	}
 }
 
 func TestTreeOrderedTorusNot(t *testing.T) {
@@ -77,7 +96,7 @@ func TestTreeOrderedTorusNot(t *testing.T) {
 }
 
 func TestPathLinksValid(t *testing.T) {
-	topos := []Topology{NewTorus(4, 4), NewTorus(8, 8), NewTree(16), NewTree(8)}
+	topos := []Topology{NewTorus(4, 4), NewTorus(8, 8), NewTree(16), NewTree(8), NewTree(64), NewTree(100), NewTree(256)}
 	for _, topo := range topos {
 		n := topo.Nodes()
 		for s := 0; s < n; s++ {
@@ -97,7 +116,7 @@ func TestPathLinksValid(t *testing.T) {
 // including that link. The interconnect's multicast accounting and
 // timing memoization depend on this.
 func TestPropertyRoutesArePrefixClosed(t *testing.T) {
-	topos := []Topology{NewTorus(4, 4), NewTorus(8, 4), NewTorus(8, 8), NewTree(16)}
+	topos := []Topology{NewTorus(4, 4), NewTorus(8, 4), NewTorus(8, 8), NewTree(16), NewTree(64), NewTree(100)}
 	for _, topo := range topos {
 		n := topo.Nodes()
 		for s := 0; s < n; s++ {
@@ -205,10 +224,33 @@ func TestNewTorusForSizes(t *testing.T) {
 	}
 }
 
-func TestNewTorusForPrime(t *testing.T) {
-	tor := NewTorusFor(7) // falls back to 7x1
-	if tor.Nodes() != 7 {
-		t.Errorf("Nodes() = %d, want 7", tor.Nodes())
+func TestNewTorusForMostSquare(t *testing.T) {
+	// Composite sizes factor as squarely as possible (w >= h >= 2), so
+	// no dimension degenerates to a dead-link ring.
+	cases := []struct{ n, w, h int }{
+		{6, 3, 2}, {12, 4, 3}, {18, 6, 3}, {24, 6, 4}, {48, 8, 6}, {96, 12, 8}, {100, 10, 10},
+	}
+	for _, c := range cases {
+		tor := NewTorusFor(c.n)
+		if tor.Width() != c.w || tor.Height() != c.h {
+			t.Errorf("NewTorusFor(%d) = %dx%d, want %dx%d", c.n, tor.Width(), tor.Height(), c.w, c.h)
+		}
+	}
+}
+
+func TestNewTorusForRejectsPrimeAndTiny(t *testing.T) {
+	// A prime size would degenerate to an n x 1 ring whose North/South
+	// links are dead yet counted by NumLinks; CheckTorusFor rejects it
+	// (and anything below the 2x2 minimum) with a clear error instead.
+	for _, n := range []int{1, 2, 3, 7, 13, 251} {
+		if err := CheckTorusFor(n); err == nil {
+			t.Errorf("CheckTorusFor(%d) = nil, want error", n)
+		}
+	}
+	for _, n := range []int{4, 6, 9, 16, 64, 256} {
+		if err := CheckTorusFor(n); err != nil {
+			t.Errorf("CheckTorusFor(%d) = %v, want nil", n, err)
+		}
 	}
 }
 
@@ -223,8 +265,105 @@ func TestInvalidConstructorsPanic(t *testing.T) {
 	}
 	mustPanic("NewTorus(0,4)", func() { NewTorus(0, 4) })
 	mustPanic("NewTree(3)", func() { NewTree(3) })
-	mustPanic("NewTree(32)", func() { NewTree(32) })
+	mustPanic("NewTree(257)", func() { NewTree(257) })
+	mustPanic("NewTreeFanout(16,1)", func() { NewTreeFanout(16, 1) })
 	mustPanic("NewTorusFor(0)", func() { NewTorusFor(0) })
+	mustPanic("NewTorusFor(7)", func() { NewTorusFor(7) })
+}
+
+// treeSizes are the system sizes the multi-level tree properties cover:
+// the paper's configurations, the new power-of-fanout sizes, and padded
+// (non-power) sizes in between.
+var treeSizes = []int{4, 8, 12, 16, 24, 32, 64, 100, 128, 250, 256}
+
+// TestPropertyTreePathsCrossRoot: total order requires every message —
+// unicast or broadcast, including src == dst — to funnel through the
+// single root switch, entering on the root's in-bank and leaving on its
+// out-bank, with path length exactly 2*Levels().
+func TestPropertyTreePathsCrossRoot(t *testing.T) {
+	for _, n := range treeSizes {
+		tree := NewTree(n)
+		L := tree.Levels()
+		rootIn := tree.upOff[L-1]
+		rootOut := tree.downOff[L-1]
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				path := tree.Path(msg.NodeID(s), msg.NodeID(d))
+				if len(path) != 2*L {
+					t.Fatalf("n=%d: path %d->%d has %d links, want 2*levels = %d", n, s, d, len(path), 2*L)
+				}
+				if in := int(path[L-1]); in < rootIn || in >= rootIn+tree.width[L-1] {
+					t.Fatalf("n=%d: path %d->%d link %d is not a root in-link", n, s, d, in)
+				}
+				if out := int(path[L]); out < rootOut || out >= rootOut+tree.width[L-1] {
+					t.Fatalf("n=%d: path %d->%d link %d is not a root out-link", n, s, d, out)
+				}
+			}
+		}
+		if want := float64(2 * L); AvgHops(tree) != want {
+			t.Errorf("n=%d: AvgHops = %v, want %v", n, AvgHops(tree), want)
+		}
+	}
+}
+
+// TestPropertyTreeLinkIDsDense: the union of all paths must touch every
+// link ID in [0, NumLinks) exactly — padded sizes must not leave dead
+// links that would skew per-link traffic accounting.
+func TestPropertyTreeLinkIDsDense(t *testing.T) {
+	for _, n := range treeSizes {
+		tree := NewTree(n)
+		used := make([]bool, tree.NumLinks())
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				for _, l := range tree.Path(msg.NodeID(s), msg.NodeID(d)) {
+					if l < 0 || int(l) >= len(used) {
+						t.Fatalf("n=%d: link %d out of range [0,%d)", n, l, len(used))
+					}
+					used[l] = true
+				}
+			}
+		}
+		for l, u := range used {
+			if !u {
+				t.Errorf("n=%d: link %d is never used (dead link)", n, l)
+			}
+		}
+	}
+}
+
+// TestTreeAvgHopsGolden pins the hop counts the large configurations
+// pay: three levels (6 crossings) at 64 processors, four (8 crossings)
+// at 256.
+func TestTreeAvgHopsGolden(t *testing.T) {
+	if got := AvgHops(NewTree(64)); got != 6 {
+		t.Errorf("AvgHops(tree-64) = %v, want 6", got)
+	}
+	if got := AvgHops(NewTree(256)); got != 8 {
+		t.Errorf("AvgHops(tree-256) = %v, want 8", got)
+	}
+}
+
+// TestTreeLinkNumberingCompatible pins the 16-node link numbering to the
+// paper's two-level four-bank layout, which the historical goldens and
+// the link-metric interpretations assume.
+func TestTreeLinkNumberingCompatible(t *testing.T) {
+	tree := NewTree(16)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			got := tree.Path(msg.NodeID(s), msg.NodeID(d))
+			want := []LinkID{
+				LinkID(s),            // node -> in-switch
+				LinkID(16 + s/4),     // in-switch -> root
+				LinkID(16 + 4 + d/4), // root -> out-switch
+				LinkID(16 + 8 + d),   // out-switch -> node
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("path %d->%d = %v, want %v", s, d, got, want)
+				}
+			}
+		}
+	}
 }
 
 // Property: random (src,dst) paths on random torus shapes stay in bounds

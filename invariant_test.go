@@ -69,6 +69,51 @@ func TestCrossProtocolDifferentialInvariant(t *testing.T) {
 	}
 }
 
+// TestCrossProtocolDifferentialInvariant64 extends the differential net
+// to a 64-processor system — one point per fabric class: snooping on
+// the three-level ordered tree (whose oracle-clean run is the
+// total-order proof at that scale), TokenB and Directory on the 8x8
+// torus. All three must agree on the final memory image.
+func TestCrossProtocolDifferentialInvariant64(t *testing.T) {
+	msg.PoolPoison = true
+	defer func() { msg.PoolPoison = false }()
+
+	const (
+		procs  = 64
+		ops    = 150
+		warmup = 150
+		seed   = 11
+		wl     = "oltp"
+	)
+	points := []struct{ proto, topo string }{
+		{"snooping", "tree"}, // ordered fabric class
+		{"tokenb", "torus"},  // unordered fabric class
+		{"directory", "torus"},
+	}
+	type result struct {
+		name  string
+		image map[msg.Block]uint64
+	}
+	var results []result
+	for _, p := range points {
+		name := fmt.Sprintf("%s/%s", p.proto, p.topo)
+		image := runDifferentialPoint(t, p.proto, p.topo, procs, ops, warmup, seed, wl)
+		results = append(results, result{name, image})
+	}
+	ref := results[0]
+	for _, r := range results[1:] {
+		if len(r.image) != len(ref.image) {
+			t.Fatalf("%s wrote %d blocks, %s wrote %d", r.name, len(r.image), ref.name, len(ref.image))
+		}
+		for b, v := range ref.image {
+			if got := r.image[b]; got != v {
+				t.Fatalf("memory image diverges at block %d: %s ended at v%d, %s at v%d",
+					b, ref.name, v, r.name, got)
+			}
+		}
+	}
+}
+
 // runDifferentialPoint builds and runs one protocol/topology system
 // directly (rather than through harness.Run) so the test can read the
 // oracle's final memory image.
