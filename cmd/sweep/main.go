@@ -23,11 +23,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 
 	"tokencoherence/internal/engine"
+	"tokencoherence/internal/machine"
 	"tokencoherence/internal/registry"
 	"tokencoherence/internal/sweeps"
+	"tokencoherence/internal/trace"
 )
 
 func main() {
@@ -57,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		list     = fs.Bool("list", false, "list registered sweep kinds and components, then exit")
 		columns  = fs.String("columns", "", "comma-separated CSV columns (identity fields, metric names, mutation tags) overriding the sweep's defaults")
 		listMet  = fs.Bool("list-metrics", false, "list the metric schema of the sweep's first point, then exit")
+		traceDir = fs.String("trace", "", "write one Chrome trace-event JSON file per point into this directory (load in chrome://tracing or Perfetto)")
+		httpAddr = fs.String("http", "", "serve live sweep telemetry on this address while the sweep runs (expvar at /debug/vars, profiles at /debug/pprof/)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,7 +93,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	plan.Ops = *ops
 	plan.Warmup = *warmup
-	return execute(plan, cols, *parallel, *format, *progress, stdout, stderr)
+	return execute(plan, cols, options{
+		parallel: *parallel,
+		format:   *format,
+		progress: *progress,
+		traceDir: *traceDir,
+		httpAddr: *httpAddr,
+	}, stdout, stderr)
 }
 
 // rejectUnknownColumns fails a -columns selection naming neither an
@@ -138,26 +150,177 @@ func printComponents(w io.Writer) {
 	fmt.Fprintf(w, "workloads:   %s\n", strings.Join(registry.WorkloadNames(), ", "))
 }
 
+// options collects execute's behavior flags.
+type options struct {
+	parallel int
+	format   string
+	progress bool
+	traceDir string
+	httpAddr string
+}
+
 // execute runs the plan on the worker pool and streams rows to stdout.
-func execute(plan engine.Plan, cols []engine.Column, parallel int, format string, progress bool, stdout, stderr io.Writer) error {
+// Progress lines, flight-recorder dumps, and telemetry notices all go to
+// stderr through one mutex-serialized writer, each as a single Write, so
+// parallel workers never tear each other's lines.
+func execute(plan engine.Plan, cols []engine.Column, opt options, stdout, stderr io.Writer) error {
 	var sink engine.Sink
-	switch format {
+	switch opt.format {
 	case "csv":
 		sink = &engine.CSVSink{W: stdout, Columns: cols}
 	case "json":
 		sink = &engine.JSONLSink{W: stdout}
 	default:
-		return fmt.Errorf("unknown format %q (want csv or json)", format)
+		return fmt.Errorf("unknown format %q (want csv or json)", opt.format)
 	}
-	eng := engine.Engine{Workers: parallel}
-	if progress {
-		eng.Progress = func(done, total int) {
-			fmt.Fprintf(stderr, "\rsweep: %d/%d points", done, total)
-			if done == total {
-				fmt.Fprintln(stderr)
+	errw := trace.NewSyncWriter(stderr)
+	plan.Variants = withDebugLog(plan.Variants, errw)
+
+	eng := engine.Engine{Workers: opt.parallel}
+
+	var tracers *pointTracers
+	if opt.traceDir != "" {
+		if err := os.MkdirAll(opt.traceDir, 0o755); err != nil {
+			return err
+		}
+		tracers = &pointTracers{dir: opt.traceDir, m: make(map[int]*trace.Tracer)}
+		eng.Attach = tracers.attach
+	}
+	var tel *telemetry
+	if opt.httpAddr != "" {
+		var err error
+		if tel, err = startTelemetry(opt.httpAddr, errw); err != nil {
+			return err
+		}
+		defer tel.stop()
+	}
+
+	var flushErr error
+	if opt.progress || tracers != nil || tel != nil {
+		eng.Progress = func(p engine.Progress) {
+			if tracers != nil {
+				if err := tracers.flush(p.Last); err != nil && flushErr == nil {
+					flushErr = err
+				}
+			}
+			if tel != nil {
+				tel.update(p)
+			}
+			if opt.progress {
+				status := "ok"
+				if p.Last.Err != nil {
+					status = "FAILED"
+				}
+				line := fmt.Sprintf("sweep: %d/%d %s %s\n", p.Done, p.Total, jobLabel(p.Last.Job), status)
+				if p.Done == p.Total {
+					summary := fmt.Sprintf("sweep: %d/%d points", p.Done, p.Total)
+					if p.Failed > 0 {
+						summary += fmt.Sprintf(", %d failed", p.Failed)
+					}
+					line += summary + "\n"
+				}
+				io.WriteString(errw, line) //nolint:errcheck // progress is best effort
 			}
 		}
 	}
+
 	_, err := eng.Execute(context.Background(), plan, sink)
+	if err == nil {
+		err = flushErr
+	}
 	return err
+}
+
+// withDebugLog routes every point's flight-recorder dumps through w by
+// prepending a Mutate to each variant (the variant's own Mutate and the
+// plan's mutation axis still apply afterwards and may override).
+func withDebugLog(variants []engine.Variant, w io.Writer) []engine.Variant {
+	out := make([]engine.Variant, len(variants))
+	for i, v := range variants {
+		prev := v.Point.Mutate
+		v.Point.Mutate = func(c *machine.Config) {
+			c.DebugLog = w
+			if prev != nil {
+				prev(c)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// jobLabel renders a job's plan coordinates for progress lines.
+func jobLabel(job engine.Job) string {
+	parts := []string{job.Variant}
+	if wl := job.Point.Workload; wl != "" {
+		parts = append(parts, wl)
+	}
+	if job.Mutation != "" {
+		parts = append(parts, job.Mutation)
+	}
+	return fmt.Sprintf("%s seed=%d", strings.Join(parts, "/"), job.Point.Seed)
+}
+
+// pointTracers attaches one transaction tracer per job and writes each
+// job's trace file once the job completes. Attach runs on worker
+// goroutines, so the index map is mutex-protected; flush runs on the
+// engine's single collector goroutine, bounding buffered traces to the
+// in-flight jobs.
+type pointTracers struct {
+	dir string
+	mu  sync.Mutex
+	m   map[int]*trace.Tracer
+}
+
+func (pt *pointTracers) attach(job engine.Job) func(*machine.System) {
+	t := trace.NewTracer(trace.TracerConfig{})
+	pt.mu.Lock()
+	pt.m[job.Index] = t
+	pt.mu.Unlock()
+	return func(sys *machine.System) { sys.Observe(t.Observer()) }
+}
+
+func (pt *pointTracers) flush(r *engine.Result) error {
+	pt.mu.Lock()
+	t := pt.m[r.Index]
+	delete(pt.m, r.Index)
+	pt.mu.Unlock()
+	if t == nil {
+		return nil // job was skipped before its tracer attached
+	}
+	f, err := os.Create(filepath.Join(pt.dir, traceFileName(r.Job)))
+	if err != nil {
+		return err
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// traceFileName derives a per-point file name from the job's plan
+// coordinates, stable across runs and parallelism.
+func traceFileName(job engine.Job) string {
+	name := job.Variant
+	if wl := job.Point.Workload; wl != "" {
+		name += "-" + wl
+	}
+	if job.Mutation != "" {
+		name += "-" + job.Mutation
+	}
+	return sanitizeFile(fmt.Sprintf("point-%04d-%s-seed%d.json", job.Index, name, job.Point.Seed))
+}
+
+// sanitizeFile maps characters that are awkward in file names (the
+// mutation axis uses "/" and "=") to underscores.
+func sanitizeFile(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
 }

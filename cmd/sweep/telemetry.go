@@ -1,0 +1,109 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"tokencoherence/internal/engine"
+)
+
+// sweepVarsOnce guards the process-wide "sweep" expvar map: expvar
+// panics on a duplicate Publish, and tests run several sweeps in one
+// process, so the map is published once and re-initialized per sweep.
+var sweepVarsOnce struct {
+	sync.Once
+	m *expvar.Map
+}
+
+func sweepVars() *expvar.Map {
+	sweepVarsOnce.Do(func() { sweepVarsOnce.m = expvar.NewMap("sweep") })
+	m := sweepVarsOnce.m
+	m.Init()
+	return m
+}
+
+// telemetry is the -http endpoint: live sweep counters as expvar at
+// /debug/vars and the standard pprof profiles at /debug/pprof/, served
+// while the sweep runs. The simulation itself is untouched — telemetry
+// reads the engine's progress reports, so a monitored sweep emits the
+// same rows as an unmonitored one.
+type telemetry struct {
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+
+	total, done, failed, events          expvar.Int
+	eventsPerSec, etaSeconds, elapsedSec expvar.Float
+}
+
+// startTelemetry binds addr (":0" picks a free port), publishes the
+// counters, and serves until stop. The chosen address is announced on
+// logw so callers binding port 0 can find the endpoint.
+func startTelemetry(addr string, logw io.Writer) (*telemetry, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	t := &telemetry{ln: ln, start: time.Now()}
+	m := sweepVars()
+	m.Set("points_total", &t.total)
+	m.Set("points_done", &t.done)
+	m.Set("points_failed", &t.failed)
+	m.Set("events_executed", &t.events)
+	m.Set("events_per_sec", &t.eventsPerSec)
+	m.Set("eta_seconds", &t.etaSeconds)
+	m.Set("elapsed_seconds", &t.elapsedSec)
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	t.srv = &http.Server{Handler: mux}
+	go t.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed at stop
+	if logw != nil {
+		fmt.Fprintf(logw, "sweep: telemetry on http://%s/debug/vars\n", ln.Addr())
+	}
+	return t, nil
+}
+
+// addr reports the bound address (resolving ":0" to the chosen port).
+func (t *telemetry) addr() string { return t.ln.Addr().String() }
+
+// update consumes one engine progress report. It runs on the engine's
+// single collector goroutine; each expvar value is individually atomic,
+// so HTTP readers need no further synchronization.
+//
+// ETA extrapolates wall-clock time per completed point over the plan's
+// deterministic job count — the total is known before the first point
+// finishes, which is what makes the estimate possible at all.
+func (t *telemetry) update(p engine.Progress) {
+	t.total.Set(int64(p.Total))
+	t.done.Set(int64(p.Done))
+	t.failed.Set(int64(p.Failed))
+	if p.Last != nil && p.Last.Metrics != nil {
+		if v, ok := p.Last.Metrics.Value("events_executed"); ok {
+			t.events.Add(int64(v))
+		}
+	}
+	elapsed := time.Since(t.start).Seconds()
+	t.elapsedSec.Set(elapsed)
+	if elapsed > 0 {
+		t.eventsPerSec.Set(float64(t.events.Value()) / elapsed)
+	}
+	if p.Done > 0 {
+		t.etaSeconds.Set(elapsed / float64(p.Done) * float64(p.Total-p.Done))
+	}
+}
+
+// stop closes the listener and server; in-flight requests are cut off,
+// which is fine for a debug endpoint.
+func (t *telemetry) stop() { t.srv.Close() } //nolint:errcheck // best effort

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tokencoherence/internal/engine"
+)
+
+// runTraceSweep runs the tokens sweep with -trace into a fresh dir and
+// returns the per-point file contents keyed by file name.
+func runTraceSweep(t *testing.T, parallel int) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	args := []string{"-kind", "tokens", "-workload", "apache",
+		"-ops", "120", "-warmup", "120",
+		"-parallel", fmt.Sprint(parallel), "-trace", dir}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = b
+	}
+	return files
+}
+
+// TestSweepTraceFiles checks -trace writes one valid Chrome trace per
+// point, byte-identical whether the engine ran serial or parallel.
+func TestSweepTraceFiles(t *testing.T) {
+	serial := runTraceSweep(t, 1)
+	if len(serial) == 0 {
+		t.Fatal("-trace wrote no files")
+	}
+	for name, b := range serial {
+		if !strings.HasPrefix(name, "point-") || !strings.HasSuffix(name, ".json") {
+			t.Errorf("unexpected trace file name %q", name)
+		}
+		var tr struct {
+			DisplayTimeUnit string            `json:"displayTimeUnit"`
+			TraceEvents     []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(b, &tr); err != nil {
+			t.Fatalf("%s is not valid trace JSON: %v", name, err)
+		}
+		if tr.DisplayTimeUnit != "ns" || len(tr.TraceEvents) == 0 {
+			t.Errorf("%s: displayTimeUnit=%q, %d events", name, tr.DisplayTimeUnit, len(tr.TraceEvents))
+		}
+	}
+	parallel := runTraceSweep(t, 3)
+	if len(parallel) != len(serial) {
+		t.Fatalf("file counts differ: %d serial vs %d parallel", len(serial), len(parallel))
+	}
+	for name, want := range serial {
+		got, ok := parallel[name]
+		if !ok {
+			t.Errorf("parallel run lacks %s", name)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between -parallel 1 and -parallel 3", name)
+		}
+	}
+}
+
+// TestSweepProgressSerialized checks per-point -progress lines from a
+// parallel run arrive whole: every stderr line is either a well-formed
+// point line or the final summary, never a torn interleaving.
+func TestSweepProgressSerialized(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-kind", "tokens", "-workload", "apache",
+		"-ops", "120", "-warmup", "120", "-parallel", "4", "-progress"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	pointLine := regexp.MustCompile(`^sweep: \d+/\d+ \S+ seed=\d+ (ok|FAILED)$`)
+	summary := regexp.MustCompile(`^sweep: (\d+)/(\d+) points$`)
+	lines := strings.Split(strings.TrimSuffix(errw.String(), "\n"), "\n")
+	points, summaries := 0, 0
+	for _, line := range lines {
+		switch {
+		case pointLine.MatchString(line):
+			points++
+		case summary.MatchString(line):
+			summaries++
+		default:
+			t.Errorf("malformed progress line %q", line)
+		}
+	}
+	if points == 0 || summaries != 1 {
+		t.Errorf("progress emitted %d point lines and %d summaries:\n%s", points, summaries, errw.String())
+	}
+	m := summary.FindStringSubmatch(lines[len(lines)-1])
+	if m == nil || m[1] != m[2] {
+		t.Errorf("last line is not a completed summary: %q", lines[len(lines)-1])
+	}
+}
+
+// TestSweepTelemetryEndpoint drives the -http telemetry directly: bind
+// a free port, feed progress reports, and read the counters back over
+// HTTP as any live dashboard would.
+func TestSweepTelemetryEndpoint(t *testing.T) {
+	var log bytes.Buffer
+	tel, err := startTelemetry("127.0.0.1:0", &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.stop()
+	if !strings.Contains(log.String(), "telemetry on http://") {
+		t.Errorf("endpoint not announced: %q", log.String())
+	}
+	tel.update(engine.Progress{Done: 2, Total: 8, Failed: 1})
+
+	resp, err := http.Get("http://" + tel.addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Sweep map[string]float64 `json:"sweep"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	for key, want := range map[string]float64{
+		"points_total": 8, "points_done": 2, "points_failed": 1,
+	} {
+		if got := vars.Sweep[key]; got != want {
+			t.Errorf("sweep.%s = %v, want %v", key, got, want)
+		}
+	}
+	if _, ok := vars.Sweep["eta_seconds"]; !ok {
+		t.Error("sweep map lacks eta_seconds")
+	}
+
+	// The pprof index must be mounted on the same mux.
+	resp, err = http.Get("http://" + tel.addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+// TestSweepHTTPFlag checks the -http flag wires telemetry into a real
+// sweep run and announces the bound address on stderr.
+func TestSweepHTTPFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-kind", "tokens", "-workload", "apache",
+		"-ops", "120", "-warmup", "120", "-http", "127.0.0.1:0"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "sweep: telemetry on http://127.0.0.1:") {
+		t.Errorf("bound telemetry address not announced: %q", errw.String())
+	}
+	if !strings.Contains(out.String(), "cycles_per_txn") {
+		t.Errorf("monitored sweep emitted no CSV:\n%s", out.String())
+	}
+}

@@ -23,15 +23,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"tokencoherence/internal/engine"
 	"tokencoherence/internal/harness"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/registry"
+	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
+	"tokencoherence/internal/trace"
 )
 
 func main() {
@@ -66,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		list       = fs.Bool("list", false, "list registered protocols, policies, topologies, workloads, probes, and experiments, then exit")
 		columns    = fs.String("columns", "", "emit the custom point as CSV with these comma-separated columns (identity fields and metric names) instead of the statistics block")
 		listMet    = fs.Bool("list-metrics", false, "list the metric schema of the selected protocol/topo/workload, then exit")
+		traceOut   = fs.String("trace", "", "write the custom point's transaction trace to this file as Chrome trace-event JSON (load in chrome://tracing or Perfetto); multiple seeds write one file each with a -seedN suffix")
+		traceHops  = fs.Bool("trace-hops", false, "include per-link network hops in -trace output (roughly 100x more events)")
+		recorder   = fs.Int("flight-recorder", 0, "flight-recorder ring size in events for the custom point (0 = default 512, negative disables)")
+		deadline   = fs.Duration("deadline", 0, "starvation deadline for the custom point's flight recorder: a transaction exceeding this simulated latency dumps the recorder (0 = default 50ms, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +107,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *columns != "" {
 			return fmt.Errorf("-columns applies to custom points and cannot be combined with -experiment (experiments print fixed paper-style tables)")
 		}
+		if *traceOut != "" || *recorder != 0 || *deadline != 0 {
+			return fmt.Errorf("-trace, -flight-recorder, and -deadline apply to custom points and cannot be combined with -experiment")
+		}
 		names := []string{*experiment}
 		if *experiment == "all" {
 			names = harness.Experiments()
@@ -122,17 +133,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case w == 0:
 		w = 2 * *ops
 	}
+	point := harness.Point{
+		Protocol: *protocol, Topo: *topo, Workload: *wl,
+		Unlimited: *unlimited, PerfectDir: *perfectDir,
+	}
+	// Flight-recorder dumps from parallel seeds go to stderr through one
+	// mutex-serialized writer, each dump as a single write.
+	errw := trace.NewSyncWriter(stderr)
+	size, dl := *recorder, *deadline
+	point.Mutate = func(c *machine.Config) {
+		c.DebugLog = errw
+		if size != 0 {
+			c.RecorderSize = size
+		}
+		if dl != 0 {
+			c.StarvationDeadline = sim.Time(dl.Nanoseconds()) * sim.Nanosecond
+		}
+	}
 	plan := engine.Plan{
-		Variants: []engine.Variant{{Point: harness.Point{
-			Protocol: *protocol, Topo: *topo, Workload: *wl,
-			Unlimited: *unlimited, PerfectDir: *perfectDir,
-		}}},
-		Seeds:  opt.Seeds,
-		Ops:    *ops,
-		Warmup: w,
-		Procs:  *procs,
+		Variants: []engine.Variant{{Point: point}},
+		Seeds:    opt.Seeds,
+		Ops:      *ops,
+		Warmup:   w,
+		Procs:    *procs,
 	}
 	eng := engine.Engine{Workers: *parallel}
+	var tracers *jobTracers
+	if *traceOut != "" {
+		tracers = &jobTracers{hops: *traceHops, m: make(map[int]*trace.Tracer)}
+		eng.Attach = tracers.attach
+	}
+
+	var results []engine.Result
 	if *columns != "" {
 		// CSV mode: stream the selected identity/metric columns per seed,
 		// rejecting names the point's schema cannot satisfy.
@@ -140,28 +172,81 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if len(names) == 0 {
 			return fmt.Errorf("-columns %q names no columns", *columns)
 		}
-		descs, err := engine.MetricSchema(plan.Variants[0].Point)
-		if err != nil {
-			return err
+		descs, merr := engine.MetricSchema(plan.Variants[0].Point)
+		if merr != nil {
+			return merr
 		}
 		if unknown := engine.UnknownColumns(names, descs, nil); len(unknown) > 0 {
 			return fmt.Errorf("unknown column(s) %s (identity fields or metric names from -list-metrics)",
 				strings.Join(unknown, ", "))
 		}
 		sink := &engine.CSVSink{W: stdout, Columns: engine.ColumnsByName(names)}
-		_, err = eng.Execute(context.Background(), plan, sink)
-		return err
-	}
-	results, err := eng.Execute(context.Background(), plan)
-	// Print the completed seeds up to the first failure even when a
-	// later seed errored, as the serial loop used to.
-	for _, r := range results {
-		if r.Err != nil || r.Run == nil {
-			break
+		results, err = eng.Execute(context.Background(), plan, sink)
+	} else {
+		results, err = eng.Execute(context.Background(), plan)
+		// Print the completed seeds up to the first failure even when a
+		// later seed errored, as the serial loop used to.
+		for _, r := range results {
+			if r.Err != nil || r.Run == nil {
+				break
+			}
+			printRun(stdout, fmt.Sprintf("%s/%s/%s seed=%d", *protocol, *topo, *wl, r.Point.Seed), r.Run)
 		}
-		printRun(stdout, fmt.Sprintf("%s/%s/%s seed=%d", *protocol, *topo, *wl, r.Point.Seed), r.Run)
+	}
+	if tracers != nil {
+		if terr := tracers.writeFiles(*traceOut, results); terr != nil && err == nil {
+			err = terr
+		}
 	}
 	return err
+}
+
+// jobTracers attaches one transaction tracer per seed and writes the
+// trace files after the run. Attach runs on the engine's worker
+// goroutines, so the map is mutex-protected.
+type jobTracers struct {
+	hops bool
+	mu   sync.Mutex
+	m    map[int]*trace.Tracer
+}
+
+func (jt *jobTracers) attach(job engine.Job) func(*machine.System) {
+	t := trace.NewTracer(trace.TracerConfig{Hops: jt.hops})
+	jt.mu.Lock()
+	jt.m[job.Index] = t
+	jt.mu.Unlock()
+	return func(sys *machine.System) { sys.Observe(t.Observer()) }
+}
+
+// writeFiles writes one trace per executed job: to base itself for a
+// single seed, to base with a -seedN suffix (before the extension) when
+// several seeds ran.
+func (jt *jobTracers) writeFiles(base string, results []engine.Result) error {
+	for _, r := range results {
+		jt.mu.Lock()
+		t := jt.m[r.Index]
+		jt.mu.Unlock()
+		if t == nil {
+			continue // job never ran
+		}
+		name := base
+		if len(results) > 1 {
+			ext := filepath.Ext(base)
+			name = strings.TrimSuffix(base, ext) + fmt.Sprintf("-seed%d", r.Point.Seed) + ext
+		}
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := t.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func parseSeeds(s string) ([]uint64, error) {

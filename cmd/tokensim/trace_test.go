@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// traceShape is the subset of the Chrome trace-event format the smoke
+// test validates.
+type traceShape struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string      `json:"name"`
+		Ph   string      `json:"ph"`
+		Ts   json.Number `json:"ts"`
+		Dur  json.Number `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceSmoke is the CI smoke test (it runs under -short): a tokenb
+// 16-processor point with -trace must emit valid trace-event JSON whose
+// complete-span count equals the run's misses metric.
+func TestTraceSmoke(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "point.json")
+	var out, errw bytes.Buffer
+	args := []string{"-protocol", "tokenb", "-topo", "torus", "-workload", "oltp",
+		"-procs", "16", "-ops", "300", "-warmup", "300", "-seeds", "1",
+		"-trace", file, "-columns", "misses"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 || lines[0] != "misses" {
+		t.Fatalf("-columns misses output wrong:\n%s", out.String())
+	}
+	misses, err := strconv.Atoi(lines[1])
+	if err != nil || misses == 0 {
+		t.Fatalf("misses row = %q", lines[1])
+	}
+
+	b, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr traceShape
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", tr.DisplayTimeUnit)
+	}
+	spans := 0
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+		case "X":
+			spans++
+			if ev.Dur == "" {
+				t.Errorf("complete span %q lacks dur", ev.Name)
+			}
+			fallthrough
+		case "B", "i":
+			if ev.Ts == "" {
+				t.Errorf("event %q (%s) lacks ts", ev.Name, ev.Ph)
+			}
+		default:
+			t.Errorf("unexpected event phase %q in %q", ev.Ph, ev.Name)
+		}
+	}
+	if spans != misses {
+		t.Errorf("trace has %d complete spans, misses metric is %d", spans, misses)
+	}
+}
+
+// TestTraceMultiSeed checks several seeds write one trace each with a
+// -seedN suffix before the extension.
+func TestTraceMultiSeed(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.json")
+	var out, errw bytes.Buffer
+	args := []string{"-protocol", "tokenb", "-workload", "oltp",
+		"-procs", "4", "-ops", "150", "-warmup", "150", "-seeds", "1,2",
+		"-trace", base, "-columns", "seed,misses"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(base); err == nil {
+		t.Errorf("multi-seed run wrote the unsuffixed base file")
+	}
+	for _, seed := range []string{"1", "2"} {
+		name := strings.TrimSuffix(base, ".json") + "-seed" + seed + ".json"
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("seed %s trace: %v", seed, err)
+		}
+		var tr traceShape
+		if err := json.Unmarshal(b, &tr); err != nil {
+			t.Errorf("seed %s trace invalid: %v", seed, err)
+		}
+	}
+}
+
+// TestRecorderFlags checks -deadline wires through to the armed flight
+// recorder: an absurdly tight deadline makes the first measured miss
+// dump the ring to stderr, while the run itself still succeeds.
+func TestRecorderFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-protocol", "tokenb", "-workload", "oltp",
+		"-procs", "4", "-ops", "150", "-warmup", "150", "-seeds", "1",
+		"-flight-recorder", "64", "-deadline", "1ns"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	dump := errw.String()
+	if !strings.Contains(dump, "flight recorder: transaction exceeded starvation deadline") {
+		t.Fatalf("no recorder dump on stderr:\n%s", dump)
+	}
+	if !strings.Contains(dump, "protocol events, oldest first:") {
+		t.Errorf("dump lacks the ring listing:\n%s", dump)
+	}
+	if !strings.Contains(out.String(), "avg miss latency") {
+		t.Errorf("run with a tripped recorder printed no statistics:\n%s", out.String())
+	}
+
+	// A disabled recorder must not dump even with the same deadline.
+	out.Reset()
+	errw.Reset()
+	args = []string{"-protocol", "tokenb", "-workload", "oltp",
+		"-procs", "4", "-ops", "150", "-warmup", "150", "-seeds", "1",
+		"-flight-recorder", "-1", "-deadline", "1ns"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errw.String(), "flight recorder") {
+		t.Errorf("disabled recorder still dumped:\n%s", errw.String())
+	}
+}
+
+// TestTraceRejectsExperiment checks the tracing and recorder flags are
+// custom-point-only.
+func TestTraceRejectsExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	for _, extra := range [][]string{
+		{"-trace", "x.json"},
+		{"-flight-recorder", "64"},
+		{"-deadline", "1ms"},
+	} {
+		args := append([]string{"-experiment", "table2"}, extra...)
+		err := run(args, &out, &errw)
+		if err == nil || !strings.Contains(err.Error(), "-experiment") {
+			t.Errorf("%v: err = %v, want rejection", extra, err)
+		}
+	}
+}

@@ -174,8 +174,12 @@ func (a *Arbiter) collectAck(m *msg.Message, expect arbPhase) {
 			a.startDeactivation()
 		}
 	case arbDeactivating:
+		done := a.queue[0]
 		a.queue = a.queue[1:]
 		a.phase = arbIdle
+		if o := a.sys.Obs; o != nil {
+			o.OnPersistentDeactivated(int(a.id), msg.BlockOf(done.addr), a.sys.K.Now())
+		}
 		if len(a.queue) > 0 {
 			a.startActivation()
 		}

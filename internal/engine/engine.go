@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"tokencoherence/internal/machine"
 	"tokencoherence/internal/stats"
 )
 
@@ -23,14 +24,39 @@ type Result struct {
 	Err     error
 }
 
+// Progress describes a plan's execution state after one more job
+// finished; the engine passes it to the Progress callback.
+type Progress struct {
+	// Done counts completed jobs (successes and failures); Total is the
+	// plan's deterministic job count, known before the first run starts —
+	// which is what makes sweep ETAs possible.
+	Done, Total int
+	// Failed counts completed jobs whose Err is set.
+	Failed int
+	// Last is the job that just completed, with its Run/Metrics/Err
+	// populated. Completion order is nondeterministic under parallelism;
+	// sink emission, not Progress, is the ordered stream.
+	Last *Result
+}
+
 // Engine executes a Plan's jobs on a bounded worker pool. The zero
 // value is ready to use and runs one worker per available CPU.
 type Engine struct {
 	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// Progress, when set, is called after each job completes (from a
-	// single goroutine) with the number of completed jobs and the total.
-	Progress func(done, total int)
+	// Progress, when set, is called after each job completes. Calls come
+	// from the engine's single collector goroutine and never overlap, so
+	// a callback that writes output needs no locking against itself —
+	// only against writers on other goroutines (see trace.NewSyncWriter).
+	Progress func(p Progress)
+	// Attach, when set, is consulted once per job before it runs; a
+	// non-nil returned function is called with the job's fully assembled
+	// System (protocol built, registry probes attached) so per-job
+	// observers — transaction tracers, extra recorders — can attach.
+	// Attach itself runs on worker goroutines and must be safe for
+	// concurrent use; the returned function runs before the job's
+	// single-threaded simulation starts and may touch the System freely.
+	Attach func(job Job) func(*machine.System)
 }
 
 func (e Engine) workers() int {
@@ -96,7 +122,7 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 				if err := runCtx.Err(); err != nil {
 					results[i].Err = err
 				} else {
-					results[i].Run, results[i].Metrics, results[i].Err = runIsolated(results[i].Point)
+					results[i].Run, results[i].Metrics, results[i].Err = runIsolated(results[i].Job, e.Attach)
 				}
 				doneCh <- i
 			}
@@ -111,11 +137,14 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 	// contiguous prefix is complete, so parallel and serial executions
 	// produce byte-identical sink output.
 	completed := make([]bool, len(jobs))
-	next, done := 0, 0
+	next, done, failed := 0, 0, 0
 	var sinkErr error
 	for i := range doneCh {
 		done++
 		completed[i] = true
+		if results[i].Err != nil {
+			failed++
+		}
 		for next < len(jobs) && completed[next] {
 			r := results[next]
 			if r.Err == nil && sinkErr == nil {
@@ -130,7 +159,7 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 			next++
 		}
 		if e.Progress != nil {
-			e.Progress(done, len(jobs))
+			e.Progress(Progress{Done: done, Total: len(jobs), Failed: failed, Last: &results[i]})
 		}
 	}
 
@@ -147,14 +176,19 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 	return results, sinkErr
 }
 
-// runIsolated executes one point, converting a panic into an error so a
+// runIsolated executes one job, converting a panic into an error so a
 // single bad configuration cannot take down the whole sweep.
-func runIsolated(pt Point) (run *stats.Run, snap *stats.Snapshot, err error) {
+func runIsolated(job Job, attach func(Job) func(*machine.System)) (run *stats.Run, snap *stats.Snapshot, err error) {
+	pt := job.Point
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: point %s/%s/%s panicked: %v\n%s",
 				pt.Protocol, pt.Topo, pt.Workload, r, debug.Stack())
 		}
 	}()
-	return RunPointMetrics(pt)
+	var hook func(*machine.System)
+	if attach != nil {
+		hook = attach(job)
+	}
+	return RunPointObserved(pt, hook)
 }

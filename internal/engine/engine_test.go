@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"tokencoherence/internal/machine"
@@ -202,21 +203,82 @@ func TestAggregateSinkGroupsSeeds(t *testing.T) {
 }
 
 // TestEngineProgress checks the optional progress callback counts every
-// job exactly once and ends at the total.
+// job exactly once, ends at the total, and carries the completed result.
 func TestEngineProgress(t *testing.T) {
 	plan := testPlan()
 	plan.Workloads = plan.Workloads[:1]
 	var calls []int
-	eng := Engine{Workers: 4, Progress: func(done, total int) {
-		if total != 4 {
-			t.Errorf("total = %d, want 4", total)
+	eng := Engine{Workers: 4, Progress: func(p Progress) {
+		if p.Total != 4 {
+			t.Errorf("total = %d, want 4", p.Total)
 		}
-		calls = append(calls, done)
+		if p.Failed != 0 {
+			t.Errorf("failed = %d, want 0", p.Failed)
+		}
+		if p.Last == nil || p.Last.Run == nil || p.Last.Err != nil {
+			t.Errorf("progress %d lacks its completed result: %+v", p.Done, p.Last)
+		}
+		calls = append(calls, p.Done)
 	}}
 	if _, err := eng.Execute(context.Background(), plan); err != nil {
 		t.Fatal(err)
 	}
 	if len(calls) != 4 || calls[len(calls)-1] != 4 {
 		t.Errorf("progress calls = %v", calls)
+	}
+}
+
+// TestEngineProgressFailures checks Failed counts errored jobs and the
+// failing job's result reaches the callback with its error set.
+func TestEngineProgressFailures(t *testing.T) {
+	plan := testPlan()
+	plan.Workloads = plan.Workloads[:1]
+	plan.Variants = append([]Variant(nil), plan.Variants...)
+	bad := plan.Variants[0]
+	bad.Name = "panicky"
+	bad.Point.Mutate = func(c *machine.Config) { panic("forced failure") }
+	plan.Variants[0] = bad
+	var lastFailed int
+	sawErr := false
+	eng := Engine{Workers: 2, Progress: func(p Progress) {
+		lastFailed = p.Failed
+		if p.Last != nil && p.Last.Err != nil {
+			sawErr = true
+		}
+	}}
+	if _, err := eng.Execute(context.Background(), plan); err == nil {
+		t.Fatal("want error from the panicking variant")
+	}
+	if lastFailed != 2 { // the bad variant ran under both seeds
+		t.Errorf("final Failed = %d, want 2", lastFailed)
+	}
+	if !sawErr {
+		t.Error("no progress report carried the failing result")
+	}
+}
+
+// TestEngineAttach checks the per-job Attach hook sees every job and its
+// returned function receives the assembled system before the run.
+func TestEngineAttach(t *testing.T) {
+	plan := testPlan()
+	plan.Workloads = plan.Workloads[:1]
+	var mu sync.Mutex
+	attached := map[int]bool{}
+	eng := Engine{Workers: 4, Attach: func(job Job) func(*machine.System) {
+		return func(sys *machine.System) {
+			if sys.Metrics == nil || sys.Net == nil {
+				t.Errorf("job %d: attach received a half-built system", job.Index)
+			}
+			mu.Lock()
+			attached[job.Index] = true
+			mu.Unlock()
+		}
+	}}
+	results, err := eng.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attached) != len(results) {
+		t.Errorf("attach hook ran for %d of %d jobs", len(attached), len(results))
 	}
 }

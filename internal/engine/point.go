@@ -186,6 +186,15 @@ func RunPoint(pt Point) (*stats.Run, error) {
 // protocol audit, when one is declared). The snapshot is non-nil
 // whenever a simulation actually ran, even one that then failed.
 func RunPointMetrics(pt Point) (*stats.Run, *stats.Snapshot, error) {
+	return RunPointObserved(pt, nil)
+}
+
+// RunPointObserved is RunPointMetrics with a per-run attachment hook:
+// attach (if non-nil) is called with the fully assembled System — after
+// the protocol's controllers and the registered probes, before any
+// simulation — so callers can attach run-scoped observers such as a
+// transaction tracer. The engine routes its Attach hook here.
+func RunPointObserved(pt Point, attach func(*machine.System)) (*stats.Run, *stats.Snapshot, error) {
 	pt = pt.withDefaults()
 	comps, err := pt.resolve()
 	if err != nil {
@@ -194,6 +203,11 @@ func RunPointMetrics(pt Point) (*stats.Run, *stats.Snapshot, error) {
 	sys, ctrls, audit, err := buildMachine(pt, comps)
 	if err != nil {
 		return nil, nil, err
+	}
+	sys.Recorder.SetLabel(fmt.Sprintf("%s/%s/%s procs=%d seed=%d",
+		pt.Protocol, comps.topo.Name, pt.Workload, pt.Procs, pt.Seed))
+	if attach != nil {
+		attach(sys)
 	}
 
 	gen := pt.Gen

@@ -7,6 +7,7 @@ import (
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
 	"tokencoherence/internal/topology"
+	"tokencoherence/internal/trace"
 )
 
 // forwarder circulates a single token message around the ring (one
@@ -126,5 +127,21 @@ func testSteadyStateAllocs(t *testing.T, topo topology.Topology) {
 	}
 	if allocs > 0 {
 		t.Errorf("traffic with a counting observer allocates %.1f objects per 5us slice, want 0", allocs)
+	}
+
+	// The always-armed flight recorder must be just as free: hop recording
+	// into the pooled ring is the worst case (hops vastly outnumber
+	// protocol events), so arm it with Hops on and re-measure.
+	rec := trace.NewFlightRecorder(trace.RecorderConfig{Hops: true})
+	n.SetObserver(rec.Observer())
+	allocs = testing.AllocsPerRun(100, func() {
+		k.RunUntil(k.Now() + 5*sim.Microsecond)
+	})
+	n.SetObserver(nil)
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no hops")
+	}
+	if allocs > 0 {
+		t.Errorf("traffic with an armed flight recorder allocates %.1f objects per 5us slice, want 0", allocs)
 	}
 }

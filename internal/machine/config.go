@@ -5,6 +5,8 @@
 package machine
 
 import (
+	"io"
+
 	"tokencoherence/internal/interconnect"
 	"tokencoherence/internal/sim"
 )
@@ -65,6 +67,23 @@ type Config struct {
 
 	// Net holds the interconnect parameters.
 	Net interconnect.Config
+
+	// Flight-recorder knobs (see internal/trace). Every system arms a
+	// fixed-size ring of recent protocol events that dumps when the run
+	// fails or a transaction exceeds the starvation deadline; recording
+	// is allocation-free, so always-on costs nothing measurable.
+
+	// RecorderSize is the flight-recorder ring capacity in events
+	// (0 = trace.DefaultRecorderSize; negative disables the recorder).
+	RecorderSize int
+	// StarvationDeadline is the transaction latency at which the armed
+	// recorder dumps (0 = trace.DefaultStarvationDeadline; negative
+	// disables the deadline but keeps the recorder armed for failures).
+	StarvationDeadline sim.Time
+	// DebugLog receives flight-recorder dumps (nil = stderr). Each dump
+	// is a single Write, so parallel sweeps sharing a destination wrap it
+	// in trace.NewSyncWriter and dumps never tear.
+	DebugLog io.Writer
 }
 
 // DefaultConfig returns the paper's target system (Table 1).

@@ -8,6 +8,7 @@ import (
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
 	"tokencoherence/internal/topology"
+	"tokencoherence/internal/trace"
 )
 
 // System assembles one simulated multiprocessor: kernel, interconnect,
@@ -31,17 +32,27 @@ type System struct {
 	// default) keeps every event site a single pointer check. Attach
 	// observers with Observe, never by writing the field.
 	Obs *stats.Observer
+	// Recorder is the always-armed flight recorder NewSystem wires from
+	// the Cfg knobs (nil when Cfg.RecorderSize is negative). It dumps the
+	// recent protocol-event history when the run deadlocks, the safety
+	// oracle fails, or a transaction overruns the starvation deadline.
+	Recorder *trace.FlightRecorder
+
+	observers []*stats.Observer
 }
 
-// Observe attaches an observer (merging it with any already attached)
-// and propagates the merged chain to the interconnect. Attach before
-// Execute; events fired earlier are lost. A nil observer is a no-op, so
-// probes that only register derived metrics can return nil.
+// Observe attaches an observer and propagates the merged fan-out to the
+// interconnect. All attached observers are flattened in one pass
+// (stats.MergeAllObservers), so every event dispatches through a single
+// loop no matter how many probes attach. Attach before Execute; events
+// fired earlier are lost. A nil observer is a no-op, so probes that only
+// register derived metrics can return nil.
 func (s *System) Observe(o *stats.Observer) {
 	if o == nil {
 		return
 	}
-	s.Obs = stats.MergeObservers(s.Obs, o)
+	s.observers = append(s.observers, o)
+	s.Obs = stats.MergeAllObservers(s.observers...)
 	s.Net.SetObserver(s.Obs)
 }
 
@@ -66,6 +77,15 @@ func NewSystem(cfg Config, topo topology.Topology, seed uint64) *System {
 	}
 	s.publishMetrics()
 	s.Net.PublishMetrics(s.Metrics)
+	if cfg.RecorderSize >= 0 {
+		s.Recorder = trace.NewFlightRecorder(trace.RecorderConfig{
+			Size:     cfg.RecorderSize,
+			Deadline: cfg.StarvationDeadline,
+			Out:      cfg.DebugLog,
+			Now:      k.Now,
+		})
+		s.Observe(s.Recorder.Observer())
+	}
 	return s
 }
 
@@ -164,6 +184,7 @@ func (s *System) ExecuteWarm(ctrls []Controller, gen Generator, warmup, opsPerPr
 					s.Run.Reset()
 					s.Metrics.Reset()
 					warmStart = s.K.Now()
+					s.Obs.OnMeasurementStarted(warmStart)
 				}
 			}
 			p.warmupOps = warmup
@@ -181,8 +202,14 @@ func (s *System) ExecuteWarm(ctrls []Controller, gen Generator, warmup, opsPerPr
 			issued += p.Issued()
 			completed += p.Completed()
 		}
-		return s.Run, fmt.Errorf("machine: deadlock, %d/%d processors incomplete (%d issued, %d completed)",
+		err := fmt.Errorf("machine: deadlock, %d/%d processors incomplete (%d issued, %d completed)",
 			remaining, len(procs), issued, completed)
+		s.Recorder.Trip(err.Error())
+		return s.Run, err
 	}
-	return s.Run, s.Oracle.Err()
+	if err := s.Oracle.Err(); err != nil {
+		s.Recorder.Trip("safety oracle failed: " + err.Error())
+		return s.Run, err
+	}
+	return s.Run, nil
 }

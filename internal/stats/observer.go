@@ -15,6 +15,9 @@ import (
 // Events fire during warmup too; metrics a probe registers in the run's
 // MetricSet are zeroed automatically at the warmup boundary (see
 // MetricSet.Reset), so most probes need no warmup handling of their own.
+// Probes that buffer events instead of registering metrics — the
+// transaction tracer — subscribe to MeasurementStarted and discard their
+// pre-boundary buffer themselves.
 type Observer struct {
 	// MissIssued fires when a processor's access misses and a new
 	// coherence transaction starts.
@@ -28,6 +31,10 @@ type Observer struct {
 	// PersistentActivated fires when a home arbiter activates a
 	// persistent request (the starvation-avoidance mechanism engaging).
 	PersistentActivated func(home int, block msg.Block, at sim.Time)
+	// PersistentDeactivated fires when a home arbiter finishes a
+	// persistent request's deactivation handshake and retires it (the
+	// starvation-avoidance mechanism disengaging).
+	PersistentDeactivated func(home int, block msg.Block, at sim.Time)
 	// TokensTransferred fires when a cache controller receives a
 	// token-carrying message.
 	TokensTransferred func(proc int, block msg.Block, tokens int, at sim.Time)
@@ -35,6 +42,11 @@ type Observer struct {
 	// hops and multicast tree edges; local same-node deliveries cross no
 	// link and fire nothing).
 	NetworkHop func(link int, cat msg.Category, bytes int, at sim.Time)
+	// MeasurementStarted fires once, at the warmup boundary, when every
+	// processor has finished its cache-warming operations and the run's
+	// statistics reset: everything after it is the measured interval.
+	// Runs without warmup never fire it.
+	MeasurementStarted func(at sim.Time)
 }
 
 // OnMissIssued fires MissIssued if subscribed. Safe on a nil receiver.
@@ -66,6 +78,14 @@ func (o *Observer) OnPersistentActivated(home int, block msg.Block, at sim.Time)
 	}
 }
 
+// OnPersistentDeactivated fires PersistentDeactivated if subscribed.
+// Safe on a nil receiver.
+func (o *Observer) OnPersistentDeactivated(home int, block msg.Block, at sim.Time) {
+	if o != nil && o.PersistentDeactivated != nil {
+		o.PersistentDeactivated(home, block, at)
+	}
+}
+
 // OnTokensTransferred fires TokensTransferred if subscribed. Safe on a
 // nil receiver.
 func (o *Observer) OnTokensTransferred(proc int, block msg.Block, tokens int, at sim.Time) {
@@ -81,53 +101,148 @@ func (o *Observer) OnNetworkHop(link int, cat msg.Category, bytes int, at sim.Ti
 	}
 }
 
-// MergeObservers fans events out to both observers (either may be nil;
-// merging with nil returns the other unchanged). Attaching n probes
-// builds a chain of depth n once, before the simulation starts. The
-// merged observer subscribes to an event only when at least one operand
-// does, so events nobody watches keep their single-nil-check fast path.
-func MergeObservers(a, b *Observer) *Observer {
-	if a == nil {
-		return b
+// OnMeasurementStarted fires MeasurementStarted if subscribed. Safe on a
+// nil receiver.
+func (o *Observer) OnMeasurementStarted(at sim.Time) {
+	if o != nil && o.MeasurementStarted != nil {
+		o.MeasurementStarted(at)
 	}
-	if b == nil {
-		return a
+}
+
+// MergeObservers fans events out to both observers (either may be nil;
+// merging with nil returns the other unchanged). It is the pairwise
+// special case of MergeAllObservers; attachment sites that collect
+// several observers should call MergeAllObservers once instead of
+// chaining pairwise merges, which builds a wrapper per merge level.
+func MergeObservers(a, b *Observer) *Observer {
+	return MergeAllObservers(a, b)
+}
+
+// MergeAllObservers flattens any number of observers (nils skipped) into
+// one whose every event dispatches through a single fan-out loop — no
+// matter how many operands, subscribers sit one call below the event
+// site, where chained pairwise merges would build a linked chain of
+// wrappers per merge level. The merged observer subscribes to an event
+// only when at least one operand does, so events nobody watches keep
+// their single-nil-check fast path. Zero or all-nil operands merge to
+// nil; a single live operand is returned unchanged.
+func MergeAllObservers(obs ...*Observer) *Observer {
+	live := make([]*Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
 	}
 	m := &Observer{}
-	if a.MissIssued != nil || b.MissIssued != nil {
+	var missIssued []func(int, msg.Block, bool, sim.Time)
+	var missCompleted []func(int, msg.Block, int, bool, sim.Time)
+	var reissued []func(int, msg.Block, int, sim.Time)
+	var activated, deactivated []func(int, msg.Block, sim.Time)
+	var tokens []func(int, msg.Block, int, sim.Time)
+	var hops []func(int, msg.Category, int, sim.Time)
+	var started []func(sim.Time)
+	for _, o := range live {
+		if o.MissIssued != nil {
+			missIssued = append(missIssued, o.MissIssued)
+		}
+		if o.MissCompleted != nil {
+			missCompleted = append(missCompleted, o.MissCompleted)
+		}
+		if o.Reissued != nil {
+			reissued = append(reissued, o.Reissued)
+		}
+		if o.PersistentActivated != nil {
+			activated = append(activated, o.PersistentActivated)
+		}
+		if o.PersistentDeactivated != nil {
+			deactivated = append(deactivated, o.PersistentDeactivated)
+		}
+		if o.TokensTransferred != nil {
+			tokens = append(tokens, o.TokensTransferred)
+		}
+		if o.NetworkHop != nil {
+			hops = append(hops, o.NetworkHop)
+		}
+		if o.MeasurementStarted != nil {
+			started = append(started, o.MeasurementStarted)
+		}
+	}
+	if len(missIssued) == 1 {
+		m.MissIssued = missIssued[0]
+	} else if len(missIssued) > 1 {
 		m.MissIssued = func(proc int, block msg.Block, write bool, at sim.Time) {
-			a.OnMissIssued(proc, block, write, at)
-			b.OnMissIssued(proc, block, write, at)
+			for _, f := range missIssued {
+				f(proc, block, write, at)
+			}
 		}
 	}
-	if a.MissCompleted != nil || b.MissCompleted != nil {
+	if len(missCompleted) == 1 {
+		m.MissCompleted = missCompleted[0]
+	} else if len(missCompleted) > 1 {
 		m.MissCompleted = func(proc int, block msg.Block, reissues int, persistent bool, latency sim.Time) {
-			a.OnMissCompleted(proc, block, reissues, persistent, latency)
-			b.OnMissCompleted(proc, block, reissues, persistent, latency)
+			for _, f := range missCompleted {
+				f(proc, block, reissues, persistent, latency)
+			}
 		}
 	}
-	if a.Reissued != nil || b.Reissued != nil {
+	if len(reissued) == 1 {
+		m.Reissued = reissued[0]
+	} else if len(reissued) > 1 {
 		m.Reissued = func(proc int, block msg.Block, attempt int, at sim.Time) {
-			a.OnReissued(proc, block, attempt, at)
-			b.OnReissued(proc, block, attempt, at)
+			for _, f := range reissued {
+				f(proc, block, attempt, at)
+			}
 		}
 	}
-	if a.PersistentActivated != nil || b.PersistentActivated != nil {
+	if len(activated) == 1 {
+		m.PersistentActivated = activated[0]
+	} else if len(activated) > 1 {
 		m.PersistentActivated = func(home int, block msg.Block, at sim.Time) {
-			a.OnPersistentActivated(home, block, at)
-			b.OnPersistentActivated(home, block, at)
+			for _, f := range activated {
+				f(home, block, at)
+			}
 		}
 	}
-	if a.TokensTransferred != nil || b.TokensTransferred != nil {
-		m.TokensTransferred = func(proc int, block msg.Block, tokens int, at sim.Time) {
-			a.OnTokensTransferred(proc, block, tokens, at)
-			b.OnTokensTransferred(proc, block, tokens, at)
+	if len(deactivated) == 1 {
+		m.PersistentDeactivated = deactivated[0]
+	} else if len(deactivated) > 1 {
+		m.PersistentDeactivated = func(home int, block msg.Block, at sim.Time) {
+			for _, f := range deactivated {
+				f(home, block, at)
+			}
 		}
 	}
-	if a.NetworkHop != nil || b.NetworkHop != nil {
+	if len(tokens) == 1 {
+		m.TokensTransferred = tokens[0]
+	} else if len(tokens) > 1 {
+		m.TokensTransferred = func(proc int, block msg.Block, n int, at sim.Time) {
+			for _, f := range tokens {
+				f(proc, block, n, at)
+			}
+		}
+	}
+	if len(hops) == 1 {
+		m.NetworkHop = hops[0]
+	} else if len(hops) > 1 {
 		m.NetworkHop = func(link int, cat msg.Category, bytes int, at sim.Time) {
-			a.OnNetworkHop(link, cat, bytes, at)
-			b.OnNetworkHop(link, cat, bytes, at)
+			for _, f := range hops {
+				f(link, cat, bytes, at)
+			}
+		}
+	}
+	if len(started) == 1 {
+		m.MeasurementStarted = started[0]
+	} else if len(started) > 1 {
+		m.MeasurementStarted = func(at sim.Time) {
+			for _, f := range started {
+				f(at)
+			}
 		}
 	}
 	return m

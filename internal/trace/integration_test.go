@@ -1,0 +1,153 @@
+package trace_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"tokencoherence/internal/engine"
+	"tokencoherence/internal/machine"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/trace"
+)
+
+// tracedPlan is the acceptance configuration: a tokenb 16-processor
+// point with warmup, over a few seeds.
+func tracedPlan(seeds []uint64) engine.Plan {
+	return engine.Plan{
+		Variants: []engine.Variant{{
+			Name:  "tokenb-torus",
+			Point: engine.Point{Protocol: engine.ProtoTokenB, Topo: engine.TopoTorus, Workload: "oltp"},
+		}},
+		Seeds:  seeds,
+		Ops:    300,
+		Warmup: 300,
+		Procs:  16,
+	}
+}
+
+// runTraced executes the plan with a tracer per job and returns each
+// job's exported trace bytes plus its result, in plan order.
+func runTraced(t *testing.T, plan engine.Plan, workers int) ([][]byte, []engine.Result) {
+	t.Helper()
+	var mu sync.Mutex
+	tracers := make(map[int]*trace.Tracer)
+	eng := engine.Engine{
+		Workers: workers,
+		Attach: func(job engine.Job) func(*machine.System) {
+			tr := trace.NewTracer(trace.TracerConfig{})
+			mu.Lock()
+			tracers[job.Index] = tr
+			mu.Unlock()
+			return func(sys *machine.System) { sys.Observe(tr.Observer()) }
+		},
+	}
+	results, err := eng.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(results))
+	for i := range results {
+		var buf bytes.Buffer
+		if err := tracers[i].Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out, results
+}
+
+// TestTraceSpanCountMatchesMisses is the acceptance criterion: for a
+// tokenb 16p point, the exported trace's span count equals the run's
+// misses metric — the warmup boundary discards exactly the unmeasured
+// transactions.
+func TestTraceSpanCountMatchesMisses(t *testing.T) {
+	traces, results := runTraced(t, tracedPlan([]uint64{1}), 1)
+	misses, ok := results[0].Metrics.Value("misses")
+	if !ok {
+		t.Fatal("no misses metric")
+	}
+	if misses == 0 {
+		t.Fatal("run completed zero misses; the test workload is too small")
+	}
+	spans := bytes.Count(traces[0], []byte(`"ph":"X"`))
+	if float64(spans) != misses {
+		t.Errorf("trace has %d spans, misses metric is %.0f", spans, misses)
+	}
+	if open := bytes.Count(traces[0], []byte(`"ph":"B"`)); open != 0 {
+		t.Errorf("successful run exported %d open spans", open)
+	}
+}
+
+// TestTraceParallelDeterminism is the other acceptance criterion: trace
+// files for a fixed (point, seed) are byte-identical whether the engine
+// ran with one worker or many.
+func TestTraceParallelDeterminism(t *testing.T) {
+	plan := tracedPlan([]uint64{1, 2, 3})
+	serial, _ := runTraced(t, plan, 1)
+	parallel, _ := runTraced(t, plan, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("job counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("job %d: trace bytes differ between -parallel 1 and -parallel 4", i)
+		}
+	}
+}
+
+// TestRecorderForcedFailureDeterministic forces a starvation-deadline
+// trip with a 1 ps deadline (every completed miss overruns it) and
+// checks the armed recorder's dump is identical across runs and across
+// engine parallelism — the seeded simulation replays the same event
+// history every time.
+func TestRecorderForcedFailureDeterministic(t *testing.T) {
+	dump := func(workers int) string {
+		var buf bytes.Buffer
+		out := trace.NewSyncWriter(&buf)
+		plan := tracedPlan([]uint64{7})
+		pt := &plan.Variants[0].Point
+		pt.Mutate = func(c *machine.Config) {
+			c.StarvationDeadline = sim.Picosecond
+			c.DebugLog = out
+		}
+		eng := engine.Engine{Workers: workers}
+		if _, err := eng.Execute(context.Background(), plan); err != nil {
+			t.Fatal(err) // a deadline trip dumps but does not fail the run
+		}
+		return buf.String()
+	}
+	first := dump(1)
+	if first == "" {
+		t.Fatal("1 ps deadline produced no dump")
+	}
+	if !strings.Contains(first, "transaction exceeded starvation deadline") {
+		t.Errorf("dump lacks the deadline reason:\n%.400s", first)
+	}
+	if !strings.Contains(first, "tokenb/torus/oltp procs=16 seed=7") {
+		t.Errorf("dump lacks the engine-assigned point label:\n%.400s", first)
+	}
+	if second := dump(4); first != second {
+		t.Error("forced-failure dumps differ between runs")
+	}
+}
+
+// TestRecorderDisabled checks a negative RecorderSize builds a system
+// with no recorder at all.
+func TestRecorderDisabled(t *testing.T) {
+	plan := tracedPlan([]uint64{1})
+	pt := &plan.Variants[0].Point
+	pt.Mutate = func(c *machine.Config) { c.RecorderSize = -1 }
+	var sawRecorder *trace.FlightRecorder
+	eng := engine.Engine{Attach: func(job engine.Job) func(*machine.System) {
+		return func(sys *machine.System) { sawRecorder = sys.Recorder }
+	}}
+	if _, err := eng.Execute(context.Background(), plan); err != nil {
+		t.Fatal(err)
+	}
+	if sawRecorder != nil {
+		t.Error("RecorderSize<0 still armed a recorder")
+	}
+}

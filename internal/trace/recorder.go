@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+)
+
+// DefaultRecorderSize is the flight recorder ring capacity when the
+// configuration leaves it zero: large enough to hold the full causal
+// neighborhood of a failure (a 256-proc broadcast and its responses fit
+// several times over), small enough that the always-armed recorder costs
+// ~20 kB per system.
+const DefaultRecorderSize = 512
+
+// DefaultStarvationDeadline is the per-transaction latency at which the
+// recorder trips when the configuration leaves the deadline zero. Token
+// Coherence bounds every miss by the persistent-request mechanism, so in
+// a healthy run even the most contended miss resolves in microseconds;
+// 50 simulated milliseconds is three-plus orders of magnitude past any
+// latency the Table 1 machine produces and only a starved or livelocked
+// transaction can reach it.
+const DefaultStarvationDeadline = 50 * sim.Millisecond
+
+// RecorderConfig parameterizes NewFlightRecorder. The zero value is a
+// usable default (512-record ring, 50 ms starvation deadline, dumps to
+// stderr, protocol events only).
+type RecorderConfig struct {
+	// Size is the ring capacity in records (0 = DefaultRecorderSize).
+	Size int
+	// Deadline trips a dump when a completed transaction's latency
+	// reaches it (0 = DefaultStarvationDeadline, negative = no deadline).
+	Deadline sim.Time
+	// Out receives dumps (nil = os.Stderr). Each dump is one Write call,
+	// so a shared Out needs only per-Write serialization (NewSyncWriter).
+	Out io.Writer
+	// Label identifies the run in dump headers, e.g. the sweep point.
+	Label string
+	// Hops also records per-link NetworkHop events. Off by default: hops
+	// outnumber protocol events ~100:1 and would evict the transaction
+	// history a dump exists to show.
+	Hops bool
+	// MaxDumps bounds how many times the recorder dumps (0 = 1). One
+	// failing run then produces one dump, not one per starved miss.
+	MaxDumps int
+	// Now supplies event timestamps (normally the kernel's clock); with
+	// nil Now records carry time zero.
+	Now func() sim.Time
+}
+
+// FlightRecorder keeps the last Size protocol events in a fixed ring so
+// that when a run fails — safety-oracle violation, deadlock, starvation
+// deadline — the events leading up to the failure can be dumped without
+// having traced the run from the start. It is cheap enough to arm
+// always: recording is two field copies into a preallocated ring record,
+// with zero steady-state allocations (verified by an AllocsPerRun gate),
+// and events nobody recorded stay on the observer's single-nil-check
+// fast path.
+//
+// A FlightRecorder belongs to one System and, like the rest of a
+// system's single-threaded simulation, is not safe for concurrent use.
+// The nil *FlightRecorder is valid and inert.
+type FlightRecorder struct {
+	ring     []Record
+	total    uint64
+	deadline sim.Time
+	out      io.Writer
+	label    string
+	hops     bool
+	dumps    int
+	now      func() sim.Time
+}
+
+// NewFlightRecorder builds a recorder; see RecorderConfig for defaults.
+func NewFlightRecorder(cfg RecorderConfig) *FlightRecorder {
+	size := cfg.Size
+	if size == 0 {
+		size = DefaultRecorderSize
+	}
+	if size < 0 {
+		panic("trace: negative recorder size (disable by not constructing one)")
+	}
+	deadline := cfg.Deadline
+	if deadline == 0 {
+		deadline = DefaultStarvationDeadline
+	}
+	if deadline < 0 {
+		deadline = 0 // no deadline
+	}
+	dumps := cfg.MaxDumps
+	if dumps == 0 {
+		dumps = 1
+	}
+	return &FlightRecorder{
+		ring:     make([]Record, size),
+		deadline: deadline,
+		out:      cfg.Out,
+		label:    cfg.Label,
+		hops:     cfg.Hops,
+		dumps:    dumps,
+		now:      cfg.Now,
+	}
+}
+
+// SetLabel sets the identity printed in dump headers. The engine labels
+// each point's recorder with the point's protocol/topology/workload/seed
+// once the system is assembled.
+func (r *FlightRecorder) SetLabel(label string) {
+	if r != nil {
+		r.label = label
+	}
+}
+
+// Observer returns the recorder's event subscription for System.Observe.
+func (r *FlightRecorder) Observer() *stats.Observer {
+	if r == nil {
+		return nil
+	}
+	o := &stats.Observer{
+		MissIssued:            r.missIssued,
+		MissCompleted:         r.missCompleted,
+		Reissued:              r.reissued,
+		PersistentActivated:   r.persistentActivated,
+		PersistentDeactivated: r.persistentDeactivated,
+		TokensTransferred:     r.tokensTransferred,
+		MeasurementStarted:    r.measurementStarted,
+	}
+	if r.hops {
+		o.NetworkHop = r.networkHop
+	}
+	return o
+}
+
+// push claims the next ring slot, evicting the oldest record on wrap.
+func (r *FlightRecorder) push() *Record {
+	rec := &r.ring[r.total%uint64(len(r.ring))]
+	r.total++
+	return rec
+}
+
+// clock reads the wired clock, for the one hook (MissCompleted) that
+// does not carry its own timestamp.
+func (r *FlightRecorder) clock() sim.Time {
+	if r.now != nil {
+		return r.now()
+	}
+	return 0
+}
+
+func (r *FlightRecorder) missIssued(proc int, block msg.Block, write bool, at sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = 0, block, int32(proc), 0
+	rec.Kind, rec.Cat, rec.Flag = KindMissIssued, 0, write
+	rec.At = at
+}
+
+func (r *FlightRecorder) missCompleted(proc int, block msg.Block, reissues int, persistent bool, latency sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = latency, block, int32(proc), int32(reissues)
+	rec.Kind, rec.Cat, rec.Flag = KindMissCompleted, 0, persistent
+	rec.At = r.clock()
+	if r.deadline > 0 && latency >= r.deadline {
+		r.Trip(fmt.Sprintf("transaction exceeded starvation deadline: proc %d block %#x took %s (deadline %s, reissues %d, persistent %t)",
+			proc, uint64(block), usString(latency), usString(r.deadline), reissues, persistent))
+	}
+}
+
+func (r *FlightRecorder) reissued(proc int, block msg.Block, attempt int, at sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = 0, block, int32(proc), int32(attempt)
+	rec.Kind, rec.Cat, rec.Flag = KindReissued, 0, false
+	rec.At = at
+}
+
+func (r *FlightRecorder) persistentActivated(home int, block msg.Block, at sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = 0, block, int32(home), 0
+	rec.Kind, rec.Cat, rec.Flag = KindPersistentActivated, 0, false
+	rec.At = at
+}
+
+func (r *FlightRecorder) persistentDeactivated(home int, block msg.Block, at sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = 0, block, int32(home), 0
+	rec.Kind, rec.Cat, rec.Flag = KindPersistentDeactivated, 0, false
+	rec.At = at
+}
+
+func (r *FlightRecorder) tokensTransferred(proc int, block msg.Block, tokens int, at sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = 0, block, int32(proc), int32(tokens)
+	rec.Kind, rec.Cat, rec.Flag = KindTokensTransferred, 0, false
+	rec.At = at
+}
+
+func (r *FlightRecorder) networkHop(link int, cat msg.Category, bytes int, at sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = 0, 0, int32(link), int32(bytes)
+	rec.Kind, rec.Cat, rec.Flag = KindNetworkHop, cat, false
+	rec.At = at
+}
+
+func (r *FlightRecorder) measurementStarted(at sim.Time) {
+	rec := r.push()
+	rec.Aux, rec.Block, rec.Node, rec.N = 0, 0, 0, 0
+	rec.Kind, rec.Cat, rec.Flag = KindMeasurementStarted, 0, false
+	rec.At = at
+}
+
+// Len reports how many records the ring currently holds.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.total < uint64(len(r.ring)) {
+		return int(r.total)
+	}
+	return len(r.ring)
+}
+
+// Total reports how many events were recorded over the recorder's life,
+// including those the ring has since evicted.
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Records returns a copy of the retained records, oldest first.
+func (r *FlightRecorder) Records() []Record {
+	n := r.Len()
+	out := make([]Record, n)
+	for i := 0; i < n; i++ {
+		out[i] = *r.at(i)
+	}
+	return out
+}
+
+// at returns the i-th retained record, oldest first.
+func (r *FlightRecorder) at(i int) *Record {
+	start := uint64(0)
+	if r.total > uint64(len(r.ring)) {
+		start = r.total % uint64(len(r.ring))
+	}
+	return &r.ring[(start+uint64(i))%uint64(len(r.ring))]
+}
+
+// Trip dumps the ring to the configured output if the recorder still has
+// dump budget. The machine trips it on deadlock and on safety-oracle
+// failure; the recorder trips itself on a starvation-deadline overrun.
+// The whole dump is issued as one Write so concurrent runs sharing an
+// output (through NewSyncWriter) interleave dumps, never lines. Safe on
+// a nil receiver.
+func (r *FlightRecorder) Trip(reason string) {
+	if r == nil || r.dumps <= 0 {
+		return
+	}
+	r.dumps--
+	var buf bytes.Buffer
+	r.WriteTo(&buf, reason)
+	out := r.out
+	if out == nil {
+		out = os.Stderr
+	}
+	out.Write(buf.Bytes()) //nolint:errcheck // best-effort failure diagnostics
+}
+
+// WriteTo renders the dump: a header with the reason and run label, then
+// the retained records oldest first. Output is deterministic for a
+// deterministic event history.
+func (r *FlightRecorder) WriteTo(w io.Writer, reason string) {
+	if r == nil {
+		return
+	}
+	b := make([]byte, 0, 64*(r.Len()+3))
+	b = append(b, "flight recorder: "...)
+	b = append(b, reason...)
+	b = append(b, '\n')
+	if r.label != "" {
+		b = fmt.Appendf(b, "  point: %s\n", r.label)
+	}
+	b = fmt.Appendf(b, "  last %d of %d protocol events, oldest first:\n", r.Len(), r.total)
+	for i := 0; i < r.Len(); i++ {
+		b = r.at(i).appendTo(b)
+	}
+	w.Write(b) //nolint:errcheck // best-effort failure diagnostics
+}

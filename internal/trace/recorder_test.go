@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+)
+
+// feed drives a deterministic little event history through an observer.
+func feed(o *stats.Observer, n int) {
+	for i := 1; i <= n; i++ {
+		at := sim.Time(i) * 10 * sim.Nanosecond
+		o.OnMissIssued(i%4, msg.Block(i%8), i%2 == 0, at)
+		o.OnReissued(i%4, msg.Block(i%8), 1, at+sim.Nanosecond)
+		o.OnTokensTransferred(i%4, msg.Block(i%8), 3, at+2*sim.Nanosecond)
+		o.OnMissCompleted(i%4, msg.Block(i%8), 1, false, 5*sim.Nanosecond)
+	}
+}
+
+// TestRecorderRingWrap checks the ring keeps exactly the newest Size
+// records, oldest first, and counts evicted events in Total.
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewFlightRecorder(RecorderConfig{Size: 4, Deadline: -1})
+	o := r.Observer()
+	for i := 1; i <= 10; i++ {
+		o.OnReissued(0, msg.Block(1), i, sim.Time(i)*sim.Nanosecond)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	recs := r.Records()
+	for i, want := range []int32{7, 8, 9, 10} {
+		if recs[i].Kind != KindReissued || recs[i].N != want {
+			t.Errorf("record %d = %+v, want attempt %d", i, recs[i], want)
+		}
+	}
+}
+
+// TestRecorderPartialFill checks a ring that never wrapped dumps only
+// what it holds.
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewFlightRecorder(RecorderConfig{Size: 64, Deadline: -1})
+	feed(r.Observer(), 3)
+	if r.Len() != 12 || r.Total() != 12 {
+		t.Fatalf("Len/Total = %d/%d, want 12/12", r.Len(), r.Total())
+	}
+	if recs := r.Records(); recs[0].Kind != KindMissIssued {
+		t.Errorf("first retained record = %v, want MissIssued", recs[0].Kind)
+	}
+}
+
+// TestRecorderDeadlineTrip checks a transaction over the starvation
+// deadline dumps the ring exactly once (the default dump budget).
+func TestRecorderDeadlineTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewFlightRecorder(RecorderConfig{Size: 16, Deadline: 100 * sim.Nanosecond, Out: &buf, Label: "unit/test"})
+	o := r.Observer()
+	o.OnMissIssued(2, 5, true, 10*sim.Nanosecond)
+	o.OnMissCompleted(2, 5, 0, false, 50*sim.Nanosecond) // under deadline
+	if buf.Len() != 0 {
+		t.Fatalf("dumped under the deadline:\n%s", buf.String())
+	}
+	o.OnMissIssued(3, 6, false, 60*sim.Nanosecond)
+	o.OnMissCompleted(3, 6, 2, true, 250*sim.Nanosecond) // over deadline
+	dump := buf.String()
+	if dump == "" {
+		t.Fatal("no dump after exceeding the deadline")
+	}
+	for _, want := range []string{
+		"flight recorder: transaction exceeded starvation deadline",
+		"proc 3 block 0x6",
+		"point: unit/test",
+		"last 4 of 4 protocol events",
+		"MissIssued proc=2 block=0x5 write",
+		"MissCompleted proc=3 block=0x6 reissues=2 persistent=true",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump lacks %q:\n%s", want, dump)
+		}
+	}
+	// Budget spent: a second overrun must not dump again.
+	buf.Reset()
+	o.OnMissCompleted(3, 6, 3, true, 300*sim.Nanosecond)
+	if buf.Len() != 0 {
+		t.Errorf("second dump despite exhausted budget:\n%s", buf.String())
+	}
+}
+
+// TestRecorderDumpDeterministic checks identical event histories render
+// byte-identical dumps.
+func TestRecorderDumpDeterministic(t *testing.T) {
+	render := func() string {
+		r := NewFlightRecorder(RecorderConfig{Size: 32, Deadline: -1, Label: "det/test"})
+		feed(r.Observer(), 10)
+		var buf bytes.Buffer
+		r.WriteTo(&buf, "forced")
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("dumps differ:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "TokensTransferred proc=1 block=0x1 tokens=3") {
+		t.Errorf("unexpected dump content:\n%s", a)
+	}
+}
+
+// TestRecorderZeroAllocs is the flight-recorder half of the alloc gate:
+// with the recorder armed, steady-state recording allocates nothing.
+func TestRecorderZeroAllocs(t *testing.T) {
+	r := NewFlightRecorder(RecorderConfig{Size: DefaultRecorderSize, Hops: true})
+	o := r.Observer()
+	feed(o, 8) // warm any lazy paths
+	allocs := testing.AllocsPerRun(100, func() {
+		o.OnMissIssued(1, 2, true, 30*sim.Nanosecond)
+		o.OnReissued(1, 2, 1, 31*sim.Nanosecond)
+		o.OnPersistentActivated(0, 2, 32*sim.Nanosecond)
+		o.OnPersistentDeactivated(0, 2, 33*sim.Nanosecond)
+		o.OnTokensTransferred(1, 2, 4, 34*sim.Nanosecond)
+		o.OnNetworkHop(7, msg.CatData, 72, 35*sim.Nanosecond)
+		o.OnMissCompleted(1, 2, 1, false, 5*sim.Nanosecond)
+		o.OnMeasurementStarted(36 * sim.Nanosecond)
+	})
+	if allocs != 0 {
+		t.Errorf("recording allocates %.1f per event burst, want 0", allocs)
+	}
+}
+
+// TestRecorderNilSafety checks the nil recorder is valid and inert, as
+// the machine relies on when the recorder is disabled.
+func TestRecorderNilSafety(t *testing.T) {
+	var r *FlightRecorder
+	r.Trip("nothing should happen")
+	r.SetLabel("ignored")
+	if r.Observer() != nil {
+		t.Error("nil recorder returned a non-nil observer")
+	}
+	if r.Len() != 0 || r.Total() != 0 || len(r.Records()) != 0 {
+		t.Error("nil recorder reports retained records")
+	}
+}
+
+// TestRecorderHopsOptIn checks hop recording is off by default (hops
+// would evict the protocol history) and available on request.
+func TestRecorderHopsOptIn(t *testing.T) {
+	if o := NewFlightRecorder(RecorderConfig{}).Observer(); o.NetworkHop != nil {
+		t.Error("default recorder subscribes to NetworkHop")
+	}
+	o := NewFlightRecorder(RecorderConfig{Hops: true}).Observer()
+	if o.NetworkHop == nil {
+		t.Fatal("Hops recorder does not subscribe to NetworkHop")
+	}
+}

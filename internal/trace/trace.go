@@ -1,0 +1,147 @@
+// Package trace is the simulator's transaction-level observability
+// layer, built entirely on the stats.Observer hooks:
+//
+//   - Tracer stitches the per-miss event stream (MissIssued → Reissued*
+//     → TokensTransferred → MissCompleted, with persistent-request
+//     activity and optional per-link hops alongside) into spans keyed by
+//     (proc, block) and exports Chrome/Perfetto trace-event JSON, so a
+//     single transaction's causal life is visible on a timeline.
+//   - FlightRecorder is an always-armed, fixed-size ring buffer of the
+//     most recent protocol events. Recording is allocation-free after
+//     construction; the ring is dumped — once, human-readably, in a
+//     single Write — when a run fails its safety checks or a
+//     transaction exceeds a starvation deadline.
+//
+// Both attach through System.Observe and therefore compose with metric
+// probes and with each other; neither perturbs simulated time, so traced
+// runs remain byte-identical to untraced ones.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+// Kind identifies which observer event a Record captured.
+type Kind uint8
+
+// Record kinds, one per stats.Observer hook.
+const (
+	KindMissIssued Kind = iota
+	KindMissCompleted
+	KindReissued
+	KindPersistentActivated
+	KindPersistentDeactivated
+	KindTokensTransferred
+	KindNetworkHop
+	KindMeasurementStarted
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMissIssued:
+		return "MissIssued"
+	case KindMissCompleted:
+		return "MissCompleted"
+	case KindReissued:
+		return "Reissued"
+	case KindPersistentActivated:
+		return "PersistentActivated"
+	case KindPersistentDeactivated:
+		return "PersistentDeactivated"
+	case KindTokensTransferred:
+		return "TokensTransferred"
+	case KindNetworkHop:
+		return "NetworkHop"
+	case KindMeasurementStarted:
+		return "MeasurementStarted"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one protocol event in the flight recorder's ring: a fixed-
+// size struct so the ring is a single allocation and recording is a
+// field copy. Field meaning varies by Kind (see appendTo).
+type Record struct {
+	// At is the simulation time the event fired (0 when the recorder has
+	// no clock wired).
+	At sim.Time
+	// Aux is the MissCompleted latency or the NetworkHop queueing start.
+	Aux   sim.Time
+	Block msg.Block
+	// Node is the proc (miss/token events), home (persistent events), or
+	// link (hop events) the event concerns.
+	Node int32
+	// N is the reissue attempt, tokens moved, total reissues, or payload
+	// bytes, by Kind.
+	N    int32
+	Kind Kind
+	Cat  msg.Category
+	// Flag is MissIssued's write bit or MissCompleted's persistent bit.
+	Flag bool
+}
+
+// appendTo renders the record as one human-readable dump line.
+func (r *Record) appendTo(b []byte) []byte {
+	b = append(b, "    t="...)
+	b = append(b, usString(r.At)...)
+	b = append(b, ' ')
+	b = append(b, r.Kind.String()...)
+	switch r.Kind {
+	case KindMissIssued:
+		op := "read"
+		if r.Flag {
+			op = "write"
+		}
+		b = fmt.Appendf(b, " proc=%d block=%#x %s", r.Node, uint64(r.Block), op)
+	case KindMissCompleted:
+		b = fmt.Appendf(b, " proc=%d block=%#x reissues=%d persistent=%t latency=%s",
+			r.Node, uint64(r.Block), r.N, r.Flag, usString(r.Aux))
+	case KindReissued:
+		b = fmt.Appendf(b, " proc=%d block=%#x attempt=%d", r.Node, uint64(r.Block), r.N)
+	case KindPersistentActivated, KindPersistentDeactivated:
+		b = fmt.Appendf(b, " home=%d block=%#x", r.Node, uint64(r.Block))
+	case KindTokensTransferred:
+		b = fmt.Appendf(b, " proc=%d block=%#x tokens=%d", r.Node, uint64(r.Block), r.N)
+	case KindNetworkHop:
+		b = fmt.Appendf(b, " link=%d cat=%s bytes=%d", r.Node, r.Cat.Slug(), r.N)
+	}
+	return append(b, '\n')
+}
+
+// usString formats a picosecond time as decimal microseconds with fixed
+// six-digit precision. Unlike floating-point formatting it is exact, so
+// trace output derived from it is byte-deterministic.
+func usString(t sim.Time) string {
+	return fmt.Sprintf("%d.%06dus", int64(t)/1_000_000, int64(t)%1_000_000)
+}
+
+// syncWriter serializes whole-buffer writes from concurrent goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// NewSyncWriter wraps w so that each Write call runs under a mutex.
+// Writers that emit whole lines (or whole dumps) in a single Write can
+// then share it across goroutines without tearing each other's output:
+// the sweep command hands one to the engine's progress printer and to
+// every point's flight recorder, which otherwise race from the collector
+// and worker goroutines respectively. Wrapping an already-wrapped writer
+// returns it unchanged.
+func NewSyncWriter(w io.Writer) io.Writer {
+	if sw, ok := w.(*syncWriter); ok {
+		return sw
+	}
+	return &syncWriter{w: w}
+}

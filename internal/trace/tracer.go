@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+)
+
+// TracerConfig parameterizes NewTracer. The zero value traces protocol
+// events only.
+type TracerConfig struct {
+	// Hops also emits an instant event per interconnect link traversal.
+	// Off by default: a traced point's hop events outnumber its protocol
+	// events ~100:1 and inflate the JSON accordingly.
+	Hops bool
+}
+
+// Tracer stitches a system's observer event stream into per-transaction
+// spans and exports them as Chrome trace-event JSON (the format
+// chrome://tracing and Perfetto load). Each coherence miss becomes one
+// complete ("X") span on the issuing processor's row, opened by
+// MissIssued and closed by MissCompleted, keyed by (proc, block) — a
+// processor's MSHRs never hold two misses for one block, so the key is
+// unique among open transactions. Reissues and token arrivals for an
+// open transaction, persistent (de)activations at the arbiters, and
+// (optionally) link hops appear as instant events alongside.
+//
+// A tracer buffers events in memory and honors the warmup boundary: when
+// MeasurementStarted fires it discards everything buffered, so the
+// exported spans are exactly the measured interval's misses and
+// Spans() equals the run's misses metric. Attach before Execute via
+// System.Observe. Like the system it observes, a Tracer is
+// single-threaded; under the parallel engine each point gets its own.
+type Tracer struct {
+	hops   bool
+	events []tEvent
+	// open maps an in-flight transaction to its span's index in events;
+	// openPreReset marks transactions issued before the warmup boundary,
+	// whose spans were discarded and whose completion must not count.
+	open  map[spanKey]int
+	spans int
+}
+
+const openPreReset = -1
+
+type spanKey struct {
+	proc  int32
+	block msg.Block
+}
+
+// tEvent is one buffered trace event; dur < 0 marks a span still open.
+type tEvent struct {
+	at    sim.Time
+	dur   sim.Time
+	block msg.Block
+	node  int32
+	n     int32
+	kind  Kind
+	cat   msg.Category
+	write bool
+	pers  bool
+}
+
+// NewTracer builds an empty tracer.
+func NewTracer(cfg TracerConfig) *Tracer {
+	return &Tracer{hops: cfg.Hops, open: make(map[spanKey]int)}
+}
+
+// Observer returns the tracer's event subscription for System.Observe.
+func (t *Tracer) Observer() *stats.Observer {
+	if t == nil {
+		return nil
+	}
+	o := &stats.Observer{
+		MissIssued:            t.missIssued,
+		MissCompleted:         t.missCompleted,
+		Reissued:              t.reissued,
+		PersistentActivated:   t.persistentActivated,
+		PersistentDeactivated: t.persistentDeactivated,
+		TokensTransferred:     t.tokensTransferred,
+		MeasurementStarted:    t.measurementStarted,
+	}
+	if t.hops {
+		o.NetworkHop = t.networkHop
+	}
+	return o
+}
+
+func (t *Tracer) missIssued(proc int, block msg.Block, write bool, at sim.Time) {
+	t.open[spanKey{int32(proc), block}] = len(t.events)
+	t.events = append(t.events, tEvent{
+		at: at, dur: -1, block: block, node: int32(proc),
+		kind: KindMissIssued, write: write,
+	})
+}
+
+func (t *Tracer) missCompleted(proc int, block msg.Block, reissues int, persistent bool, latency sim.Time) {
+	key := spanKey{int32(proc), block}
+	idx, ok := t.open[key]
+	if !ok {
+		return // issued before the tracer attached
+	}
+	delete(t.open, key)
+	if idx == openPreReset {
+		return // issued before the warmup boundary: not a measured miss
+	}
+	ev := &t.events[idx]
+	ev.dur = latency
+	ev.n = int32(reissues)
+	ev.pers = persistent
+	t.spans++
+}
+
+func (t *Tracer) reissued(proc int, block msg.Block, attempt int, at sim.Time) {
+	if idx, ok := t.open[spanKey{int32(proc), block}]; ok && idx == openPreReset {
+		return
+	}
+	t.events = append(t.events, tEvent{
+		at: at, block: block, node: int32(proc), n: int32(attempt),
+		kind: KindReissued,
+	})
+}
+
+func (t *Tracer) persistentActivated(home int, block msg.Block, at sim.Time) {
+	t.events = append(t.events, tEvent{
+		at: at, block: block, node: int32(home), kind: KindPersistentActivated,
+	})
+}
+
+func (t *Tracer) persistentDeactivated(home int, block msg.Block, at sim.Time) {
+	t.events = append(t.events, tEvent{
+		at: at, block: block, node: int32(home), kind: KindPersistentDeactivated,
+	})
+}
+
+func (t *Tracer) tokensTransferred(proc int, block msg.Block, tokens int, at sim.Time) {
+	// Token arrivals matter on a timeline as the resolution of an open
+	// transaction; arrivals outside any transaction (writeback acks,
+	// background token shuffling) would only add noise.
+	if idx, ok := t.open[spanKey{int32(proc), block}]; !ok || idx == openPreReset {
+		return
+	}
+	t.events = append(t.events, tEvent{
+		at: at, block: block, node: int32(proc), n: int32(tokens),
+		kind: KindTokensTransferred,
+	})
+}
+
+func (t *Tracer) networkHop(link int, cat msg.Category, bytes int, at sim.Time) {
+	t.events = append(t.events, tEvent{
+		at: at, node: int32(link), n: int32(bytes), kind: KindNetworkHop, cat: cat,
+	})
+}
+
+func (t *Tracer) measurementStarted(at sim.Time) {
+	// Warmup traffic is methodology, not measurement: discard it and
+	// remember which transactions straddle the boundary so their
+	// completions do not count as measured spans.
+	t.events = t.events[:0]
+	t.spans = 0
+	for key := range t.open {
+		t.open[key] = openPreReset
+	}
+	t.events = append(t.events, tEvent{at: at, kind: KindMeasurementStarted})
+}
+
+// Spans reports the number of completed transaction spans buffered, i.e.
+// the misses completed since the warmup boundary. It equals the misses
+// metric once the run finishes (every measured miss completes — the run
+// would otherwise have deadlocked).
+func (t *Tracer) Spans() int { return t.spans }
+
+// Events reports the total number of buffered trace events.
+func (t *Tracer) Events() int { return len(t.events) }
+
+// Process/thread IDs structuring the exported trace: processors (one
+// thread per proc), arbiters (one thread per home), and — with Hops —
+// the interconnect (one thread per link).
+const (
+	pidProcs = 0
+	pidArbs  = 1
+	pidNet   = 2
+)
+
+// chromeEvent is one trace-event object in Chrome's JSON format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   json.Number    `json:"ts"`
+	Dur  json.Number    `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// tsNumber renders a picosecond time as the trace format's microsecond
+// timestamp, exactly (decimal string, never floating point), so emitted
+// traces are byte-deterministic.
+func tsNumber(t sim.Time) json.Number {
+	return json.Number(fmt.Sprintf("%d.%06d", int64(t)/1_000_000, int64(t)%1_000_000))
+}
+
+// Export serializes the buffered events as a Chrome trace-event JSON
+// object. Events appear in buffer order (simulation order), timestamps
+// are exact decimal microseconds, and JSON object keys are emitted in a
+// fixed order, so for a fixed (point, seed) the bytes are identical at
+// any engine parallelism. Spans still open at serialization time — only
+// possible in a failed run — are emitted as unclosed "B" events, which
+// Perfetto renders as unfinished slices.
+func (t *Tracer) Export(w io.Writer) error {
+	out := chromeTrace{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     make([]chromeEvent, 0, len(t.events)+3),
+	}
+	meta := func(pid int, name string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Ts: "0", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(pidProcs, "processors")
+	meta(pidArbs, "arbiters")
+	if t.hops {
+		meta(pidNet, "network")
+	}
+	for i := range t.events {
+		ev := &t.events[i]
+		var ce chromeEvent
+		switch ev.kind {
+		case KindMissIssued:
+			name := "GetS"
+			if ev.write {
+				name = "GetM"
+			}
+			ce = chromeEvent{
+				Name: fmt.Sprintf("%s %#x", name, uint64(ev.block)),
+				Cat:  "miss", Ts: tsNumber(ev.at), Pid: pidProcs, Tid: int(ev.node),
+				Args: map[string]any{"block": uint64(ev.block), "write": ev.write},
+			}
+			if ev.dur >= 0 {
+				ce.Ph = "X"
+				ce.Dur = tsNumber(ev.dur)
+				ce.Args["reissues"] = ev.n
+				ce.Args["persistent"] = ev.pers
+			} else {
+				ce.Ph = "B" // still open: unfinished slice
+			}
+		case KindReissued:
+			ce = chromeEvent{
+				Name: fmt.Sprintf("reissue #%d", ev.n),
+				Cat:  "reissue", Ph: "i", S: "t",
+				Ts: tsNumber(ev.at), Pid: pidProcs, Tid: int(ev.node),
+				Args: map[string]any{"block": uint64(ev.block)},
+			}
+		case KindPersistentActivated, KindPersistentDeactivated:
+			verb := "activate"
+			if ev.kind == KindPersistentDeactivated {
+				verb = "deactivate"
+			}
+			ce = chromeEvent{
+				Name: fmt.Sprintf("persistent %s %#x", verb, uint64(ev.block)),
+				Cat:  "persistent", Ph: "i", S: "t",
+				Ts: tsNumber(ev.at), Pid: pidArbs, Tid: int(ev.node),
+				Args: map[string]any{"block": uint64(ev.block)},
+			}
+		case KindTokensTransferred:
+			ce = chromeEvent{
+				Name: fmt.Sprintf("tokens +%d", ev.n),
+				Cat:  "tokens", Ph: "i", S: "t",
+				Ts: tsNumber(ev.at), Pid: pidProcs, Tid: int(ev.node),
+				Args: map[string]any{"block": uint64(ev.block), "tokens": ev.n},
+			}
+		case KindNetworkHop:
+			ce = chromeEvent{
+				Name: ev.cat.Slug(),
+				Cat:  "hop", Ph: "i", S: "t",
+				Ts: tsNumber(ev.at), Pid: pidNet, Tid: int(ev.node),
+				Args: map[string]any{"bytes": ev.n},
+			}
+		case KindMeasurementStarted:
+			ce = chromeEvent{
+				Name: "measurement start", Cat: "machine", Ph: "i", S: "g",
+				Ts: tsNumber(ev.at), Pid: pidProcs, Tid: 0,
+			}
+		default:
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}

@@ -71,6 +71,7 @@ import (
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
 	"tokencoherence/internal/topology"
+	"tokencoherence/internal/trace"
 	"tokencoherence/internal/workload"
 )
 
@@ -363,10 +364,56 @@ type GaugeMetric = stats.Gauge
 type LatencyHistogram = stats.Histogram
 
 // Observer subscribes to simulation events (miss issue/complete,
-// reissue, persistent-request activation, token transfer, network hop).
-// All fields are optional; with no observers attached the simulation hot
-// path is untouched.
+// reissue, persistent-request activation/deactivation, token transfer,
+// network hop, measurement start). All fields are optional; with no
+// observers attached the simulation hot path is untouched.
 type Observer = stats.Observer
+
+// MergeObservers fans events out to any number of observers with one
+// dispatch level; nil operands are skipped and events nobody watches
+// stay on the nil-field fast path.
+func MergeObservers(obs ...*Observer) *Observer { return stats.MergeAllObservers(obs...) }
+
+// --- Tracing & debugging -------------------------------------------------
+
+// Tracer stitches observer events into per-transaction spans and
+// exports them as Chrome trace-event JSON (chrome://tracing, Perfetto).
+// Attach its Observer() to a simulation; warmup events are discarded at
+// the measurement boundary, so the exported span count equals the run's
+// misses metric.
+type Tracer = trace.Tracer
+
+// TracerConfig tunes a Tracer (Hops opts into per-link network-hop
+// instants, roughly 100x more events).
+type TracerConfig = trace.TracerConfig
+
+// NewTracer returns a transaction tracer for one simulation.
+func NewTracer(cfg TracerConfig) *Tracer { return trace.NewTracer(cfg) }
+
+// FlightRecorder keeps the last N protocol events in a fixed ring with
+// zero steady-state allocations and dumps them when a run fails or a
+// transaction exceeds its starvation deadline. Every simulation built
+// by this package arms one by default (Config.RecorderSize,
+// Config.StarvationDeadline, Config.DebugLog tune it; a negative size
+// disables it).
+type FlightRecorder = trace.FlightRecorder
+
+// RecorderConfig configures a standalone FlightRecorder.
+type RecorderConfig = trace.RecorderConfig
+
+// NewFlightRecorder returns an armed flight recorder.
+func NewFlightRecorder(cfg RecorderConfig) *FlightRecorder { return trace.NewFlightRecorder(cfg) }
+
+// Flight-recorder defaults (see RecorderConfig).
+const (
+	DefaultRecorderSize       = trace.DefaultRecorderSize
+	DefaultStarvationDeadline = trace.DefaultStarvationDeadline
+)
+
+// Progress is one engine progress report, delivered after each
+// completed plan job (Engine.Progress receives it on a single
+// goroutine).
+type Progress = engine.Progress
 
 // ProbeSpec registers a measurement probe: a name plus a New function
 // called once per simulation with the run's MetricSet, returning the

@@ -2,6 +2,7 @@ package tokencoherence
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -160,5 +161,73 @@ func TestAllProtocolConstantsDistinct(t *testing.T) {
 			t.Errorf("duplicate protocol constant %q", p)
 		}
 		seen[p] = true
+	}
+}
+
+// TestTracingFacade drives the tracing surface entirely through this
+// package: a tracer attached via Engine.Attach, a flight recorder with
+// a forced starvation trip, and MergeObservers fan-out.
+func TestTracingFacade(t *testing.T) {
+	var dumps bytes.Buffer
+	plan := Plan{
+		Variants: []Variant{{Name: "facade", Point: Point{
+			Protocol: ProtoTokenB, Topo: TopoTorus, Workload: "oltp",
+			Mutate: func(c *Config) {
+				c.StarvationDeadline = Picosecond // trip on the first measured miss
+				c.DebugLog = &dumps
+			},
+		}}},
+		Seeds:  []uint64{1},
+		Ops:    150,
+		Warmup: 150,
+		Procs:  4,
+	}
+	var tracer *Tracer
+	var progressDone int
+	eng := Engine{
+		Attach: func(job Job) func(*System) {
+			tracer = NewTracer(TracerConfig{})
+			return func(sys *System) { sys.Observe(tracer.Observer()) }
+		},
+		Progress: func(p Progress) { progressDone = p.Done },
+	}
+	results, err := eng.Execute(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses, ok := results[0].Metrics.Value("misses")
+	if !ok || misses == 0 {
+		t.Fatalf("misses metric = %v, %v", misses, ok)
+	}
+	if got := tracer.Spans(); float64(got) != misses {
+		t.Errorf("tracer spans = %d, misses = %.0f", got, misses)
+	}
+	var buf bytes.Buffer
+	if err := tracer.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Errorf("export is not trace-event JSON:\n%.200s", buf.String())
+	}
+	if !strings.Contains(dumps.String(), "flight recorder") {
+		t.Error("1 ps starvation deadline produced no recorder dump")
+	}
+	if progressDone != 1 {
+		t.Errorf("Progress reported Done=%d, want 1", progressDone)
+	}
+
+	calls := 0
+	m := MergeObservers(nil,
+		&Observer{MeasurementStarted: func(Time) { calls++ }},
+		&Observer{MeasurementStarted: func(Time) { calls++ }})
+	m.OnMeasurementStarted(0)
+	if calls != 2 {
+		t.Errorf("MergeObservers fan-out reached %d of 2", calls)
+	}
+	if NewFlightRecorder(RecorderConfig{}).Observer() == nil {
+		t.Error("facade recorder returned no observer")
+	}
+	if DefaultRecorderSize <= 0 || DefaultStarvationDeadline <= 0 {
+		t.Error("implausible recorder defaults")
 	}
 }
