@@ -2,18 +2,34 @@ package tokencoherence
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
 	"tokencoherence/internal/harness"
 )
 
-// benchBaseline mirrors BENCH_kernel.json.
+// benchBaseline mirrors the points table of BENCH_kernel.json and
+// BENCH_parallel.json.
 type benchBaseline struct {
 	Points map[string]struct {
 		AllocsPerOp    float64 `json:"allocs_per_op"`
 		MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
 	} `json:"points"`
+}
+
+// loadBaseline reads one baseline file or fails the test.
+func loadBaseline(t *testing.T, path string) benchBaseline {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing benchmark baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("bad %s: %v", path, err)
+	}
+	return base
 }
 
 // TestBenchmarkRegression is the benchmark-regression harness CI runs on
@@ -29,14 +45,7 @@ func TestBenchmarkRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping benchmark regression in -short mode")
 	}
-	raw, err := os.ReadFile("BENCH_kernel.json")
-	if err != nil {
-		t.Fatalf("missing benchmark baseline: %v", err)
-	}
-	var base benchBaseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		t.Fatalf("bad BENCH_kernel.json: %v", err)
-	}
+	base := loadBaseline(t, "BENCH_kernel.json")
 	topoFor := map[string]string{
 		harness.ProtoTokenB:    harness.TopoTorus,
 		harness.ProtoTokenD:    harness.TopoTorus,
@@ -62,6 +71,45 @@ func TestBenchmarkRegression(t *testing.T) {
 				t.Errorf("%s point allocated %.0f objects, baseline ceiling is %.0f (recorded %.0f); "+
 					"if intentional, regenerate BENCH_kernel.json in this PR",
 					proto, allocs, limits.MaxAllocsPerOp, limits.AllocsPerOp)
+			}
+		})
+	}
+}
+
+// TestBenchmarkRegressionParallel gates the island kernel's overhead
+// against BENCH_parallel.json: one 64-processor TokenB point (the
+// BenchmarkSimulatePointIslands configuration) is run at each recorded
+// island count and must stay under its allocation ceiling. Wall-clock
+// speedup is NOT gated — it depends on the host's core count (the
+// baseline was recorded on a single-core host; see the baseline file) —
+// but allocation counts are deterministic, so per-island kernels, stat
+// shards, observer journals, and barrier queues cannot silently grow.
+func TestBenchmarkRegressionParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark regression in -short mode")
+	}
+	base := loadBaseline(t, "BENCH_parallel.json")
+	for name, limits := range base.Points {
+		name, limits := name, limits
+		var islands int
+		if _, err := fmt.Sscanf(name, "islands%d", &islands); err != nil || islands < 1 {
+			t.Fatalf("baseline names unparseable island count %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			pt := benchPoint(harness.ProtoTokenB, harness.TopoTorus, "oltp", 1)
+			pt.Procs = 64
+			pt.Ops = 200
+			pt.Warmup = 600
+			pt.Islands = islands
+			allocs := testing.AllocsPerRun(1, func() {
+				if _, err := harness.Run(pt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > limits.MaxAllocsPerOp {
+				t.Errorf("%s point allocated %.0f objects, baseline ceiling is %.0f (recorded %.0f); "+
+					"if intentional, regenerate BENCH_parallel.json in this PR",
+					name, allocs, limits.MaxAllocsPerOp, limits.AllocsPerOp)
 			}
 		})
 	}

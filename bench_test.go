@@ -341,6 +341,36 @@ func BenchmarkSimulatePoint(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatePointIslands measures one 64-processor TokenB point
+// under the conservative-parallel island kernel at increasing island
+// counts. The output is byte-identical at every count (see
+// internal/engine/island_test.go); what varies is wall time —
+// proportional to available cores — and a small, deterministic
+// allocation overhead for per-island kernels, stat shards, and barrier
+// queues, which BENCH_parallel.json gates. On a single-core host the
+// island counts are expected to run slightly slower than serial: the
+// barrier overhead buys nothing without parallel hardware.
+func BenchmarkSimulatePointIslands(b *testing.B) {
+	for _, islands := range []int{1, 2, 4} {
+		islands := islands
+		b.Run(fmt.Sprintf("islands%d", islands), func(b *testing.B) {
+			b.ReportAllocs()
+			pt := benchPoint(harness.ProtoTokenB, harness.TopoTorus, "oltp", 1)
+			pt.Procs = 64
+			pt.Ops = 200
+			pt.Warmup = 600
+			pt.Islands = islands
+			for i := 0; i < b.N; i++ {
+				run, err := harness.Run(pt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(run.Accesses), "ops/iter")
+			}
+		})
+	}
+}
+
 // BenchmarkSimKernel measures raw event throughput of the DES kernel.
 func BenchmarkSimKernel(b *testing.B) {
 	k := sim.NewKernel()

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		warmup   = fs.Int("warmup", 5000, "warmup operations per processor")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		parallel = fs.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+		islands  = fs.Int("islands", 0, "conservative-parallel islands per point (0 or 1 = serial kernel; results are byte-identical at any count)")
 		format   = fs.String("format", "csv", "output format: csv or json")
 		progress = fs.Bool("progress", false, "report progress on stderr")
 		list     = fs.Bool("list", false, "list registered sweep kinds and components, then exit")
@@ -93,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	plan.Ops = *ops
 	plan.Warmup = *warmup
+	plan.Islands = *islands
 	return execute(plan, cols, options{
 		parallel: *parallel,
 		format:   *format,
@@ -188,8 +191,12 @@ func execute(plan engine.Plan, cols []engine.Column, opt options, stdout, stderr
 	}
 	var tel *telemetry
 	if opt.httpAddr != "" {
+		workers := opt.parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		var err error
-		if tel, err = startTelemetry(opt.httpAddr, errw); err != nil {
+		if tel, err = startTelemetry(opt.httpAddr, workers, errw); err != nil {
 			return err
 		}
 		defer tel.stop()

@@ -15,7 +15,12 @@ import (
 
 // sweepVarsOnce guards the process-wide "sweep" expvar map: expvar
 // panics on a duplicate Publish, and tests run several sweeps in one
-// process, so the map is published once and re-initialized per sweep.
+// process, so the map is published exactly once. Each telemetry
+// instance Sets its own value objects into the map under the fixed key
+// names — the newest sweep owns what readers see, while an earlier
+// sweep's update loop keeps writing its own (now unpublished) values
+// untouched. The map is never Init()ed after publication: that would
+// wipe a running sweep's counters out from under its HTTP readers.
 var sweepVarsOnce struct {
 	sync.Once
 	m *expvar.Map
@@ -23,9 +28,7 @@ var sweepVarsOnce struct {
 
 func sweepVars() *expvar.Map {
 	sweepVarsOnce.Do(func() { sweepVarsOnce.m = expvar.NewMap("sweep") })
-	m := sweepVarsOnce.m
-	m.Init()
-	return m
+	return sweepVarsOnce.m
 }
 
 // telemetry is the -http endpoint: live sweep counters as expvar at
@@ -34,23 +37,37 @@ func sweepVars() *expvar.Map {
 // reads the engine's progress reports, so a monitored sweep emits the
 // same rows as an unmonitored one.
 type telemetry struct {
-	srv   *http.Server
-	ln    net.Listener
-	start time.Time
+	srv     *http.Server
+	ln      net.Listener
+	start   time.Time
+	workers int
+	now     func() time.Time // injectable clock for tests
 
 	total, done, failed, events          expvar.Int
 	eventsPerSec, etaSeconds, elapsedSec expvar.Float
 }
 
+// newTelemetry builds the progress-consuming core without binding a
+// socket, for tests that feed synthetic Progress sequences.
+func newTelemetry(workers int, now func() time.Time) *telemetry {
+	if now == nil {
+		now = time.Now
+	}
+	return &telemetry{start: now(), workers: workers, now: now}
+}
+
 // startTelemetry binds addr (":0" picks a free port), publishes the
-// counters, and serves until stop. The chosen address is announced on
-// logw so callers binding port 0 can find the endpoint.
-func startTelemetry(addr string, logw io.Writer) (*telemetry, error) {
+// counters, and serves until stop. workers is the engine's effective
+// pool size, which the ETA model needs (see update). The chosen
+// address is announced on logw so callers binding port 0 can find the
+// endpoint.
+func startTelemetry(addr string, workers int, logw io.Writer) (*telemetry, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
-	t := &telemetry{ln: ln, start: time.Now()}
+	t := newTelemetry(workers, nil)
+	t.ln = ln
 	m := sweepVars()
 	m.Set("points_total", &t.total)
 	m.Set("points_done", &t.done)
@@ -84,7 +101,13 @@ func (t *telemetry) addr() string { return t.ln.Addr().String() }
 //
 // ETA extrapolates wall-clock time per completed point over the plan's
 // deterministic job count — the total is known before the first point
-// finishes, which is what makes the estimate possible at all.
+// finishes, which is what makes the estimate possible at all. The
+// naive elapsed/done rate overestimates throughput's inverse by up to
+// the worker count early on: with W workers, the first completion
+// arrives after roughly one full point's wall time even though W points
+// are nearly done, so elapsed/done ≈ W times the steady-state per-point
+// cost. The min(done, W)/W factor discounts the estimate during that
+// ramp and becomes exact (1.0) once a full wave of points has finished.
 func (t *telemetry) update(p engine.Progress) {
 	t.total.Set(int64(p.Total))
 	t.done.Set(int64(p.Done))
@@ -94,13 +117,21 @@ func (t *telemetry) update(p engine.Progress) {
 			t.events.Add(int64(v))
 		}
 	}
-	elapsed := time.Since(t.start).Seconds()
+	elapsed := t.now().Sub(t.start).Seconds()
 	t.elapsedSec.Set(elapsed)
 	if elapsed > 0 {
 		t.eventsPerSec.Set(float64(t.events.Value()) / elapsed)
 	}
 	if p.Done > 0 {
-		t.etaSeconds.Set(elapsed / float64(p.Done) * float64(p.Total-p.Done))
+		w := t.workers
+		if w < 1 {
+			w = 1
+		}
+		if w > p.Total {
+			w = p.Total
+		}
+		ramp := float64(min(p.Done, w)) / float64(w)
+		t.etaSeconds.Set(elapsed / float64(p.Done) * float64(p.Total-p.Done) * ramp)
 	}
 }
 

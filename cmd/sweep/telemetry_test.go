@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tokencoherence/internal/engine"
+)
+
+// fakeClock advances a telemetry's injectable clock by fixed steps.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time       { return c.t }
+func (c *fakeClock) tick(d time.Duration) { c.t = c.t.Add(d) }
+func secs(t *telemetry) (eta, elapsed float64) {
+	return t.etaSeconds.Value(), t.elapsedSec.Value()
+}
+
+// TestTelemetryETAFoldsWorkers replays a synthetic sweep — 8 points on
+// 4 workers, the completion stream a pipelined pool produces (first
+// finish after the ~4s ramp, then one per second as workers free up) —
+// through the ETA model. The worker-aware estimate must stay within a
+// factor of two of the true remaining wall time at every report; the
+// old worker-blind elapsed/done model fails that immediately, reading
+// 28s at the first completion against a truth of 7s (4× off — exactly
+// the -parallel factor the bug report describes).
+func TestTelemetryETAFoldsWorkers(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	tel := newTelemetry(4, clock.now)
+
+	finish := []time.Duration{4 * time.Second, 5 * time.Second, 6 * time.Second, 7 * time.Second,
+		8 * time.Second, 9 * time.Second, 10 * time.Second, 11 * time.Second}
+	for i, at := range finish {
+		clock.t = time.Unix(1000, 0).Add(at)
+		tel.update(engine.Progress{Done: i + 1, Total: 8})
+		eta, elapsed := secs(tel)
+		if want := at.Seconds(); elapsed != want {
+			t.Fatalf("after point %d: elapsed = %v, want %v", i+1, elapsed, want)
+		}
+		truth := (finish[len(finish)-1] - at).Seconds()
+		if truth == 0 {
+			if eta != 0 {
+				t.Errorf("eta after the last point = %v, want 0", eta)
+			}
+			continue
+		}
+		if eta > 2*truth || eta < truth/2 {
+			t.Errorf("after point %d: eta = %.2fs, outside [%.2f, %.2f] around true remaining %.2fs",
+				i+1, eta, truth/2, 2*truth, truth)
+		}
+	}
+}
+
+// TestTelemetryETARampFirstCompletion pins the exact factor at the
+// sharpest point of the old bug: 1 of 16 points done on 8 workers after
+// 4s. The naive estimate is 4/1×15 = 60s; folding the worker count in
+// scales it by min(done,workers)/workers = 1/8, giving 7.5s — within a
+// point's cost of the true 7s (two full waves of 8 remain).
+func TestTelemetryETARampFirstCompletion(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	tel := newTelemetry(8, clock.now)
+	clock.tick(4 * time.Second)
+	tel.update(engine.Progress{Done: 1, Total: 16})
+	if eta, _ := secs(tel); eta != 7.5 {
+		t.Errorf("eta = %v, want 7.5 (naive estimate would be 60)", eta)
+	}
+}
+
+// TestTelemetryETAWorkersCappedByTotal checks a pool wider than the
+// plan: 4 points on 16 workers all finish in one wave, and the ramp
+// factor must divide by the 4 points that can actually run — not by 16,
+// which would underestimate a two-wave plan's remainder 4×.
+func TestTelemetryETAWorkersCappedByTotal(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	tel := newTelemetry(16, clock.now)
+	clock.tick(4 * time.Second)
+	tel.update(engine.Progress{Done: 2, Total: 4})
+	// elapsed/done × remaining × done/min(workers,total) = 4/2 × 2 × 2/4 = 2s.
+	if eta, _ := secs(tel); eta != 2 {
+		t.Errorf("eta = %v, want 2", eta)
+	}
+}
+
+// TestTelemetrySecondSweepKeepsFirstCounting is the regression test for
+// the expvar wipe: starting a second sweep's telemetry while the first
+// still runs must not clear or corrupt the first sweep's counters — the
+// first instance keeps accumulating on its own values, and the
+// published map simply hands the keys to the newest sweep.
+func TestTelemetrySecondSweepKeepsFirstCounting(t *testing.T) {
+	var log bytes.Buffer
+	first, err := startTelemetry("127.0.0.1:0", 2, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.stop()
+	first.update(engine.Progress{Done: 3, Total: 10, Failed: 1})
+	if got := first.done.Value(); got != 3 {
+		t.Fatalf("first sweep done = %d, want 3", got)
+	}
+
+	second, err := startTelemetry("127.0.0.1:0", 2, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.stop()
+
+	// The old code called Init() on the shared map here, which zeroed
+	// the first sweep's published counters mid-run. The first instance
+	// must still hold — and keep updating — its own values.
+	if got := first.done.Value(); got != 3 {
+		t.Errorf("starting a second sweep reset the first sweep's done to %d", got)
+	}
+	first.update(engine.Progress{Done: 4, Total: 10, Failed: 1})
+	if got := first.done.Value(); got != 4 {
+		t.Errorf("first sweep stopped counting after second started: done = %d", got)
+	}
+
+	// The shared expvar map now belongs to the second sweep.
+	second.update(engine.Progress{Done: 1, Total: 5})
+	m := sweepVars()
+	if got := second.done.Value(); got != 1 {
+		t.Errorf("second sweep done = %d, want 1", got)
+	}
+	if m.Get("points_done") != &second.done {
+		t.Error("published points_done is not the newest sweep's counter")
+	}
+}

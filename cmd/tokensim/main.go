@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		warmup     = fs.Int("warmup", 0, "warmup operations per processor (default 2x ops; negative for a cold-cache run)")
 		seeds      = fs.String("seeds", "1", "comma-separated seeds")
 		parallel   = fs.Int("parallel", 0, "worker pool size for multi-point runs (0 = one per CPU)")
+		islands    = fs.Int("islands", 0, "conservative-parallel islands per point (0 or 1 = serial kernel; results are byte-identical at any count)")
 		unlimited  = fs.Bool("unlimited", false, "unlimited link bandwidth")
 		perfectDir = fs.Bool("perfect-dir", false, "zero-latency directory lookup")
 		listConfig = fs.Bool("list-config", false, "print the Table 1 system parameters and exit")
@@ -102,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, MaxProcs: *maxProcs, Seeds: seedList, Parallel: *parallel}
+	opt := harness.Options{Ops: *ops, Warmup: *warmup, Procs: *procs, MaxProcs: *maxProcs, Seeds: seedList, Parallel: *parallel, Islands: *islands}
 	if *experiment != "" {
 		if *columns != "" {
 			return fmt.Errorf("-columns applies to custom points and cannot be combined with -experiment (experiments print fixed paper-style tables)")
@@ -156,6 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Ops:      *ops,
 		Warmup:   w,
 		Procs:    *procs,
+		Islands:  *islands,
 	}
 	eng := engine.Engine{Workers: *parallel}
 	var tracers *jobTracers

@@ -24,7 +24,10 @@ const (
 // acknowledgments to avoid activation/deactivation races, and deactivates
 // when the starving processor reports satisfaction.
 type Arbiter struct {
-	sys   *machine.System
+	sys *machine.System
+	// isle is the arbiter's island context; event-time sends, clock reads,
+	// and observations must go through it, not the system-level handles.
+	isle  *machine.Isle
 	id    msg.NodeID
 	phase arbPhase
 
@@ -55,7 +58,7 @@ type arbEntry struct {
 
 // NewArbiter builds node id's arbiter and registers it on the network.
 func NewArbiter(sys *machine.System, id msg.NodeID) *Arbiter {
-	a := &Arbiter{sys: sys, id: id}
+	a := &Arbiter{sys: sys, isle: sys.IsleFor(int(id)), id: id}
 	a.activations = sys.Metrics.Counter(stats.Desc{
 		Name: "persistent_activations", Unit: "count", Fmt: "%.0f",
 		Help: "persistent requests activated by home arbiters",
@@ -109,7 +112,7 @@ func (a *Arbiter) broadcastTargets() []msg.Port {
 func (a *Arbiter) broadcast(kind msg.Kind, e arbEntry) {
 	a.seq++
 	a.acksPending = a.sys.Cfg.Procs + 1
-	m := a.sys.Net.NewMessage()
+	m := a.isle.Net.NewMessage()
 	*m = msg.Message{
 		Kind: kind, Cat: msg.CatReissue,
 		Src: a.Port(), Addr: e.addr, Requester: e.requester, Seq: a.seq,
@@ -118,7 +121,7 @@ func (a *Arbiter) broadcast(kind msg.Kind, e arbEntry) {
 	if a.targets == nil {
 		a.targets = a.broadcastTargets()
 	}
-	a.sys.Net.MulticastAfter(m, a.targets, a.sys.Cfg.CtrlLatency)
+	a.isle.Net.MulticastAfter(m, a.targets, a.sys.Cfg.CtrlLatency)
 }
 
 func (a *Arbiter) startActivation() {
@@ -129,8 +132,8 @@ func (a *Arbiter) startActivation() {
 	a.deactRequested = false
 	a.Activations++
 	a.activations.Inc()
-	if o := a.sys.Obs; o != nil {
-		o.OnPersistentActivated(int(a.id), msg.BlockOf(a.queue[0].addr), a.sys.K.Now())
+	if o := a.isle.Obs; o != nil {
+		o.OnPersistentActivated(int(a.id), msg.BlockOf(a.queue[0].addr), a.isle.K.Now())
 	}
 	a.broadcast(msg.KindPersistentActivate, a.queue[0])
 }
@@ -177,8 +180,8 @@ func (a *Arbiter) collectAck(m *msg.Message, expect arbPhase) {
 		done := a.queue[0]
 		a.queue = a.queue[1:]
 		a.phase = arbIdle
-		if o := a.sys.Obs; o != nil {
-			o.OnPersistentDeactivated(int(a.id), msg.BlockOf(done.addr), a.sys.K.Now())
+		if o := a.isle.Obs; o != nil {
+			o.OnPersistentDeactivated(int(a.id), msg.BlockOf(done.addr), a.isle.K.Now())
 		}
 		if len(a.queue) > 0 {
 			a.startActivation()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"tokencoherence/internal/msg"
 )
@@ -13,6 +14,13 @@ import (
 type Ledger struct {
 	// T is the fixed token count per block (invariant #1').
 	T int
+
+	// mu serializes reports from different islands of a parallel run.
+	// Token messages cross islands with at least one link latency of
+	// delay — beyond the lookahead window — so a Sent always lands in an
+	// earlier window than its Received and the audited counts cannot
+	// depend on island interleaving.
+	mu sync.Mutex
 
 	inflight      map[msg.Block]int
 	inflightOwner map[msg.Block]int
@@ -42,6 +50,8 @@ func (l *Ledger) fail(format string, args ...any) {
 // InitBlock records the lazy creation of a block's T tokens at its home
 // memory. Initializing twice is a violation.
 func (l *Ledger) InitBlock(b msg.Block) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.initialized[b] {
 		l.fail("block %d initialized twice", b)
 		return
@@ -50,11 +60,17 @@ func (l *Ledger) InitBlock(b msg.Block) {
 }
 
 // Initialized reports whether the block's tokens exist yet.
-func (l *Ledger) Initialized(b msg.Block) bool { return l.initialized[b] }
+func (l *Ledger) Initialized(b msg.Block) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.initialized[b]
+}
 
 // Sent records tokens leaving a component in a message. It checks
 // invariant #4' (owner token implies data).
 func (l *Ledger) Sent(b msg.Block, tokens int, owner, hasData bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	switch {
 	case tokens <= 0:
 		l.fail("block %d: sent message with %d tokens", b, tokens)
@@ -77,6 +93,8 @@ func (l *Ledger) Sent(b msg.Block, tokens int, owner, hasData bool) {
 
 // Received records tokens arriving at a component.
 func (l *Ledger) Received(b msg.Block, tokens int, owner bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if tokens <= 0 {
 		l.fail("block %d: received message with %d tokens", b, tokens)
 		return
@@ -94,7 +112,11 @@ func (l *Ledger) Received(b msg.Block, tokens int, owner bool) {
 }
 
 // InFlight reports tokens currently in transit for b.
-func (l *Ledger) InFlight(b msg.Block) int { return l.inflight[b] }
+func (l *Ledger) InFlight(b msg.Block) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight[b]
+}
 
 // Blocks returns every initialized block (order unspecified).
 func (l *Ledger) Blocks() []msg.Block {

@@ -28,7 +28,10 @@ type memLine struct {
 // policy, forwards tokens for active persistent requests, and accepts
 // writebacks and redirected tokens unconditionally.
 type Memory struct {
-	sys    *machine.System
+	sys *machine.System
+	// isle is the controller's island context; event-time message
+	// allocation and sends go through its network view.
+	isle   *machine.Isle
 	id     msg.NodeID
 	ledger *Ledger
 	lines  map[msg.Block]*memLine
@@ -52,6 +55,7 @@ type hintLine struct {
 func NewMemory(sys *machine.System, id msg.NodeID, ledger *Ledger) *Memory {
 	m := &Memory{
 		sys:     sys,
+		isle:    sys.IsleFor(int(id)),
 		id:      id,
 		ledger:  ledger,
 		lines:   make(map[msg.Block]*memLine),
@@ -117,13 +121,13 @@ func (m *Memory) respond(to msg.Port, b msg.Block, tokens int, owner bool, data 
 		cat = msg.CatData
 	}
 	m.ledger.Sent(b, tokens, owner, hasData)
-	out := m.sys.Net.NewMessage()
+	out := m.isle.Net.NewMessage()
 	*out = msg.Message{
 		Kind: kind, Cat: cat,
 		Src: m.Port(), Dst: to, Addr: b.Base(),
 		Tokens: tokens, Owner: owner, HasData: hasData, Data: data, Dirty: dirty,
 	}
-	m.sys.Net.SendAfter(out, lat)
+	m.isle.Net.SendAfter(out, lat)
 }
 
 // EnableHints turns on the soft-state redirect directory (TokenD and
@@ -186,10 +190,10 @@ func (m *Memory) redirect(mm *msg.Message, served bool) {
 		}
 	}
 	if len(targets) > 0 {
-		fwd := m.sys.Net.CloneMessage(mm)
+		fwd := m.isle.Net.CloneMessage(mm)
 		fwd.Src = m.Port()
 		fwd.Cat = msg.CatRequest
-		m.sys.Net.MulticastAfter(fwd, targets, m.sys.Cfg.CtrlLatency)
+		m.isle.Net.MulticastAfter(fwd, targets, m.sys.Cfg.CtrlLatency)
 	}
 	// Update soft state from the request stream.
 	switch mm.Kind {
@@ -229,14 +233,14 @@ func (m *Memory) handleTransient(mm *msg.Message) {
 		}
 		// Keep the owner token, hand out one plain token with data.
 		m.ledger.Sent(b, 1, false, true)
-		out := m.sys.Net.NewMessage()
+		out := m.isle.Net.NewMessage()
 		*out = msg.Message{
 			Kind: msg.KindData, Cat: msg.CatData,
 			Src: m.Port(), Dst: mm.Requester, Addr: mm.Addr,
 			Tokens: 1, HasData: true, Data: l.data, Dirty: l.dirty,
 		}
 		l.tokens--
-		m.sys.Net.SendAfter(out, cfg.CtrlLatency+cfg.MemLatency)
+		m.isle.Net.SendAfter(out, cfg.CtrlLatency+cfg.MemLatency)
 	case msg.KindGetM:
 		tokens, owner := l.tokens, l.owner
 		lat := cfg.CtrlLatency
@@ -255,14 +259,14 @@ func (m *Memory) receiveTokens(mm *msg.Message) {
 		// Forward everything to the starving processor, per the
 		// persistent-request rules.
 		m.ledger.Sent(b, mm.Tokens, mm.Owner, mm.HasData)
-		fwd := m.sys.Net.CloneMessage(mm)
+		fwd := m.isle.Net.CloneMessage(mm)
 		fwd.Src = m.Port()
 		fwd.Dst = starver
 		fwd.Cat = msg.CatControl
 		if fwd.HasData {
 			fwd.Cat = msg.CatData
 		}
-		m.sys.Net.SendAfter(fwd, m.sys.Cfg.CtrlLatency)
+		m.isle.Net.SendAfter(fwd, m.sys.Cfg.CtrlLatency)
 		return
 	}
 	l := m.line(b)
@@ -303,10 +307,10 @@ func (m *Memory) handleDeactivate(mm *msg.Message) {
 }
 
 func (m *Memory) ack(mm *msg.Message, kind msg.Kind) {
-	out := m.sys.Net.NewMessage()
+	out := m.isle.Net.NewMessage()
 	*out = msg.Message{
 		Kind: kind, Cat: msg.CatReissue,
 		Src: m.Port(), Dst: mm.Src, Addr: mm.Addr, Seq: mm.Seq,
 	}
-	m.sys.Net.SendAfter(out, m.sys.Cfg.CtrlLatency)
+	m.isle.Net.SendAfter(out, m.sys.Cfg.CtrlLatency)
 }

@@ -141,7 +141,7 @@ func (c *TokenB) onTimeout(m *machine.MSHR) {
 	}
 	m.Reissues++
 	c.reissues.Inc()
-	if o := c.Sys.Obs; o != nil {
+	if o := c.Isle.Obs; o != nil {
 		o.OnReissued(int(c.ID), m.Block, m.Reissues, c.K.Now())
 	}
 	c.broadcastTransient(m, msg.CatReissue)
@@ -279,7 +279,7 @@ func (c *TokenB) receiveTokens(m *msg.Message) {
 	b := msg.BlockOf(m.Addr)
 	c.ledger.Received(b, m.Tokens, m.Owner)
 	c.tokenMsgs.Inc()
-	if o := c.Sys.Obs; o != nil {
+	if o := c.Isle.Obs; o != nil {
 		o.OnTokensTransferred(int(c.ID), b, m.Tokens, c.K.Now())
 	}
 	c.policy.Observe(c, m)

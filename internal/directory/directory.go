@@ -462,7 +462,10 @@ type dirLine struct {
 
 // Memory is the home directory controller for one node's address slice.
 type Memory struct {
-	sys   *machine.System
+	sys *machine.System
+	// isle is the controller's island context; event-time message
+	// allocation and sends go through its network view.
+	isle  *machine.Isle
 	id    msg.NodeID
 	lines map[msg.Block]*dirLine
 	// homeReqs is the protocol's named metric: transactions serialized
@@ -472,7 +475,7 @@ type Memory struct {
 
 // NewMemory builds and registers node id's directory controller.
 func NewMemory(sys *machine.System, id msg.NodeID) *Memory {
-	m := &Memory{sys: sys, id: id, lines: make(map[msg.Block]*dirLine)}
+	m := &Memory{sys: sys, isle: sys.IsleFor(int(id)), id: id, lines: make(map[msg.Block]*dirLine)}
 	m.homeReqs = sys.Metrics.Counter(stats.Desc{
 		Name: "dir_home_requests", Unit: "count", Fmt: "%.0f",
 		Help: "requests serialized at home directories",
@@ -524,13 +527,13 @@ func (m *Memory) dirLat() sim.Time  { return m.sys.Cfg.CtrlLatency + m.sys.Cfg.D
 
 // newMessage allocates an outgoing message from the network's pool.
 func (m *Memory) newMessage(t msg.Message) *msg.Message {
-	out := m.sys.Net.NewMessage()
+	out := m.isle.Net.NewMessage()
 	*out = t
 	return out
 }
 
 func (m *Memory) send(out *msg.Message, lat sim.Time) {
-	m.sys.Net.SendAfter(out, lat)
+	m.isle.Net.SendAfter(out, lat)
 }
 
 func (m *Memory) process(l *dirLine, mm *msg.Message) {
@@ -681,7 +684,7 @@ func (m *Memory) unblock(l *dirLine, mm *msg.Message) {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
 		m.process(l, next)
-		m.sys.Net.FreeMessage(next)
+		m.isle.Net.FreeMessage(next)
 	}
 }
 

@@ -47,7 +47,7 @@ func TestSweepDeterminismSerialVsParallel(t *testing.T) {
 				plan.Mutations = plan.Mutations[:4]
 			}
 
-			run := func(workers int, format string) []byte {
+			run := func(workers, islands int, format string) []byte {
 				var buf bytes.Buffer
 				var sink engine.Sink
 				if format == "csv" {
@@ -55,24 +55,34 @@ func TestSweepDeterminismSerialVsParallel(t *testing.T) {
 				} else {
 					sink = &engine.JSONLSink{W: &buf}
 				}
+				p := plan
+				p.Islands = islands
 				eng := engine.Engine{Workers: workers}
-				if _, err := eng.Execute(context.Background(), plan, sink); err != nil {
-					t.Fatalf("workers=%d %s: %v", workers, format, err)
+				if _, err := eng.Execute(context.Background(), p, sink); err != nil {
+					t.Fatalf("workers=%d islands=%d %s: %v", workers, islands, format, err)
 				}
 				return buf.Bytes()
 			}
 
 			for _, format := range []string{"csv", "json"} {
-				serial := run(1, format)
+				serial := run(1, 0, format)
 				if len(serial) == 0 {
 					t.Fatalf("%s: empty serial output", format)
 				}
 				for _, workers := range []int{0, 4} {
-					parallel := run(workers, format)
+					parallel := run(workers, 0, format)
 					if !bytes.Equal(serial, parallel) {
 						t.Fatalf("%s output differs between workers=1 and workers=%d:\nserial:\n%s\nparallel:\n%s",
 							format, workers, firstDiff(serial, parallel), parallel)
 					}
+				}
+				// The island kernel gives the same guarantee along the other
+				// axis: every point split across two conservative-parallel
+				// islands must emit the bytes the serial kernel emits.
+				islanded := run(1, 2, format)
+				if !bytes.Equal(serial, islanded) {
+					t.Fatalf("%s output differs between islands=1 and islands=2:\n%s",
+						format, firstDiff(serial, islanded))
 				}
 			}
 		})

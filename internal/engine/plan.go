@@ -76,6 +76,11 @@ type Plan struct {
 	Ops    int
 	Warmup int
 	Procs  int
+	// Islands applies to every job when nonzero: the number of
+	// conservative-parallel kernel islands each point runs on. Purely an
+	// execution knob — results are byte-identical at any island count —
+	// and validated at expansion time like the component names.
+	Islands int
 }
 
 // Job is one expanded unit of work: a fully specified Point plus the
@@ -151,6 +156,9 @@ func (p Plan) Jobs() ([]Job, error) {
 			}
 			if p.Procs != 0 {
 				base.Procs = p.Procs
+			}
+			if p.Islands != 0 {
+				base.Islands = p.Islands
 			}
 			if err := base.Validate(); err != nil {
 				return nil, fmt.Errorf("variant %q: %w", v.name(), err)

@@ -25,6 +25,7 @@ import (
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/registry"
 	"tokencoherence/internal/stats"
+	"tokencoherence/internal/topology"
 )
 
 // Built-in protocol names (see internal/registry for the full, possibly
@@ -64,7 +65,13 @@ type Point struct {
 	NewGen func(procs int) machine.Generator
 
 	Procs int
-	Ops   int // operations per processor (measured)
+	// Islands is the number of conservative-parallel kernel islands the
+	// point runs on (0 or 1 = serial). Island runs produce byte-identical
+	// results to serial runs; the knob trades wall-clock for cores, never
+	// output. Above one requires a topology with partition metadata
+	// (both builtins) and must not exceed Procs.
+	Islands int
+	Ops     int // operations per processor (measured)
 	// Warmup is the cache-warming operation count per processor
 	// (unmeasured). Negative values (canonically NoWarmup) request an
 	// explicitly cold start; they normalize to zero warmup operations.
@@ -139,6 +146,14 @@ func (pt Point) resolve() (components, error) {
 	if c.topo.Check != nil {
 		if err := c.topo.Check(pt.Procs); err != nil {
 			return c, fmt.Errorf("engine: topology %q cannot carry %d processors: %w", c.topo.Name, pt.Procs, err)
+		}
+	}
+	if pt.Islands > 1 {
+		if pt.Islands > pt.Procs {
+			return c, fmt.Errorf("engine: %d islands exceed %d processors", pt.Islands, pt.Procs)
+		}
+		if _, ok := c.topo.New(pt.Procs).(topology.Partitioned); !ok {
+			return c, fmt.Errorf("engine: topology %q has no partition metadata; island counts above one need a topology implementing topology.Partitioned", c.topo.Name)
 		}
 	}
 	if proto.RequiresOrdered && !c.topo.Ordered {
@@ -238,6 +253,7 @@ func RunPointObserved(pt Point, attach func(*machine.System)) (*stats.Run, *stat
 func buildMachine(pt Point, comps components) (*machine.System, []machine.Controller, func() error, error) {
 	cfg := machine.DefaultConfig()
 	cfg.Procs = pt.Procs
+	cfg.Islands = pt.Islands
 	if cfg.TokensPerBlock < pt.Procs {
 		cfg.TokensPerBlock = pt.Procs * 2
 	}

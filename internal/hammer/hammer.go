@@ -301,7 +301,10 @@ type homeLine struct {
 // Memory is the Hammer home node controller: a per-block transaction
 // queue and the DRAM copy, with no directory state at all.
 type Memory struct {
-	sys   *machine.System
+	sys *machine.System
+	// isle is the controller's island context; event-time message
+	// allocation and sends go through its network view.
+	isle  *machine.Isle
 	id    msg.NodeID
 	lines map[msg.Block]*homeLine
 	// probeDsts caches, per requesting node, the static probe broadcast
@@ -314,7 +317,7 @@ type Memory struct {
 
 // NewMemory builds and registers node id's home controller.
 func NewMemory(sys *machine.System, id msg.NodeID) *Memory {
-	m := &Memory{sys: sys, id: id, lines: make(map[msg.Block]*homeLine)}
+	m := &Memory{sys: sys, isle: sys.IsleFor(int(id)), id: id, lines: make(map[msg.Block]*homeLine)}
 	m.homeReqs = sys.Metrics.Counter(stats.Desc{
 		Name: "hammer_home_requests", Unit: "count", Fmt: "%.0f",
 		Help: "transactions serialized at home controllers",
@@ -390,32 +393,32 @@ func (m *Memory) startGet(l *homeLine, mm *msg.Message) {
 	m.homeReqs.Inc()
 	l.busy = true
 	cfg := m.sys.Cfg
-	probe := m.sys.Net.NewMessage()
+	probe := m.isle.Net.NewMessage()
 	*probe = msg.Message{
 		Kind: msg.KindProbe, Cat: msg.CatRequest,
 		Src: m.Port(), Addr: mm.Addr, Requester: mm.Requester,
 		Owner: mm.Kind == msg.KindGetM, // exclusive probe
 	}
-	m.sys.Net.MulticastAfter(probe, m.probeTargets(mm.Requester.Node), cfg.CtrlLatency)
-	memData := m.sys.Net.NewMessage()
+	m.isle.Net.MulticastAfter(probe, m.probeTargets(mm.Requester.Node), cfg.CtrlLatency)
+	memData := m.isle.Net.NewMessage()
 	*memData = msg.Message{
 		Kind: msg.KindMemData, Cat: msg.CatData,
 		Src: m.Port(), Dst: mm.Requester, Addr: mm.Addr,
 		HasData: true, Data: l.data,
 	}
-	m.sys.Net.SendAfter(memData, cfg.CtrlLatency+cfg.MemLatency)
+	m.isle.Net.SendAfter(memData, cfg.CtrlLatency+cfg.MemLatency)
 }
 
 // startPut grants the writeback slot.
 func (m *Memory) startPut(l *homeLine, mm *msg.Message) {
 	m.homeReqs.Inc()
 	l.busy = true
-	out := m.sys.Net.NewMessage()
+	out := m.isle.Net.NewMessage()
 	*out = msg.Message{
 		Kind: msg.KindWBAck, Cat: msg.CatControl,
 		Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
 	}
-	m.sys.Net.SendAfter(out, m.sys.Cfg.CtrlLatency)
+	m.isle.Net.SendAfter(out, m.sys.Cfg.CtrlLatency)
 }
 
 // finish completes the current transaction and starts the next.
@@ -435,7 +438,7 @@ func (m *Memory) finish(l *homeLine) {
 	case msg.KindPutM:
 		m.startPut(l, next)
 	}
-	m.sys.Net.FreeMessage(next)
+	m.isle.Net.FreeMessage(next)
 }
 
 // System bundles the Hammer machine's components.

@@ -70,6 +70,10 @@ type Options struct {
 	// Parallel bounds the worker pool that executes the experiment grid
 	// (default 0 = one worker per CPU). Results do not depend on it.
 	Parallel int
+	// Islands splits each point across this many conservative-parallel
+	// kernel islands (default 0 = serial kernel). Like Parallel, it is
+	// an execution knob: results do not depend on it.
+	Islands int
 }
 
 func (o Options) ops() int {
@@ -135,5 +139,6 @@ func (o Options) plan(variants []engine.Variant) engine.Plan {
 		Ops:      o.ops(),
 		Warmup:   o.planWarmup(),
 		Procs:    o.procs(),
+		Islands:  o.Islands,
 	}
 }

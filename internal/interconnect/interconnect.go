@@ -31,6 +31,7 @@ package interconnect
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/sim"
@@ -81,19 +82,37 @@ type HandlerFunc func(m *msg.Message)
 // Handle calls f(m).
 func (f HandlerFunc) Handle(m *msg.Message) { f(m) }
 
-// Network delivers messages between registered ports over a topology.
-type Network struct {
-	kernel    *sim.Kernel
-	topo      topology.Topology
-	cfg       Config
-	traffic   *stats.Traffic
+// shared is the fabric state common to every island view of one
+// network: the immutable routing/handler tables, plus the per-link
+// transmission state. The link arrays are written without locks, which
+// is safe because each link is touched only by the island owning its
+// tail actor (links are reserved by the event executing at their tail).
+type shared struct {
 	handlers  map[msg.Port]Handler
 	nextFree  []sim.Time
 	linkBytes []uint64
-	sent      uint64
+	paths     [][]topology.LinkID // deterministic routes, per (src, dst)
+	linkTail  []int32             // actor transmitting on each link
+	linkHead  []int32             // actor receiving from each link
+	views     []*Network          // per-island views, indexed by island
+	islandOf  []int32             // actor -> island; nil = single view
+}
 
-	nodes   int                 // topo.Nodes(), for path-cache indexing
-	paths   [][]topology.LinkID // deterministic routes, precomputed per (src, dst)
+// Network delivers messages between registered ports over a topology.
+// A Network is one island's view of the fabric: it owns the message
+// pool, callback free lists, traffic shard and observer of that island,
+// while routing tables and link state live in the shared fabric. A
+// network built by New is a complete single-view fabric; Split adds
+// views for parallel island execution.
+type Network struct {
+	kernel  *sim.Kernel
+	topo    topology.Topology
+	cfg     Config
+	traffic *stats.Traffic
+	sh      *shared
+	sent    uint64
+
+	nodes   int // topo.Nodes(), for path-cache indexing
 	pool    msg.Pool
 	freeOps *netOp
 	freeMcs *mcast
@@ -109,23 +128,72 @@ func New(k *sim.Kernel, topo topology.Topology, cfg Config, traffic *stats.Traff
 		panic("interconnect: LinkLatency must be positive")
 	}
 	nn := topo.Nodes()
-	paths := make([][]topology.LinkID, nn*nn)
+	nl := topo.NumLinks()
+	sh := &shared{
+		handlers:  make(map[msg.Port]Handler),
+		nextFree:  make([]sim.Time, nl),
+		linkBytes: make([]uint64, nl),
+		paths:     make([][]topology.LinkID, nn*nn),
+		linkTail:  make([]int32, nl),
+		linkHead:  make([]int32, nl),
+	}
 	for s := 0; s < nn; s++ {
 		for d := 0; d < nn; d++ {
-			paths[s*nn+d] = topo.Path(msg.NodeID(s), msg.NodeID(d))
+			sh.paths[s*nn+d] = topo.Path(msg.NodeID(s), msg.NodeID(d))
 		}
 	}
-	return &Network{
-		kernel:    k,
-		topo:      topo,
-		cfg:       cfg,
-		traffic:   traffic,
-		handlers:  make(map[msg.Port]Handler),
-		nextFree:  make([]sim.Time, topo.NumLinks()),
-		linkBytes: make([]uint64, topo.NumLinks()),
-		nodes:     nn,
-		paths:     paths,
+	// Link ownership doubles as the execution-actor context for event
+	// stamping, so it is wired whenever the topology describes it —
+	// even single-island runs use it, keeping event stamps identical
+	// at any island count.
+	if pt, ok := topo.(topology.Partitioned); ok {
+		for l := 0; l < nl; l++ {
+			sh.linkTail[l] = int32(pt.LinkTail(topology.LinkID(l)))
+			sh.linkHead[l] = int32(pt.LinkHead(topology.LinkID(l)))
+		}
 	}
+	n := &Network{
+		kernel:  k,
+		topo:    topo,
+		cfg:     cfg,
+		traffic: traffic,
+		sh:      sh,
+		nodes:   nn,
+	}
+	sh.views = []*Network{n}
+	return n
+}
+
+// Split partitions the fabric into island views. View 0 is the
+// receiver (which must have been built on kernels[0]); each additional
+// view shares the routing tables and link state but owns its island's
+// kernel, message pool, callback free lists and traffic shard.
+// islandOf maps every actor (see topology.Partitioned) to its island.
+func (n *Network) Split(islandOf []int32, kernels []*sim.Kernel, traffics []*stats.Traffic) []*Network {
+	sh := n.sh
+	sh.islandOf = islandOf
+	sh.views = make([]*Network, len(kernels))
+	sh.views[0] = n
+	n.traffic = traffics[0]
+	for i := 1; i < len(kernels); i++ {
+		sh.views[i] = &Network{
+			kernel:  kernels[i],
+			topo:    n.topo,
+			cfg:     n.cfg,
+			traffic: traffics[i],
+			sh:      sh,
+			nodes:   n.nodes,
+		}
+	}
+	return sh.views
+}
+
+// viewFor returns the view of the island owning actor a.
+func (n *Network) viewFor(a int32) *Network {
+	if n.sh.islandOf == nil {
+		return n
+	}
+	return n.sh.views[n.sh.islandOf[a]]
 }
 
 // Topology exposes the underlying fabric.
@@ -141,7 +209,14 @@ func (n *Network) SetObserver(o *stats.Observer) { n.obs = o }
 // same Traffic the run resets at the warmup boundary. It is a no-op for
 // networks built without traffic accounting.
 func (n *Network) PublishMetrics(ms *stats.MetricSet) {
-	tr := n.traffic
+	n.PublishMetricsFor(ms, n.traffic)
+}
+
+// PublishMetricsFor registers the traffic metrics reading from tr
+// rather than this view's shard. The machine passes the merged run's
+// Traffic: island shards are folded into it after the run, before
+// metrics are snapshotted.
+func (n *Network) PublishMetricsFor(ms *stats.MetricSet, tr *stats.Traffic) {
 	if tr == nil {
 		return
 	}
@@ -171,13 +246,14 @@ func (n *Network) Register(p msg.Port, h Handler) {
 	if h == nil {
 		panic("interconnect: Register with nil handler")
 	}
-	if _, dup := n.handlers[p]; dup {
+	if _, dup := n.sh.handlers[p]; dup {
 		panic(fmt.Sprintf("interconnect: port %v registered twice", p))
 	}
-	n.handlers[p] = h
+	n.sh.handlers[p] = h
 }
 
-// Sent reports the number of message deliveries scheduled.
+// Sent reports the number of message deliveries handled on this view's
+// island.
 func (n *Network) Sent() uint64 { return n.sent }
 
 // NewMessage returns a zeroed message from the network's pool. Senders
@@ -195,7 +271,7 @@ func (n *Network) FreeMessage(m *msg.Message) { n.pool.Put(m) }
 
 // path returns the precomputed deterministic route from src to dst.
 func (n *Network) path(src, dst msg.NodeID) []topology.LinkID {
-	return n.paths[int(src)*n.nodes+int(dst)]
+	return n.sh.paths[int(src)*n.nodes+int(dst)]
 }
 
 // serialization returns the time the message occupies one link.
@@ -240,6 +316,7 @@ func (n *Network) getOp() *netOp {
 		op.fire = op.run
 	} else {
 		n.freeOps = op.next
+		op.n = n
 	}
 	return op
 }
@@ -251,7 +328,10 @@ func (n *Network) putOp(op *netOp) {
 }
 
 // run dispatches a scheduled network operation. The record is recycled
-// before the work runs so that nested scheduling can reuse it.
+// before the work runs so that nested scheduling can reuse it. Ops
+// scheduled across islands carry the target island's view in op.n, so
+// run executes entirely with island-local state (free lists, message
+// pool, traffic shard, observer) of the island firing the event.
 func (op *netOp) run() {
 	n := op.n
 	kind, m, h := op.kind, op.m, op.h
@@ -260,6 +340,7 @@ func (op *netOp) run() {
 	n.putOp(op)
 	switch kind {
 	case opDeliver:
+		n.sent++
 		h.Handle(m)
 		n.pool.Release(m)
 	case opHop:
@@ -273,30 +354,32 @@ func (op *netOp) run() {
 	}
 }
 
-// deliver schedules the handler for m at time at. The network owns m
-// until the handler returns (see Handler).
+// deliver schedules the handler for m at time at. The message executes
+// as (and on the island of) the destination node's actor. The network
+// owns m until the handler returns (see Handler).
 func (n *Network) deliver(m *msg.Message, at sim.Time) {
-	h, ok := n.handlers[m.Dst]
+	h, ok := n.sh.handlers[m.Dst]
 	if !ok {
 		panic(fmt.Sprintf("interconnect: no handler for %v (message %v)", m.Dst, m))
 	}
-	n.sent++
+	dst := int32(m.Dst.Node)
 	op := n.getOp()
+	op.n = n.viewFor(dst)
 	op.kind, op.m, op.h = opDeliver, m, h
-	n.kernel.Schedule(at, op.fire)
+	n.kernel.ScheduleExec(dst, at, op.fire)
 }
 
 // hop advances a unicast message across path[0] at time t and chains the
 // remaining hops; the final hop schedules delivery of the tail.
 func (n *Network) hop(m *msg.Message, path []topology.LinkID, t, ser sim.Time) {
 	link := path[0]
-	n.linkBytes[link] += uint64(m.Bytes())
+	n.sh.linkBytes[link] += uint64(m.Bytes())
 	d := t
 	if n.cfg.LinkBandwidth > 0 {
-		if free := n.nextFree[link]; free > d {
+		if free := n.sh.nextFree[link]; free > d {
 			d = free
 		}
-		n.nextFree[link] = d + ser
+		n.sh.nextFree[link] = d + ser
 	}
 	arrival := d + n.cfg.LinkLatency
 	if n.obs != nil {
@@ -306,9 +389,11 @@ func (n *Network) hop(m *msg.Message, path []topology.LinkID, t, ser sim.Time) {
 		n.deliver(m, arrival+ser) // tail arrives one serialization later
 		return
 	}
+	next := n.sh.linkTail[path[1]]
 	op := n.getOp()
+	op.n = n.viewFor(next)
 	op.kind, op.m, op.path, op.t, op.ser = opHop, m, path[1:], arrival, ser
-	n.kernel.Schedule(arrival, op.fire)
+	n.kernel.ScheduleExec(next, arrival, op.fire)
 }
 
 // mcNode is one edge of a multicast routing tree. Nodes live in their
@@ -322,10 +407,13 @@ type mcNode struct {
 // mcast tracks one in-flight multicast: the template message, the
 // routing tree (slab-allocated), and the count of tree edges not yet
 // walked. When the last edge is walked every destination has its own
-// copy, so the template and the tree are recycled.
+// copy, so the template and the tree are recycled. The edge count is
+// decremented atomically because subtrees of one multicast may be
+// walked concurrently on different islands; all other fields are
+// written before the first walk and read-only afterwards.
 type mcast struct {
 	m     *msg.Message
-	edges int
+	edges int32
 	slab  []mcNode
 	roots []*mcNode
 	paths [][]topology.LinkID
@@ -380,7 +468,7 @@ func (mc *mcast) build() {
 		}
 		nd.dests = append(nd.dests, mc.dsts[i])
 	}
-	mc.edges = len(mc.slab)
+	mc.edges = int32(len(mc.slab))
 }
 
 func (mc *mcast) findOrAdd(nodes *[]*mcNode, link topology.LinkID) *mcNode {
@@ -403,12 +491,12 @@ func (n *Network) walk(mc *mcast, nodes []*mcNode, t sim.Time, ser sim.Time) {
 	m := mc.m
 	for _, nd := range nodes {
 		d := t
-		n.linkBytes[nd.link] += uint64(m.Bytes())
+		n.sh.linkBytes[nd.link] += uint64(m.Bytes())
 		if n.cfg.LinkBandwidth > 0 {
-			if free := n.nextFree[nd.link]; free > d {
+			if free := n.sh.nextFree[nd.link]; free > d {
 				d = free
 			}
-			n.nextFree[nd.link] = d + ser
+			n.sh.nextFree[nd.link] = d + ser
 		}
 		arrival := d + n.cfg.LinkLatency
 		if n.obs != nil {
@@ -420,13 +508,17 @@ func (n *Network) walk(mc *mcast, nodes []*mcNode, t sim.Time, ser sim.Time) {
 			n.deliver(cp, arrival+ser) // tail arrives one serialization later
 		}
 		if len(nd.children) > 0 {
+			// Child edges all emanate from this link's head vertex.
+			next := n.sh.linkHead[nd.link]
 			op := n.getOp()
+			op.n = n.viewFor(next)
 			op.kind, op.mc, op.nodes, op.t, op.ser = opWalk, mc, nd.children, arrival, ser
-			n.kernel.Schedule(arrival, op.fire)
+			n.kernel.ScheduleExec(next, arrival, op.fire)
 		}
-		mc.edges--
 	}
-	if mc.edges == 0 {
+	// The island walking the last edge recycles the multicast into its
+	// own free lists; the template message and slab migrate with it.
+	if atomic.AddInt32(&mc.edges, -int32(len(nodes))) == 0 {
 		n.pool.Put(mc.m)
 		n.putMcast(mc)
 	}
@@ -485,7 +577,7 @@ func (n *Network) Multicast(m *msg.Message, dsts []msg.Port) {
 	mc.m = m
 	mc.build()
 	if n.traffic != nil {
-		n.traffic.Record(m, mc.edges)
+		n.traffic.Record(m, int(mc.edges))
 	}
 	n.walk(mc, mc.roots, now, n.serialization(m.Bytes()))
 }
@@ -503,8 +595,8 @@ func (n *Network) MulticastAfter(m *msg.Message, dsts []msg.Port, delay sim.Time
 // root links carry every broadcast, which is the central bottleneck the
 // paper's evaluation exposes.
 func (n *Network) LinkBytes() []uint64 {
-	out := make([]uint64, len(n.linkBytes))
-	copy(out, n.linkBytes)
+	out := make([]uint64, len(n.sh.linkBytes))
+	copy(out, n.sh.linkBytes)
 	return out
 }
 
@@ -512,7 +604,7 @@ func (n *Network) LinkBytes() []uint64 {
 func (n *Network) HottestLink() (topology.LinkID, uint64) {
 	var best topology.LinkID
 	var bytes uint64
-	for l, b := range n.linkBytes {
+	for l, b := range n.sh.linkBytes {
 		if b > bytes {
 			best, bytes = topology.LinkID(l), b
 		}
@@ -527,7 +619,7 @@ func (n *Network) Utilization(l topology.LinkID, elapsed sim.Time) float64 {
 		return 0
 	}
 	seconds := float64(elapsed) / 1e12
-	return float64(n.linkBytes[l]) / (n.cfg.LinkBandwidth * seconds)
+	return float64(n.sh.linkBytes[l]) / (n.cfg.LinkBandwidth * seconds)
 }
 
 // UnicastLatency estimates the uncontended delivery time from src to dst

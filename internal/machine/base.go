@@ -99,9 +99,12 @@ type CacheBase struct {
 	Oracle *Oracle
 	Rng    *sim.Source
 	Hooks  CacheHooks
-	// Sys is the owning system; event sites read Sys.Obs through it so
-	// observers attached after protocol construction are still seen.
-	Sys *System
+	// Sys is the owning system. Isle is this node's island context; event
+	// sites read Isle.Obs through it so observers attached after protocol
+	// construction are still seen (events journal on the island and replay
+	// into Sys.Obs at the barriers).
+	Sys  *System
+	Isle *Isle
 
 	L1          *cache.Cache
 	L2          *cache.Cache
@@ -153,11 +156,12 @@ func (b *CacheBase) waiterFor(op Op, done func()) func() {
 // InitBase wires the shared state; protocol constructors call it.
 func (b *CacheBase) InitBase(sys *System, id msg.NodeID, hooks CacheHooks) {
 	b.Sys = sys
-	b.K = sys.K
-	b.Net = sys.Net
+	b.Isle = sys.IsleFor(int(id))
+	b.K = b.Isle.K
+	b.Net = b.Isle.Net
 	b.ID = id
 	b.Cfg = sys.Cfg
-	b.Run = sys.Run
+	b.Run = b.Isle.Run
 	b.Oracle = sys.Oracle
 	b.Rng = sys.Rng.Split()
 	b.Hooks = hooks
@@ -205,7 +209,7 @@ func (b *CacheBase) Access(op Op, done func()) {
 	m.Waiters = append(m.Waiters, b.waiterFor(op, done))
 	b.Outstanding[blk] = m
 	b.Run.Misses.Issued++
-	if o := b.Sys.Obs; o != nil {
+	if o := b.Isle.Obs; o != nil {
 		o.OnMissIssued(int(b.ID), blk, op.Write, m.Issued)
 	}
 	if op.Write && b.L2.Lookup(blk) != nil {
@@ -284,7 +288,7 @@ func (b *CacheBase) CompleteMiss(m *MSHR) {
 	case m.Reissues > 1:
 		b.Run.Misses.ReissuedMore++
 	}
-	if o := b.Sys.Obs; o != nil {
+	if o := b.Isle.Obs; o != nil {
 		o.OnMissCompleted(int(b.ID), m.Block, m.Reissues, m.Persistent, lat)
 	}
 	waiters := m.Waiters

@@ -68,6 +68,12 @@ type Config struct {
 	// Net holds the interconnect parameters.
 	Net interconnect.Config
 
+	// Islands is the number of conservative-parallel islands the system's
+	// event kernel runs on (0 or 1 = single island). Above one requires a
+	// topology implementing topology.Partitioned. Outputs are
+	// byte-identical at any island count; see internal/sim.Cluster.
+	Islands int
+
 	// Flight-recorder knobs (see internal/trace). Every system arms a
 	// fixed-size ring of recent protocol events that dumps when the run
 	// fails or a transaction exceeds the starvation deadline; recording
@@ -124,5 +130,9 @@ func (c Config) Validate() {
 		panic("machine: MaxLoads must be positive")
 	case c.MaxReissues < 0:
 		panic("machine: MaxReissues must be non-negative")
+	case c.Islands < 0:
+		panic("machine: Islands must be non-negative")
+	case c.Islands > c.Procs:
+		panic("machine: Islands must not exceed Procs")
 	}
 }

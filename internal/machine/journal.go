@@ -1,0 +1,175 @@
+package machine
+
+import (
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+	"tokencoherence/internal/stats"
+)
+
+// Observation journaling. In an island run, protocol events fire on
+// island goroutines, but observers (probes, the tracer, the flight
+// recorder) are written for single-threaded, globally-ordered delivery.
+// Each island therefore appends its events to a private journal,
+// tagging every record with the executing event's (time, actor, seq)
+// stamp plus an emission index; at each window barrier the coordinator
+// merges the journals in stamp order and replays them into the real
+// observer. Stamps are partition-invariant (see sim.Cluster), so the
+// replayed stream — and everything derived from it: traces, recorder
+// dumps, probe metrics — is byte-identical at any island count.
+
+type jkind uint8
+
+const (
+	jMissIssued jkind = iota
+	jMissCompleted
+	jReissued
+	jPersistentActivated
+	jPersistentDeactivated
+	jTokensTransferred
+	jNetworkHop
+)
+
+// jrec is one journaled observation. idx orders records emitted by the
+// same event (same stamp); records with equal stamps always come from
+// one island, so the order within its journal is authoritative.
+type jrec struct {
+	at   sim.Time
+	seq  uint64
+	t    sim.Time // event-specific time payload (issue time, latency, departure)
+	blk  msg.Block
+	by   int32
+	a    int32 // proc / home / link
+	b    int32 // reissues / attempt / tokens / bytes
+	cat  msg.Category
+	kind jkind
+	flag bool // write / persistent
+}
+
+// journal buffers one island's observations between barriers.
+type journal struct {
+	k    *sim.Kernel
+	recs []jrec
+}
+
+func (j *journal) push(r jrec) {
+	r.at, r.by, r.seq = j.k.CurStamp()
+	j.recs = append(j.recs, r)
+}
+
+// observerFor builds the island-side observer that journals exactly the
+// events target subscribes to, mirroring the sparse-subscription rule
+// of stats.MergeAllObservers so unobserved events keep their
+// single-nil-check fast path. MeasurementStarted is not journaled: the
+// coordinator fires it directly at the warmup barrier.
+func (j *journal) observerFor(target *stats.Observer) *stats.Observer {
+	if target == nil {
+		return nil
+	}
+	o := &stats.Observer{}
+	if target.MissIssued != nil {
+		o.MissIssued = func(proc int, block msg.Block, write bool, at sim.Time) {
+			j.push(jrec{kind: jMissIssued, a: int32(proc), blk: block, flag: write, t: at})
+		}
+	}
+	if target.MissCompleted != nil {
+		o.MissCompleted = func(proc int, block msg.Block, reissues int, persistent bool, latency sim.Time) {
+			j.push(jrec{kind: jMissCompleted, a: int32(proc), blk: block, b: int32(reissues), flag: persistent, t: latency})
+		}
+	}
+	if target.Reissued != nil {
+		o.Reissued = func(proc int, block msg.Block, attempt int, at sim.Time) {
+			j.push(jrec{kind: jReissued, a: int32(proc), blk: block, b: int32(attempt), t: at})
+		}
+	}
+	if target.PersistentActivated != nil {
+		o.PersistentActivated = func(home int, block msg.Block, at sim.Time) {
+			j.push(jrec{kind: jPersistentActivated, a: int32(home), blk: block, t: at})
+		}
+	}
+	if target.PersistentDeactivated != nil {
+		o.PersistentDeactivated = func(home int, block msg.Block, at sim.Time) {
+			j.push(jrec{kind: jPersistentDeactivated, a: int32(home), blk: block, t: at})
+		}
+	}
+	if target.TokensTransferred != nil {
+		o.TokensTransferred = func(proc int, block msg.Block, tokens int, at sim.Time) {
+			j.push(jrec{kind: jTokensTransferred, a: int32(proc), blk: block, b: int32(tokens), t: at})
+		}
+	}
+	if target.NetworkHop != nil {
+		o.NetworkHop = func(link int, cat msg.Category, bytes int, at sim.Time) {
+			j.push(jrec{kind: jNetworkHop, a: int32(link), cat: cat, b: int32(bytes), t: at})
+		}
+	}
+	return o
+}
+
+// stampLess orders journal records by the stamp of the emitting event.
+func stampLess(a, b *jrec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.by != b.by {
+		return a.by < b.by
+	}
+	return a.seq < b.seq
+}
+
+// replayJournals merges the islands' journals in stamp order and
+// replays them into s.Obs. Called at every barrier, on the coordinator,
+// while no island runs. The replay clock (simNow) tracks the emitting
+// event's time so observers that read "now" — the flight recorder's
+// starvation deadline — see simulated time, not barrier time.
+func (s *System) replayJournals() {
+	if s.Obs == nil {
+		return
+	}
+	if s.jidx == nil {
+		s.jidx = make([]int, len(s.Isles))
+	}
+	idx := s.jidx
+	for i := range idx {
+		idx[i] = 0
+	}
+	s.replaying = true
+	for {
+		var r *jrec
+		best := -1
+		for i, isle := range s.Isles {
+			recs := isle.jr.recs
+			if idx[i] >= len(recs) {
+				continue
+			}
+			c := &recs[idx[i]]
+			if best < 0 || stampLess(c, r) {
+				best, r = i, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		idx[best]++
+		s.replayNow = r.at
+		o := s.Obs
+		switch r.kind {
+		case jMissIssued:
+			o.OnMissIssued(int(r.a), r.blk, r.flag, r.t)
+		case jMissCompleted:
+			o.OnMissCompleted(int(r.a), r.blk, int(r.b), r.flag, r.t)
+		case jReissued:
+			o.OnReissued(int(r.a), r.blk, int(r.b), r.t)
+		case jPersistentActivated:
+			o.OnPersistentActivated(int(r.a), r.blk, r.t)
+		case jPersistentDeactivated:
+			o.OnPersistentDeactivated(int(r.a), r.blk, r.t)
+		case jTokensTransferred:
+			o.OnTokensTransferred(int(r.a), r.blk, int(r.b), r.t)
+		case jNetworkHop:
+			o.OnNetworkHop(int(r.a), r.cat, int(r.b), r.t)
+		}
+	}
+	s.replaying = false
+	for _, isle := range s.Isles {
+		isle.jr.recs = isle.jr.recs[:0]
+	}
+}

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/sim"
@@ -28,6 +29,14 @@ import (
 // a pure "latest version at commit time" check would raise false alarms;
 // this oracle accepts those schedules while still failing on stale data.
 type Oracle struct {
+	// mu serializes commits and checks arriving from different islands of
+	// a parallel run. The verdicts cannot depend on island interleaving:
+	// a token (and with it write permission) crosses islands only through
+	// the interconnect, at least one link latency after the previous
+	// holder released it, so racing CommitWrite calls for one block are
+	// impossible, and the StaleLimit slack (1 ms) dwarfs the lookahead
+	// window (~15 ns) within which reads may reorder against writes.
+	mu     sync.Mutex
 	latest map[msg.Block]uint64
 	// commitTime[b][i] is when version (first[b] + i + 1) committed.
 	commitTime map[msg.Block][]sim.Time
@@ -72,6 +81,8 @@ func (o *Oracle) fail(format string, args ...any) {
 // CommitWrite records that proc committed a store to b at time now and
 // returns the new version the writer must place in its copy.
 func (o *Oracle) CommitWrite(proc int, b msg.Block, now sim.Time) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.writes++
 	v := o.latest[b] + 1
 	o.latest[b] = v
@@ -115,6 +126,8 @@ func (o *Oracle) versionCommit(b msg.Block, v uint64) (sim.Time, bool) {
 // CheckRead verifies that proc's completed load of b observed version v
 // at time now.
 func (o *Oracle) CheckRead(proc int, b msg.Block, v uint64, now sim.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.reads++
 	latest := o.latest[b]
 	if v > latest {

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tokencoherence/internal/interconnect"
 	"tokencoherence/internal/msg"
@@ -11,18 +12,32 @@ import (
 	"tokencoherence/internal/trace"
 )
 
-// System assembles one simulated multiprocessor: kernel, interconnect,
-// statistics, safety oracle, and the per-run random stream. Protocol
-// packages build their controllers against a System; Execute then drives
-// a workload through them.
+// System assembles one simulated multiprocessor: kernel cluster,
+// interconnect, statistics, safety oracle, and the per-run random
+// stream. Protocol packages build their controllers against a System;
+// Execute then drives a workload through them.
+//
+// A system always runs on a sim.Cluster of Cfg.Islands islands (one by
+// default): processors and switches are partitioned along the
+// topology's link graph, each island executes on its own goroutine, and
+// the cluster synchronizes every link-latency window. Every component
+// is wired to its island's Isle (kernel, network view, statistics
+// shard, observer journal); the coordinator merges shards and replays
+// observation journals at the barriers, so outputs are byte-identical
+// at any island count.
 type System struct {
-	K      *sim.Kernel
+	K      *sim.Kernel // island 0's kernel; construction-time context
 	Cfg    Config
 	Topo   topology.Topology
-	Net    *interconnect.Network
-	Run    *stats.Run
+	Net    *interconnect.Network // island 0's view; fabric-wide queries
+	Run    *stats.Run            // merged after Execute; shards live per Isle
 	Oracle *Oracle
 	Rng    *sim.Source
+
+	// Cluster coordinates the island kernels; Isles holds the per-island
+	// wiring. IsleFor maps a node to its island.
+	Cluster *sim.Cluster
+	Isles   []*Isle
 
 	// Metrics is the run's named-metric registry. NewSystem publishes the
 	// machine, kernel, and interconnect measurements; protocol packages
@@ -30,7 +45,9 @@ type System struct {
 	Metrics *stats.MetricSet
 	// Obs fans simulation events out to the attached observers; nil (the
 	// default) keeps every event site a single pointer check. Attach
-	// observers with Observe, never by writing the field.
+	// observers with Observe, never by writing the field. Events reach it
+	// through the per-island journals (see journal.go), merged and
+	// replayed in deterministic stamp order at every window barrier.
 	Obs *stats.Observer
 	// Recorder is the always-armed flight recorder NewSystem wires from
 	// the Cfg knobs (nil when Cfg.RecorderSize is negative). It dumps the
@@ -39,6 +56,36 @@ type System struct {
 	Recorder *trace.FlightRecorder
 
 	observers []*stats.Observer
+
+	// CutLinks reports how many directed links cross island boundaries
+	// (0 for single-island runs): the hand-off traffic the barrier pays.
+	CutLinks int
+
+	// Journal replay state (see replayJournals).
+	jidx      []int
+	replaying bool
+	replayNow sim.Time
+}
+
+// Isle is one island's execution context: its kernel, its view of the
+// interconnect fabric, its statistics shard, and the journaling
+// observer protocol events on this island must fire into. Components
+// are wired to their node's Isle at construction.
+type Isle struct {
+	K   *sim.Kernel
+	Net *interconnect.Network
+	Run *stats.Run
+	// Obs journals this island's protocol events for barrier replay; nil
+	// when no observer is attached to the system. Event sites read it at
+	// event time (it is armed when Execute starts).
+	Obs *stats.Observer
+
+	jr journal
+}
+
+// IsleFor returns the island context owning node (= actor) id.
+func (s *System) IsleFor(id int) *Isle {
+	return s.Isles[s.Cluster.IslandOf(id)]
 }
 
 // Observe attaches an observer and propagates the merged fan-out to the
@@ -53,40 +100,100 @@ func (s *System) Observe(o *stats.Observer) {
 	}
 	s.observers = append(s.observers, o)
 	s.Obs = stats.MergeAllObservers(s.observers...)
-	s.Net.SetObserver(s.Obs)
+	s.armIsles()
+}
+
+// armIsles (re)builds each island's journaling observer to mirror the
+// current merged subscription and points the island's network view at
+// it. Events fired on an island land in its journal; replayJournals
+// delivers them to s.Obs at the barriers.
+func (s *System) armIsles() {
+	for _, isle := range s.Isles {
+		isle.Obs = isle.jr.observerFor(s.Obs)
+		isle.Net.SetObserver(isle.Obs)
+	}
 }
 
 // NewSystem wires an empty system. The topology's node count must match
-// cfg.Procs.
+// cfg.Procs. Cfg.Islands above one requires a topology implementing
+// topology.Partitioned (both builtins do).
 func NewSystem(cfg Config, topo topology.Topology, seed uint64) *System {
 	cfg.Validate()
 	if topo.Nodes() != cfg.Procs {
 		panic(fmt.Sprintf("machine: topology has %d nodes, config %d procs", topo.Nodes(), cfg.Procs))
 	}
-	k := sim.NewKernel()
+	islands := cfg.Islands
+	if islands <= 0 {
+		islands = 1
+	}
+	// The actor assignment is computed from the same partition metadata
+	// at every island count (including one), so event stamps — and with
+	// them every output byte — do not depend on Cfg.Islands.
+	var assign []int32
+	cut := 0
+	if pt, ok := topo.(topology.Partitioned); ok {
+		assign, cut = topology.PartitionActors(pt, islands)
+	} else if islands > 1 {
+		panic(fmt.Sprintf("machine: topology %q does not expose partition metadata for %d islands", topo.Name(), islands))
+	} else {
+		assign = make([]int32, topo.Nodes())
+	}
+	cluster := sim.NewCluster(islands, assign, cfg.Net.LinkLatency)
 	run := &stats.Run{}
 	s := &System{
-		K:       k,
-		Cfg:     cfg,
-		Topo:    topo,
-		Net:     interconnect.New(k, topo, cfg.Net, &run.Traffic),
-		Run:     run,
-		Oracle:  NewOracle(),
-		Rng:     sim.NewSource(seed ^ 0x5bf0_3635_dcf5_9e11),
-		Metrics: stats.NewMetricSet(),
+		K:        cluster.Kernel(0),
+		Cfg:      cfg,
+		Topo:     topo,
+		Run:      run,
+		Oracle:   NewOracle(),
+		Rng:      sim.NewSource(seed ^ 0x5bf0_3635_dcf5_9e11),
+		Cluster:  cluster,
+		Metrics:  stats.NewMetricSet(),
+		CutLinks: cut,
+	}
+	s.Isles = make([]*Isle, islands)
+	kernels := make([]*sim.Kernel, islands)
+	traffics := make([]*stats.Traffic, islands)
+	for i := range s.Isles {
+		// Single-island systems share the top-level Run so code that
+		// drives the kernel by hand (tests, tools) reads statistics
+		// without an explicit merge step; multi-island systems shard.
+		ir := run
+		if islands > 1 {
+			ir = &stats.Run{}
+		}
+		isle := &Isle{K: cluster.Kernel(i), Run: ir}
+		isle.jr.k = isle.K
+		s.Isles[i] = isle
+		kernels[i] = isle.K
+		traffics[i] = &isle.Run.Traffic
+	}
+	s.Net = interconnect.New(kernels[0], topo, cfg.Net, traffics[0])
+	for i, v := range s.Net.Split(assign, kernels, traffics) {
+		s.Isles[i].Net = v
 	}
 	s.publishMetrics()
-	s.Net.PublishMetrics(s.Metrics)
+	s.Net.PublishMetricsFor(s.Metrics, &run.Traffic)
 	if cfg.RecorderSize >= 0 {
 		s.Recorder = trace.NewFlightRecorder(trace.RecorderConfig{
 			Size:     cfg.RecorderSize,
 			Deadline: cfg.StarvationDeadline,
 			Out:      cfg.DebugLog,
-			Now:      k.Now,
+			Now:      s.simNow,
 		})
 		s.Observe(s.Recorder.Observer())
 	}
 	return s
+}
+
+// simNow is the observers' clock: the stamp time of the journal record
+// being replayed, or island 0's clock outside replay (construction and
+// post-run queries).
+func (s *System) simNow() sim.Time {
+	if s.replaying {
+		return s.replayNow
+	}
+	return s.K.Now()
 }
 
 // publishMetrics registers the machine layer's measurements — everything
@@ -145,9 +252,21 @@ func (s *System) publishMetrics() {
 			func() float64 { return r.CategoryBytesPerMiss(cat) })
 	}
 	derived("events_scheduled", "count", "%.0f", "kernel events scheduled over the whole run (warmup included)",
-		func() float64 { return float64(s.K.Scheduled()) })
+		func() float64 {
+			var n uint64
+			for _, isle := range s.Isles {
+				n += isle.K.Scheduled()
+			}
+			return float64(n)
+		})
 	derived("events_executed", "count", "%.0f", "kernel events fired over the whole run (warmup included)",
-		func() float64 { return float64(s.K.Executed()) })
+		func() float64 {
+			var n uint64
+			for _, isle := range s.Isles {
+				n += isle.K.Executed()
+			}
+			return float64(n)
+		})
 }
 
 // Execute drives opsPerProc operations from gen through each controller
@@ -166,37 +285,57 @@ func (s *System) ExecuteWarm(ctrls []Controller, gen Generator, warmup, opsPerPr
 	if len(ctrls) != s.Cfg.Procs {
 		return nil, fmt.Errorf("machine: %d controllers for %d procs", len(ctrls), s.Cfg.Procs)
 	}
-	remaining := len(ctrls)
-	cold := len(ctrls)
-	var warmStart sim.Time
+	// Completion and warmup are global transitions; island goroutines only
+	// decrement these counters, and the coordinator acts on them at the
+	// next window barrier. Barrier times are partition-invariant, so the
+	// measured interval — and every statistic — is identical at any
+	// island count.
+	remaining := int32(len(ctrls))
+	cold := int32(len(ctrls))
 	procs := make([]*Processor, len(ctrls))
 	for i, c := range ctrls {
-		p := NewProcessor(s.K, i, gen, c, s.Cfg, s.Rng.Split(), s.Run, warmup+opsPerProc, func() {
-			remaining--
-			if remaining == 0 {
-				s.K.Stop()
-			}
+		isle := s.IsleFor(i)
+		p := NewProcessor(isle.K, i, gen, c, s.Cfg, s.Rng.Split(), isle.Run, warmup+opsPerProc, func() {
+			atomic.AddInt32(&remaining, -1)
 		})
 		if warmup > 0 {
 			p.onWarm = func() {
-				cold--
-				if cold == 0 {
-					s.Run.Reset()
-					s.Metrics.Reset()
-					warmStart = s.K.Now()
-					s.Obs.OnMeasurementStarted(warmStart)
-				}
+				atomic.AddInt32(&cold, -1)
 			}
 			p.warmupOps = warmup
 		}
 		procs[i] = p
 	}
-	for _, p := range procs {
+	s.armIsles()
+	for i, p := range procs {
+		s.IsleFor(i).K.SetExecActor(int32(i))
 		p.Start()
 	}
-	s.K.Run()
-	s.Run.Elapsed = s.K.Now() - warmStart
-	if remaining > 0 {
+	warmed := warmup <= 0
+	var warmStart sim.Time
+	end := s.Cluster.Run(func(t sim.Time) bool {
+		s.replayJournals()
+		if !warmed && atomic.LoadInt32(&cold) == 0 {
+			warmed = true
+			for _, isle := range s.Isles {
+				isle.Run.Reset()
+			}
+			s.Run.Reset()
+			s.Metrics.Reset()
+			warmStart = t
+			s.replaying, s.replayNow = true, t
+			s.Obs.OnMeasurementStarted(t)
+			s.replaying = false
+		}
+		return atomic.LoadInt32(&remaining) == 0
+	})
+	for _, isle := range s.Isles {
+		if isle.Run != s.Run {
+			s.Run.Merge(isle.Run)
+		}
+	}
+	s.Run.Elapsed = end - warmStart
+	if atomic.LoadInt32(&remaining) > 0 {
 		issued, completed := 0, 0
 		for _, p := range procs {
 			issued += p.Issued()

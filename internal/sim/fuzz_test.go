@@ -85,6 +85,13 @@ func FuzzKernelSchedule(f *testing.F) {
 	f.Add([]byte{0, 0xff, 0xff, 0, 0x10, 0x27, 0, 5, 0, 2, 0xff, 0x7f, 3})
 	f.Add([]byte{0, 7, 0, 1, 0, 0, 0, 7, 0, 2, 100, 0, 0, 9, 0, 3})
 	f.Add([]byte{0, 3, 0, 0, 3, 0, 1, 0, 0, 1, 1, 0, 2, 3, 0})
+	// Deltas 16777 and 16778 steps (0x4189/0x418A) straddle the wheel's
+	// top-level horizon of 2^28 ps: one lands in the last bucketable
+	// region, the other in the overflow heap. The exact horizon value is
+	// not representable in 16ns steps; horizon_test.go covers it directly.
+	f.Add([]byte{0, 0x89, 0x41, 0, 0x8A, 0x41, 0, 5, 0, 1, 1, 0, 3})
+	f.Add([]byte{0, 0x8A, 0x41, 2, 0x89, 0x41, 0, 0x8A, 0x41, 3})
+	f.Add([]byte{0, 0x8A, 0x41, 0, 0x8A, 0x41, 1, 0, 0, 2, 0xff, 0xff, 3})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		k := NewKernel()

@@ -1,0 +1,158 @@
+package sim
+
+import "testing"
+
+// wheelHorizon is the top level's span: events at curStart+wheelHorizon
+// or later cannot be filed in any wheel bucket and wait in the overflow
+// heap (about 268 us at the current constants).
+const wheelHorizon = Time(1) << (granShift + wheelLevels*wheelBits)
+
+// TestHorizonBoundaryOrdering schedules events straddling the exact
+// wheel horizon — the last bucketable picosecond, the first overflow
+// picosecond, and one past it — and requires strict time order across
+// the wheel/overflow boundary.
+func TestHorizonBoundaryOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	at := func(tm Time, id int) {
+		k.Schedule(tm, func() { order = append(order, id) })
+	}
+	at(wheelHorizon+1, 3)
+	at(wheelHorizon, 2)
+	at(wheelHorizon-1, 1)
+	at(5*Nanosecond, 0)
+	k.Run()
+	for i, id := range order {
+		if i != id {
+			t.Fatalf("firing order = %v, want [0 1 2 3]", order)
+		}
+	}
+	if k.Now() != wheelHorizon+1 {
+		t.Errorf("Now() = %v, want %v", k.Now(), wheelHorizon+1)
+	}
+}
+
+// TestHorizonBoundaryTieBreak schedules several events at exactly the
+// horizon time: they cross the overflow heap yet must still fire in
+// scheduling order (the (time, seq) tie-break survives migration).
+func TestHorizonBoundaryTieBreak(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for id := 0; id < 8; id++ {
+		id := id
+		k.Schedule(wheelHorizon, func() { order = append(order, id) })
+	}
+	k.Run()
+	if len(order) != 8 {
+		t.Fatalf("fired %d events, want 8", len(order))
+	}
+	for i, id := range order {
+		if i != id {
+			t.Fatalf("same-time overflow events fired as %v, want insertion order", order)
+		}
+	}
+}
+
+// TestHorizonBoundaryAfterAdvance re-checks the boundary from a cursor
+// that has moved: after running to an uneven mid-simulation time, the
+// horizon is measured from the cursor's region, not from zero.
+func TestHorizonBoundaryAfterAdvance(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(12345*Nanosecond+777, func() {})
+	k.Run()
+	base := k.Now()
+	var order []int
+	at := func(tm Time, id int) {
+		k.Schedule(tm, func() { order = append(order, id) })
+	}
+	at(base+wheelHorizon+wheelHorizon/2, 2)
+	at(base+wheelHorizon, 1)
+	at(base+1*Nanosecond, 0)
+	k.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("firing order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestOverflowCancel cancels an event while it waits in the overflow
+// heap; the cancellation must stick across the migration into the wheel.
+func TestOverflowCancel(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	at := func(tm Time, id int) *Event {
+		return k.Schedule(tm, func() { order = append(order, id) })
+	}
+	at(wheelHorizon+10*Nanosecond, 0)
+	doomed := at(wheelHorizon+20*Nanosecond, 1)
+	at(wheelHorizon+30*Nanosecond, 2)
+	k.Cancel(doomed)
+	if got := k.Pending(); got != 2 {
+		t.Fatalf("Pending() after overflow cancel = %d, want 2", got)
+	}
+	k.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 2 {
+		t.Fatalf("firing order = %v, want [0 2]", order)
+	}
+}
+
+// TestOverflowCancelAll drains a kernel whose only events are cancelled
+// overflow entries: Run must return without firing anything and without
+// sticking on the dead heap entries.
+func TestOverflowCancelAll(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	var evs []*Event
+	for i := 0; i < 4; i++ {
+		evs = append(evs, k.Schedule(wheelHorizon+Time(i)*Nanosecond, func() { fired++ }))
+	}
+	for _, e := range evs {
+		k.Cancel(e)
+	}
+	k.Run()
+	if fired != 0 || k.Pending() != 0 {
+		t.Fatalf("fired=%d Pending=%d after cancelling all overflow events, want 0/0", fired, k.Pending())
+	}
+}
+
+// TestOverflowSpansEras places events in several distinct top-level
+// regions ("eras") beyond the horizon plus near events, interleaving
+// schedule order against time order; the per-era batch migration must
+// not reorder them.
+func TestOverflowSpansEras(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	at := func(tm Time, id int) {
+		k.Schedule(tm, func() { order = append(order, id) })
+	}
+	at(3*wheelHorizon+5*Nanosecond, 3)
+	at(1*Nanosecond, 0)
+	at(wheelHorizon+5*Nanosecond, 1)
+	at(2*wheelHorizon+5*Nanosecond, 2)
+	at(5*wheelHorizon, 4)
+	k.Run()
+	for i, id := range order {
+		if i != id {
+			t.Fatalf("firing order = %v, want [0 1 2 3 4]", order)
+		}
+	}
+}
+
+// TestOverflowEventSchedulesPastNextEra fires an overflow event whose
+// action schedules further ahead than the next era, exercising schedule
+// paths from a cursor that has jumped regions.
+func TestOverflowEventSchedulesPastNextEra(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(wheelHorizon+1, func() {
+		order = append(order, 0)
+		k.Schedule(k.Now()+wheelHorizon, func() { order = append(order, 2) })
+		k.Schedule(k.Now()+1, func() { order = append(order, 1) })
+	})
+	k.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("firing order = %v, want [0 1 2]", order)
+	}
+	if want := wheelHorizon + 1 + wheelHorizon; k.Now() != want {
+		t.Errorf("Now() = %v, want %v", k.Now(), want)
+	}
+}

@@ -16,6 +16,8 @@ import (
 type Event struct {
 	at     Time
 	seq    uint64
+	by     int32 // actor whose event scheduled this one (stamp)
+	on     int32 // actor this event executes as
 	action func()
 	next   *Event // wheel-slot chain / free-list link
 }
@@ -74,11 +76,27 @@ func (s *slotList) take() *Event {
 // Kernel is a deterministic discrete-event scheduler. The zero value is
 // ready to use at time 0.
 type Kernel struct {
-	now      Time
-	seq      uint64
-	executed uint64
-	stopped  bool
-	live     int // scheduled events not yet fired or cancelled
+	now       Time
+	seq       uint64
+	scheduled uint64
+	executed  uint64
+	stopped   bool
+	live      int // scheduled events not yet fired or cancelled
+
+	// Actor stamping. Every event carries a (time, actor, sequence)
+	// stamp where actor is the actor whose event issued the schedule
+	// and sequence is that actor's private out-counter. The stamp is a
+	// total order that does not depend on how actors are partitioned
+	// into islands, which is what makes island runs byte-identical to
+	// serial runs (see cluster.go). A standalone kernel (aseq == nil)
+	// stamps everything with actor 0 and the global seq counter,
+	// reproducing the classic single-queue insertion order exactly.
+	curBy  int32  // stamp actor of the event currently executing
+	curOn  int32  // exec actor of the event currently executing
+	curSeq uint64 // stamp sequence of the event currently executing
+	aseq   []uint64
+	cl     *Cluster
+	island int32
 
 	// curStart is the start time of the bucket the cursor stands on;
 	// cur holds that bucket's events as a min-heap by (time, sequence).
@@ -103,15 +121,40 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Scheduled reports how many events have ever been scheduled (fired,
-// cancelled, or still pending). Together with Executed it is the
-// kernel's contribution to the run's metric schema.
-func (k *Kernel) Scheduled() uint64 { return k.seq }
+// cancelled, still pending, or handed to another island). Together with
+// Executed it is the kernel's contribution to the run's metric schema.
+func (k *Kernel) Scheduled() uint64 { return k.scheduled }
 
 // Pending reports how many events are waiting in the queue.
 func (k *Kernel) Pending() int { return k.live }
 
+// SetExecActor sets the actor context used to stamp schedules made
+// outside any event (model construction, processor start staggering).
+func (k *Kernel) SetExecActor(a int32) { k.curOn = a }
+
+// CurStamp reports the (time, actor, sequence) stamp of the event
+// currently executing. The stamp is unique per event and totally
+// ordered across all islands of a cluster, so it is the key used to
+// merge per-island observation journals deterministically.
+func (k *Kernel) CurStamp() (Time, int32, uint64) { return k.now, k.curBy, k.curSeq }
+
+// stamp issues the next (actor, sequence) stamp for a schedule made
+// from the current execution context.
+func (k *Kernel) stamp() (int32, uint64) {
+	k.scheduled++
+	if k.aseq == nil {
+		s := k.seq
+		k.seq++
+		return 0, s
+	}
+	by := k.curOn
+	s := k.aseq[by]
+	k.aseq[by] = s + 1
+	return by, s
+}
+
 // alloc takes an event from the free list or the heap.
-func (k *Kernel) alloc(at Time, action func()) *Event {
+func (k *Kernel) alloc(at Time, by int32, seq uint64, on int32, action func()) *Event {
 	e := k.free
 	if e == nil {
 		e = &Event{}
@@ -119,10 +162,11 @@ func (k *Kernel) alloc(at Time, action func()) *Event {
 		k.free = e.next
 	}
 	e.at = at
-	e.seq = k.seq
+	e.seq = seq
+	e.by = by
+	e.on = on
 	e.action = action
 	e.next = nil
-	k.seq++
 	return e
 }
 
@@ -133,20 +177,45 @@ func (k *Kernel) release(e *Event) {
 	k.free = e
 }
 
-// Schedule arranges for action to run at absolute time at. Scheduling in
-// the past panics: it always indicates a model bug, and silently clamping
-// would hide it.
+// Schedule arranges for action to run at absolute time at, executing as
+// the current actor. Scheduling in the past panics: it always indicates
+// a model bug, and silently clamping would hide it.
 func (k *Kernel) Schedule(at Time, action func()) *Event {
+	return k.ScheduleExec(k.curOn, at, action)
+}
+
+// ScheduleExec arranges for action to run at absolute time at, executing
+// as actor on. When the kernel belongs to a cluster and on lives on a
+// different island, the event is queued for barrier hand-off and nil is
+// returned (cross-island events cannot be cancelled; the model only
+// cancels self-scheduled timers). Cross-island schedules must satisfy
+// at >= now + lookahead; the cluster checks this when applying them.
+func (k *Kernel) ScheduleExec(on int32, at Time, action func()) *Event {
 	if action == nil {
 		panic("sim: Schedule with nil action")
 	}
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
-	e := k.alloc(at, action)
+	by, seq := k.stamp()
+	if c := k.cl; c != nil {
+		if isle := c.actorIsland[on]; isle != k.island {
+			c.push(k.island, isle, crossEvent{at: at, by: by, seq: seq, on: on, fn: action})
+			return nil
+		}
+	}
+	e := k.alloc(at, by, seq, on, action)
 	k.live++
 	k.place(e)
 	return e
+}
+
+// inject files a cross-island event carrying an already-issued stamp.
+// Only the cluster calls this, between windows, when no island runs.
+func (k *Kernel) inject(ev crossEvent) {
+	e := k.alloc(ev.at, ev.by, ev.seq, ev.on, ev.fn)
+	k.live++
+	k.place(e)
 }
 
 // place files an event into the cur heap, a wheel bucket, or the
@@ -272,6 +341,7 @@ func (k *Kernel) step(limit Time) bool {
 			}
 			k.heapPop(&k.cur)
 			k.now = e.at
+			k.curBy, k.curOn, k.curSeq = e.by, e.on, e.seq
 			action := e.action
 			e.action = nil
 			k.live--
@@ -308,7 +378,27 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	return k.now
 }
 
-// heapPush inserts e into an (at, seq)-ordered min-heap.
+// NextTime peeks the firing time of the earliest live event, advancing
+// the cursor past cancelled entries and cascading buckets as needed. It
+// reports false when the queue is empty.
+func (k *Kernel) NextTime() (Time, bool) {
+	for {
+		for len(k.cur) > 0 {
+			e := k.cur[0]
+			if e.action == nil {
+				k.heapPop(&k.cur)
+				k.release(e)
+				continue
+			}
+			return e.at, true
+		}
+		if !k.advance() {
+			return 0, false
+		}
+	}
+}
+
+// heapPush inserts e into an (at, actor, seq)-ordered min-heap.
 func (k *Kernel) heapPush(h *[]*Event, e *Event) {
 	q := append(*h, e)
 	i := len(q) - 1
@@ -350,6 +440,16 @@ func (k *Kernel) heapPop(h *[]*Event) *Event {
 	return top
 }
 
+// eventLess orders events by (time, stamp actor, stamp sequence). Each
+// actor's out-counter is private to the island executing it, so the
+// triple is unique and identical no matter how actors are partitioned:
+// island and serial runs fire events in exactly the same order.
 func eventLess(a, b *Event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.by != b.by {
+		return a.by < b.by
+	}
+	return a.seq < b.seq
 }

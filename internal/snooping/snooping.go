@@ -330,14 +330,17 @@ type memLine struct {
 // request stream for its blocks, responds when its owner bit is set, and
 // sequences writebacks with the wbPending/deferred mechanism.
 type Memory struct {
-	sys   *machine.System
+	sys *machine.System
+	// isle is the controller's island context; event-time message
+	// allocation and sends go through its network view.
+	isle  *machine.Isle
 	id    msg.NodeID
 	lines map[msg.Block]*memLine
 }
 
 // NewMemory builds and registers node id's memory controller.
 func NewMemory(sys *machine.System, id msg.NodeID) *Memory {
-	m := &Memory{sys: sys, id: id, lines: make(map[msg.Block]*memLine)}
+	m := &Memory{sys: sys, isle: sys.IsleFor(int(id)), id: id, lines: make(map[msg.Block]*memLine)}
 	sys.Net.Register(m.Port(), m)
 	return m
 }
@@ -404,7 +407,7 @@ func (m *Memory) resolveWB(l *memLine) {
 			return
 		}
 		m.serve(l, d)
-		m.sys.Net.FreeMessage(d)
+		m.isle.Net.FreeMessage(d)
 	}
 }
 
@@ -414,7 +417,7 @@ func (m *Memory) serve(l *memLine, mm *msg.Message) {
 		return // a cache owner will respond
 	}
 	cfg := m.sys.Cfg
-	out := m.sys.Net.NewMessage()
+	out := m.isle.Net.NewMessage()
 	*out = msg.Message{
 		Kind: msg.KindData, Cat: msg.CatData,
 		Src: m.Port(), Dst: mm.Requester, Addr: mm.Addr,
@@ -424,7 +427,7 @@ func (m *Memory) serve(l *memLine, mm *msg.Message) {
 		out.Owner = true
 		l.ownerBit = false
 	}
-	m.sys.Net.SendAfter(out, cfg.CtrlLatency+cfg.MemLatency)
+	m.isle.Net.SendAfter(out, cfg.CtrlLatency+cfg.MemLatency)
 }
 
 // System bundles the snooping machine's components.

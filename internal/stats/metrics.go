@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // MetricKind distinguishes how a metric's value is produced.
@@ -61,19 +62,24 @@ func (d Desc) withDefaults(kind MetricKind) Desc {
 // Counter is a monotonically increasing event count. The nil Counter is
 // valid and discards increments, so components may count unconditionally
 // whether or not they were wired to a MetricSet.
+//
+// Increments are atomic: a counter registered once and shared by many
+// components (one per cache controller, say) may be bumped from several
+// islands of a parallel run concurrently. Addition commutes, so the
+// final value is identical at any island count.
 type Counter struct{ n uint64 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
 	if c != nil {
-		c.n++
+		atomic.AddUint64(&c.n, 1)
 	}
 }
 
 // Add adds n.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.n += n
+		atomic.AddUint64(&c.n, n)
 	}
 }
 
@@ -82,7 +88,7 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.n
+	return atomic.LoadUint64(&c.n)
 }
 
 // Gauge is a point-in-time value. The nil Gauge is valid and inert.
@@ -245,7 +251,7 @@ func (ms *MetricSet) Reset() {
 		m := ms.metrics[name]
 		switch m.desc.Kind {
 		case KindCounter:
-			m.ctr.n = 0
+			atomic.StoreUint64(&m.ctr.n, 0)
 		case KindGauge:
 			m.gge.v = 0
 		case KindHistogram:

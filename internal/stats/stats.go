@@ -103,6 +103,30 @@ func (r *Run) Reset() {
 	*r = Run{}
 }
 
+// Merge folds o into r: every counter, traffic category and histogram
+// bucket is summed. All Run fields are commutative counts except
+// Elapsed, which the caller owns (island shards of one run share a
+// clock, so summing it would be wrong); Merge leaves r.Elapsed alone.
+func (r *Run) Merge(o *Run) {
+	for c := 0; c < msg.NumCategories; c++ {
+		r.Traffic.bytes[c] += o.Traffic.bytes[c]
+		r.Traffic.messages[c] += o.Traffic.messages[c]
+	}
+	r.Misses.Issued += o.Misses.Issued
+	r.Misses.ReissuedOnce += o.Misses.ReissuedOnce
+	r.Misses.ReissuedMore += o.Misses.ReissuedMore
+	r.Misses.Persistent += o.Misses.Persistent
+	r.L1Hits += o.L1Hits
+	r.L2Hits += o.L2Hits
+	r.Accesses += o.Accesses
+	r.Upgrades += o.Upgrades
+	r.Writeback += o.Writeback
+	r.Transactions += o.Transactions
+	r.MissLatencySum += o.MissLatencySum
+	r.MissLatencyCount += o.MissLatencyCount
+	r.MissLatencies.Merge(&o.MissLatencies)
+}
+
 // CyclesPerTransaction reports runtime in 1 GHz cycles (= ns) per
 // completed transaction, the paper's runtime metric.
 func (r *Run) CyclesPerTransaction() float64 {

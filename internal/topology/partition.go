@@ -1,0 +1,161 @@
+package topology
+
+import (
+	"fmt"
+
+	"tokencoherence/internal/msg"
+)
+
+// Partitioned is implemented by topologies that expose their link graph
+// as a set of actors (processor nodes plus switches) so the simulation
+// can be partitioned into parallel islands. Every directed link has a
+// tail actor that owns its transmission state (serialization queue,
+// traffic counter) and a head actor that receives from it; the
+// conservative parallel kernel runs each island's actors on one
+// goroutine and uses the minimum cross-island link latency as its
+// lookahead window (see sim.Cluster).
+type Partitioned interface {
+	Topology
+	// NumActors reports the total actor count: Nodes() leaf processors
+	// first (actor i == node i), then switches.
+	NumActors() int
+	// LinkTail reports the actor transmitting on link l.
+	LinkTail(l LinkID) int
+	// LinkHead reports the actor receiving from link l.
+	LinkHead(l LinkID) int
+	// ActorLeaf reports a representative processor node for actor a:
+	// itself for leaves, the first covered leaf for switches. Actors
+	// are partitioned by assigning their representative's island.
+	ActorLeaf(a int) int
+}
+
+// PartitionActors assigns every actor of t to one of islands islands by
+// contiguous leaf ranges: node i goes to island i*islands/Nodes(), and
+// each switch follows its first covered leaf, so subtree- and row-
+// aligned partitions fall out naturally for the built-in fabrics. It
+// returns the assignment indexed by actor and the cut weight (the
+// number of directed links whose tail and head land on different
+// islands — every cut link is a barrier-crossing message path).
+func PartitionActors(t Partitioned, islands int) (assign []int32, cut int) {
+	n := t.Nodes()
+	if islands < 1 || islands > n {
+		panic(fmt.Sprintf("topology: %d islands for %d nodes", islands, n))
+	}
+	assign = make([]int32, t.NumActors())
+	for a := range assign {
+		assign[a] = int32(t.ActorLeaf(a) * islands / n)
+	}
+	for l := 0; l < t.NumLinks(); l++ {
+		if assign[t.LinkTail(LinkID(l))] != assign[t.LinkHead(LinkID(l))] {
+			cut++
+		}
+	}
+	return assign, cut
+}
+
+// Torus: every actor is a node; link n*4+dir runs from node n to its
+// grid neighbor in direction dir.
+
+func (t *Torus) NumActors() int        { return t.Nodes() }
+func (t *Torus) LinkTail(l LinkID) int { return int(l) / numDirs }
+func (t *Torus) ActorLeaf(a int) int   { return a }
+
+func (t *Torus) LinkHead(l LinkID) int {
+	x, y := t.coord(msg.NodeID(int(l) / numDirs))
+	switch int(l) % numDirs {
+	case dirEast:
+		x = (x + 1) % t.w
+	case dirWest:
+		x = (x - 1 + t.w) % t.w
+	case dirSouth:
+		y = (y + 1) % t.h
+	default: // dirNorth
+		y = (y - 1 + t.h) % t.h
+	}
+	return int(t.node(x, y))
+}
+
+// Tree actors: n leaves, then the incoming switch tiers (levels 1 to
+// levels-1, bottom up), then the outgoing switch tiers mirrored, then
+// the root — n + Switches() actors in total.
+
+// switchBase reports the actor index of the first tier-l switch of the
+// up (incoming) or down (outgoing) column.
+func (t *Tree) switchBase(l int, down bool) int {
+	base := t.n
+	if down {
+		for m := 1; m < t.levels; m++ {
+			base += t.width[m]
+		}
+	}
+	for m := 1; m < l; m++ {
+		base += t.width[m]
+	}
+	return base
+}
+
+func (t *Tree) NumActors() int { return t.n + t.Switches() }
+
+func (t *Tree) rootActor() int { return t.NumActors() - 1 }
+
+// linkBank resolves a link ID to (level, index within bank, up/down).
+func (t *Tree) linkBank(l LinkID) (level, idx int, up bool) {
+	id := int(l)
+	for lv := 0; lv < t.levels; lv++ {
+		if id >= t.upOff[lv] && id < t.upOff[lv]+t.width[lv] {
+			return lv, id - t.upOff[lv], true
+		}
+		if id >= t.downOff[lv] && id < t.downOff[lv]+t.width[lv] {
+			return lv, id - t.downOff[lv], false
+		}
+	}
+	panic(fmt.Sprintf("topology: link %d out of range", id))
+}
+
+// tierActor reports the actor of tier-lv entity i in the up or down
+// column: a leaf at tier 0, the root at the top tier, a switch between.
+func (t *Tree) tierActor(lv, i int, down bool) int {
+	switch {
+	case lv == 0:
+		return i
+	case lv == t.levels:
+		return t.rootActor()
+	default:
+		return t.switchBase(lv, down) + i
+	}
+}
+
+func (t *Tree) LinkTail(l LinkID) int {
+	lv, i, up := t.linkBank(l)
+	if up {
+		return t.tierActor(lv, i, false) // up-column tier-lv entity i
+	}
+	return t.tierActor(lv+1, i/t.fanout, true) // down-column parent switch
+}
+
+func (t *Tree) LinkHead(l LinkID) int {
+	lv, i, up := t.linkBank(l)
+	if up {
+		return t.tierActor(lv+1, i/t.fanout, false) // up-column parent switch
+	}
+	return t.tierActor(lv, i, true) // down-column tier-lv entity i
+}
+
+func (t *Tree) ActorLeaf(a int) int {
+	if a < t.n {
+		return a
+	}
+	if a == t.rootActor() {
+		return 0
+	}
+	s := a - t.n
+	for pass := 0; pass < 2; pass++ {
+		for lv := 1; lv < t.levels; lv++ {
+			if s < t.width[lv] {
+				return s * t.pow[lv] // first leaf under this switch
+			}
+			s -= t.width[lv]
+		}
+	}
+	panic(fmt.Sprintf("topology: actor %d out of range", a))
+}

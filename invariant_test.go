@@ -49,9 +49,13 @@ func TestCrossProtocolDifferentialInvariant(t *testing.T) {
 			if proto == "snooping" && topo == "torus" {
 				continue // snooping requires the totally-ordered tree
 			}
-			name := fmt.Sprintf("%s/%s", proto, topo)
-			image := runDifferentialPoint(t, proto, topo, procs, ops, warmup, seed, wl)
-			results = append(results, result{name, image})
+			// Each point runs serially and on four kernel islands; the
+			// island run must land on the same image as everything else.
+			for _, islands := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%s/i%d", proto, topo, islands)
+				image := runDifferentialPoint(t, proto, topo, procs, ops, warmup, seed, wl, islands)
+				results = append(results, result{name, image})
+			}
 		}
 	}
 
@@ -96,9 +100,11 @@ func TestCrossProtocolDifferentialInvariant64(t *testing.T) {
 	}
 	var results []result
 	for _, p := range points {
-		name := fmt.Sprintf("%s/%s", p.proto, p.topo)
-		image := runDifferentialPoint(t, p.proto, p.topo, procs, ops, warmup, seed, wl)
-		results = append(results, result{name, image})
+		for _, islands := range []int{1, 4} {
+			name := fmt.Sprintf("%s/%s/i%d", p.proto, p.topo, islands)
+			image := runDifferentialPoint(t, p.proto, p.topo, procs, ops, warmup, seed, wl, islands)
+			results = append(results, result{name, image})
+		}
 	}
 	ref := results[0]
 	for _, r := range results[1:] {
@@ -117,10 +123,11 @@ func TestCrossProtocolDifferentialInvariant64(t *testing.T) {
 // runDifferentialPoint builds and runs one protocol/topology system
 // directly (rather than through harness.Run) so the test can read the
 // oracle's final memory image.
-func runDifferentialPoint(t *testing.T, proto, topoName string, procs, ops, warmup int, seed uint64, wl string) map[msg.Block]uint64 {
+func runDifferentialPoint(t *testing.T, proto, topoName string, procs, ops, warmup int, seed uint64, wl string, islands int) map[msg.Block]uint64 {
 	t.Helper()
 	cfg := machine.DefaultConfig()
 	cfg.Procs = procs
+	cfg.Islands = islands
 	if cfg.TokensPerBlock < procs {
 		cfg.TokensPerBlock = procs * 2
 	}
@@ -173,4 +180,57 @@ func runDifferentialPoint(t *testing.T, proto, topoName string, procs, ops, warm
 		t.Fatalf("%s/%s oracle: %v", proto, topoName, err)
 	}
 	return sys.Oracle.Image()
+}
+
+// TestCrossProtocolDifferentialInvariant256 drives the differential net
+// to the 256-processor ceiling on four kernel islands: all six protocols
+// (snooping on the four-level ordered tree, the rest on the 16x16
+// torus) execute the same streams and must agree on the final memory
+// image, oracle- and audit-clean. Skipped in -short mode; the
+// 64-processor variant covers islands there.
+func TestCrossProtocolDifferentialInvariant256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-processor differential invariant skipped in -short mode")
+	}
+	msg.PoolPoison = true
+	defer func() { msg.PoolPoison = false }()
+
+	const (
+		procs  = 256
+		ops    = 15
+		warmup = 15
+		seed   = 13
+		wl     = "oltp"
+	)
+	type result struct {
+		name  string
+		image map[msg.Block]uint64
+	}
+	var results []result
+	for _, proto := range []string{"tokenb", "tokend", "tokenm", "snooping", "directory", "hammer"} {
+		topo := "torus"
+		if proto == "snooping" {
+			topo = "tree"
+		}
+		name := fmt.Sprintf("%s/%s/i4", proto, topo)
+		image := runDifferentialPoint(t, proto, topo, procs, ops, warmup, seed, wl, 4)
+		results = append(results, result{name, image})
+	}
+	// One serial reference pins the island runs to the single-kernel
+	// universe: identical streams must commit identical write histories
+	// whether or not the kernel is parallel.
+	results = append(results, result{"tokenb/torus/i1",
+		runDifferentialPoint(t, "tokenb", "torus", procs, ops, warmup, seed, wl, 1)})
+	ref := results[0]
+	for _, r := range results[1:] {
+		if len(r.image) != len(ref.image) {
+			t.Fatalf("%s wrote %d blocks, %s wrote %d", r.name, len(r.image), ref.name, len(ref.image))
+		}
+		for b, v := range ref.image {
+			if got := r.image[b]; got != v {
+				t.Fatalf("memory image diverges at block %d: %s ended at v%d, %s at v%d",
+					b, ref.name, v, r.name, got)
+			}
+		}
+	}
 }
