@@ -4,14 +4,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"tokencoherence/internal/harness"
 )
 
 // benchBaseline mirrors the points table of BENCH_kernel.json and
-// BENCH_parallel.json.
+// BENCH_parallel.json, plus the recording-host metadata the parallel
+// gate cross-checks.
 type benchBaseline struct {
+	Description string `json:"description"`
+	// Cpus is the recording host's CPU count. BENCH_parallel.json's
+	// ns_per_op values only demonstrate parallel speedup when this is
+	// greater than one; TestBenchmarkRegressionParallel enforces that the
+	// description's single-CPU caveat and this field stay consistent.
+	Cpus   int `json:"cpus"`
 	Points map[string]struct {
 		AllocsPerOp    float64 `json:"allocs_per_op"`
 		MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
@@ -89,6 +97,20 @@ func TestBenchmarkRegressionParallel(t *testing.T) {
 		t.Skip("skipping benchmark regression in -short mode")
 	}
 	base := loadBaseline(t, "BENCH_parallel.json")
+	// The single-CPU caveat is machine-checked: the baseline must record
+	// its host's CPU count, and the description's warning must match it.
+	// Re-recording on a multi-core host (cpus > 1) obliges whoever does
+	// it to delete the caveat — and vice versa, the caveat cannot be
+	// dropped while the numbers still come from one core.
+	const caveat = "single CPU"
+	switch {
+	case base.Cpus < 1:
+		t.Errorf("BENCH_parallel.json records no cpus field; regenerate it with the recording host's CPU count")
+	case base.Cpus == 1 && !strings.Contains(base.Description, caveat):
+		t.Errorf("BENCH_parallel.json was recorded on 1 CPU but its description lost the %q caveat", caveat)
+	case base.Cpus > 1 && strings.Contains(base.Description, caveat):
+		t.Errorf("BENCH_parallel.json was recorded on %d CPUs; drop the stale %q caveat from its description", base.Cpus, caveat)
+	}
 	for name, limits := range base.Points {
 		name, limits := name, limits
 		var islands int

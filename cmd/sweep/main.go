@@ -14,15 +14,31 @@
 // metric by name in place of the sweep's default columns
 // (-list-metrics shows the schema); -format json serializes the full
 // metric map per point.
+//
+// Sweeps can run as a service against a content-addressed result store:
+//
+//	sweep -kind bandwidth -store results/            # archive every point
+//	sweep -kind bandwidth -store results/ -resume    # recall what's archived
+//	sweep -kind procs -store results/ -resume -format json -shard 0/2 > s0.jsonl
+//	sweep -kind procs -store results/ -resume -format json -shard 1/2 > s1.jsonl
+//	sweep merge s0.jsonl s1.jsonl                    # back to plan order
+//
+// -store archives each completed point under its content hash
+// (engine.PointKey) as it finishes, so a killed sweep re-run with
+// -resume recomputes only the missing points and emits byte-identical
+// output. -shard i/N partitions one plan across cooperating processes
+// sharing a store; merge reassembles their JSONL outputs byte-exactly.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -31,6 +47,7 @@ import (
 	"tokencoherence/internal/engine"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/registry"
+	"tokencoherence/internal/resultstore"
 	"tokencoherence/internal/sweeps"
 	"tokencoherence/internal/trace"
 )
@@ -48,6 +65,9 @@ func main() {
 // run parses args and executes the requested sweep, writing rows to
 // stdout and progress to stderr. It is the testable body of main.
 func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "merge" {
+		return runMerge(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -65,9 +85,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		listMet  = fs.Bool("list-metrics", false, "list the metric schema of the sweep's first point, then exit")
 		traceDir = fs.String("trace", "", "write one Chrome trace-event JSON file per point into this directory (load in chrome://tracing or Perfetto)")
 		httpAddr = fs.String("http", "", "serve live sweep telemetry on this address while the sweep runs (expvar at /debug/vars, profiles at /debug/pprof/)")
+		storeDir = fs.String("store", "", "archive each completed point in this content-addressed result store directory (created if missing)")
+		resume   = fs.Bool("resume", false, "recall archived results from -store instead of recomputing them (resume mode)")
+		shard    = fs.String("shard", "", "run only shard i of N cooperating processes, as i/N (requires -format json; reassemble with 'sweep merge')")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume recalls archived results and requires -store")
+	}
+	var shardIdx, shardCount int
+	if *shard != "" {
+		var err error
+		if shardIdx, shardCount, err = parseShardSpec(*shard); err != nil {
+			return err
+		}
+		if *format != "json" {
+			return fmt.Errorf("-shard emits mergeable JSONL and requires -format json")
+		}
 	}
 	if *list {
 		printComponents(stdout)
@@ -102,6 +138,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		progress: *progress,
 		traceDir: *traceDir,
 		httpAddr: *httpAddr,
+		store:    *storeDir,
+		resume:   *resume,
+		shard:    shardIdx,
+		shards:   shardCount,
 	}, stdout, stderr)
 }
 
@@ -160,6 +200,11 @@ type options struct {
 	progress bool
 	traceDir string
 	httpAddr string
+	store    string
+	resume   bool
+	// shard/shards partition the plan (0/0 = unsharded); shards >= 1
+	// selects the mergeable index-wrapped JSONL output format.
+	shard, shards int
 }
 
 // execute runs the plan on the worker pool and streams rows to stdout.
@@ -167,19 +212,34 @@ type options struct {
 // stderr through one mutex-serialized writer, each as a single Write, so
 // parallel workers never tear each other's lines.
 func execute(plan engine.Plan, cols []engine.Column, opt options, stdout, stderr io.Writer) error {
+	// Buffer stdout and let the sink's End flush it: rows reach the
+	// consumer in large writes, and an interrupted sweep still leaves a
+	// complete, parseable partial file (End runs on every exit path).
+	out := bufio.NewWriter(stdout)
 	var sink engine.Sink
-	switch opt.format {
-	case "csv":
-		sink = &engine.CSVSink{W: stdout, Columns: cols}
-	case "json":
-		sink = &engine.JSONLSink{W: stdout}
+	switch {
+	case opt.shards >= 1:
+		sink = newShardSink(out)
+	case opt.format == "csv":
+		sink = &engine.CSVSink{W: out, Columns: cols}
+	case opt.format == "json":
+		sink = &engine.JSONLSink{W: out}
 	default:
 		return fmt.Errorf("unknown format %q (want csv or json)", opt.format)
 	}
 	errw := trace.NewSyncWriter(stderr)
 	plan.Variants = withDebugLog(plan.Variants, errw)
 
-	eng := engine.Engine{Workers: opt.parallel}
+	eng := engine.Engine{Workers: opt.parallel, Shard: opt.shard, Shards: opt.shards}
+	var store *resultstore.Store
+	if opt.store != "" {
+		var err error
+		if store, err = resultstore.Open(opt.store); err != nil {
+			return err
+		}
+		eng.Store = store
+		eng.Reuse = opt.resume
+	}
 
 	var tracers *pointTracers
 	if opt.traceDir != "" {
@@ -196,7 +256,7 @@ func execute(plan engine.Plan, cols []engine.Column, opt options, stdout, stderr
 			workers = runtime.GOMAXPROCS(0)
 		}
 		var err error
-		if tel, err = startTelemetry(opt.httpAddr, workers, errw); err != nil {
+		if tel, err = startTelemetry(opt.httpAddr, workers, store, errw); err != nil {
 			return err
 		}
 		defer tel.stop()
@@ -231,11 +291,27 @@ func execute(plan engine.Plan, cols []engine.Column, opt options, stdout, stderr
 		}
 	}
 
-	_, err := eng.Execute(context.Background(), plan, sink)
+	// Ctrl-C cancels the plan instead of killing the process mid-write:
+	// the engine stops dispatching, flushes the sinks (End), and with
+	// -store every completed point is already archived for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	_, err := eng.Execute(ctx, plan, sink)
 	if err == nil {
 		err = flushErr
 	}
+	if errors.Is(err, context.Canceled) {
+		err = fmt.Errorf("interrupted (completed points are flushed%s)", resumeHint(opt))
+	}
 	return err
+}
+
+// resumeHint tells an interrupted user how to pick the sweep back up.
+func resumeHint(opt options) string {
+	if opt.store == "" {
+		return ""
+	}
+	return "; re-run with -store " + opt.store + " -resume to continue"
 }
 
 // withDebugLog routes every point's flight-recorder dumps through w by

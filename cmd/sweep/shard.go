@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tokencoherence/internal/engine"
+)
+
+// parseShardSpec parses the -shard flag's "i/N" syntax: this process
+// owns the jobs whose plan index ≡ i (mod N).
+func parseShardSpec(spec string) (shard, shards int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &shard, &shards); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want i/N (e.g. 0/4)", spec)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("-shard %q: shard index must be in [0, %d)", spec, shards)
+	}
+	return shard, shards, nil
+}
+
+// shardLine is one line of a shard's output: the job's plan-wide index
+// plus the exact JSONL record an unsharded sweep would have emitted for
+// it. Carrying the index explicitly — instead of relying on line
+// position — keeps merge correct when failed jobs leave gaps.
+type shardLine struct {
+	Index  int             `json:"index"`
+	Record json.RawMessage `json:"record"`
+}
+
+// shardSink wraps the JSONL sink for sharded runs: each emitted line is
+// a shardLine whose record field holds the byte-exact JSONL line. The
+// merge subcommand strips the wrapper back off, so k shards merged
+// reproduce the single-process output byte for byte.
+type shardSink struct {
+	w     io.Writer
+	inner *engine.JSONLSink
+	buf   bytes.Buffer
+}
+
+func newShardSink(w io.Writer) *shardSink {
+	s := &shardSink{w: w}
+	s.inner = &engine.JSONLSink{W: &s.buf}
+	return s
+}
+
+// Begin implements engine.Sink.
+func (s *shardSink) Begin(total int) error { return s.inner.Begin(total) }
+
+// Emit implements engine.Sink: render the record through the inner
+// JSONL sink, then wrap it with the job's plan index.
+func (s *shardSink) Emit(r engine.Result) error {
+	s.buf.Reset()
+	if err := s.inner.Emit(r); err != nil {
+		return err
+	}
+	rec := bytes.TrimSuffix(s.buf.Bytes(), []byte("\n"))
+	line, err := json.Marshal(shardLine{Index: r.Index, Record: json.RawMessage(rec)})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	_, err = s.w.Write(line)
+	return err
+}
+
+// End implements engine.EndSink, flushing the buffered output writer.
+func (s *shardSink) End() error {
+	if f, ok := s.w.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// runMerge is the `sweep merge` subcommand: it k-way merges shard
+// output files back into plan order, emitting each record byte-exactly
+// as the unsharded sweep would have. Duplicate indices (the same job in
+// two shard files) are an error — they mean the shard specs overlapped.
+func runMerge(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sweep merge shard0.jsonl shard1.jsonl ...")
+		fmt.Fprintln(stderr, "merges -shard i/N output files back into plan order on stdout")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("merge: no shard files given")
+	}
+	records := map[int]json.RawMessage{}
+	from := map[int]string{}
+	for _, name := range files {
+		if err := readShardFile(name, records, from); err != nil {
+			return err
+		}
+	}
+	indices := make([]int, 0, len(records))
+	for i := range records {
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+	bw := bufio.NewWriter(stdout)
+	for _, i := range indices {
+		bw.Write(records[i]) //nolint:errcheck // surfaced by Flush
+		bw.WriteByte('\n')   //nolint:errcheck // surfaced by Flush
+	}
+	return bw.Flush()
+}
+
+// readShardFile loads one shard output file into the merge index.
+func readShardFile(name string, records map[int]json.RawMessage, from map[int]string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var line shardLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("merge: %s:%d: %w", name, lineno, err)
+		}
+		if line.Record == nil {
+			return fmt.Errorf("merge: %s:%d: no record field (is this a -shard output file?)", name, lineno)
+		}
+		if prev, dup := from[line.Index]; dup {
+			return fmt.Errorf("merge: job %d appears in both %s and %s (overlapping shard specs?)", line.Index, prev, name)
+		}
+		records[line.Index] = append(json.RawMessage(nil), line.Record...)
+		from[line.Index] = name
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("merge: %s: %w", name, err)
+	}
+	return nil
+}

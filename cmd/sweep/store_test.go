@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sweepArgs are a small, fast plan shared by the store tests.
+func sweepArgs(extra ...string) []string {
+	return append([]string{"-kind", "tokens", "-workload", "apache",
+		"-ops", "120", "-warmup", "120", "-parallel", "2"}, extra...)
+}
+
+// TestSweepStoreResumeByteIdentity is the command-level resume
+// guarantee: a sweep archived with -store and re-run with -resume must
+// emit byte-identical output without recomputing anything (the second
+// run's rows all come from the archive).
+func TestSweepStoreResumeByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	var out1, out2, errw bytes.Buffer
+	if err := run(sweepArgs("-store", dir), &out1, &errw); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("store not populated: %v entries, err %v", len(entries), err)
+	}
+	if err := run(sweepArgs("-store", dir, "-resume"), &out2, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("resumed output differs from computed output:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestSweepShardMergeEquivalence runs the same plan unsharded and as
+// two shards, then merges the shard files: the merged stream must be
+// byte-identical to the single-process JSONL output.
+func TestSweepShardMergeEquivalence(t *testing.T) {
+	var whole, errw bytes.Buffer
+	if err := run(sweepArgs("-format", "json"), &whole, &errw); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	files := make([]string, 2)
+	for shard := 0; shard < 2; shard++ {
+		var out bytes.Buffer
+		spec := []string{"0/2", "1/2"}[shard]
+		if err := run(sweepArgs("-format", "json", "-shard", spec), &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), `"index":`) {
+			t.Fatalf("shard %d output is not index-wrapped:\n%s", shard, out.String())
+		}
+		files[shard] = filepath.Join(dir, spec[:1]+".jsonl")
+		if err := os.WriteFile(files[shard], out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var merged bytes.Buffer
+	// Shard files in reverse order: merge must restore plan order itself.
+	if err := run([]string{"merge", files[1], files[0]}, &merged, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != whole.String() {
+		t.Errorf("merged shard output differs from single-process run:\n%s\nvs\n%s",
+			merged.String(), whole.String())
+	}
+}
+
+// TestSweepMergeRejectsOverlap: feeding merge the same shard file twice
+// means two processes claimed the same jobs — a misconfiguration that
+// must fail loudly instead of silently duplicating rows.
+func TestSweepMergeRejectsOverlap(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(sweepArgs("-format", "json", "-shard", "0/2"), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	f := filepath.Join(t.TempDir(), "s0.jsonl")
+	if err := os.WriteFile(f, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	err := run([]string{"merge", f, f}, &merged, &errw)
+	if err == nil || !strings.Contains(err.Error(), "appears in both") {
+		t.Errorf("want overlapping-shard error, got %v", err)
+	}
+}
+
+// TestSweepStoreFlagValidation pins the flag interactions.
+func TestSweepStoreFlagValidation(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-resume"}, &out, &errw); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Errorf("-resume without -store: got %v", err)
+	}
+	if err := run([]string{"-shard", "0/2"}, &out, &errw); err == nil || !strings.Contains(err.Error(), "json") {
+		t.Errorf("-shard with default CSV format: got %v", err)
+	}
+	for _, spec := range []string{"2/2", "-1/2", "x/y", "3"} {
+		if err := run([]string{"-shard", spec, "-format", "json"}, &out, &errw); err == nil {
+			t.Errorf("-shard %s: want error", spec)
+		}
+	}
+	if err := run([]string{"merge"}, &out, &errw); err == nil || !strings.Contains(err.Error(), "no shard files") {
+		t.Errorf("merge without files: got %v", err)
+	}
+}

@@ -43,8 +43,17 @@ type telemetry struct {
 	workers int
 	now     func() time.Time // injectable clock for tests
 
-	total, done, failed, events          expvar.Int
+	total, done, failed, cached, events  expvar.Int
 	eventsPerSec, etaSeconds, elapsedSec expvar.Float
+}
+
+// storeStats is the slice of *resultstore.Store the telemetry endpoint
+// exports: live archive counters, without coupling this package's tests
+// to a real store.
+type storeStats interface {
+	Hits() uint64
+	Misses() uint64
+	Bytes() uint64
 }
 
 // newTelemetry builds the progress-consuming core without binding a
@@ -58,10 +67,11 @@ func newTelemetry(workers int, now func() time.Time) *telemetry {
 
 // startTelemetry binds addr (":0" picks a free port), publishes the
 // counters, and serves until stop. workers is the engine's effective
-// pool size, which the ETA model needs (see update). The chosen
-// address is announced on logw so callers binding port 0 can find the
-// endpoint.
-func startTelemetry(addr string, workers int, logw io.Writer) (*telemetry, error) {
+// pool size, which the ETA model needs (see update); store, when
+// non-nil, additionally exports the result store's live hit/miss/byte
+// counters. The chosen address is announced on logw so callers binding
+// port 0 can find the endpoint.
+func startTelemetry(addr string, workers int, store storeStats, logw io.Writer) (*telemetry, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
@@ -72,7 +82,13 @@ func startTelemetry(addr string, workers int, logw io.Writer) (*telemetry, error
 	m.Set("points_total", &t.total)
 	m.Set("points_done", &t.done)
 	m.Set("points_failed", &t.failed)
+	m.Set("points_cached", &t.cached)
 	m.Set("events_executed", &t.events)
+	if store != nil {
+		m.Set("store_hits", expvar.Func(func() any { return store.Hits() }))
+		m.Set("store_misses", expvar.Func(func() any { return store.Misses() }))
+		m.Set("store_bytes", expvar.Func(func() any { return store.Bytes() }))
+	}
 	m.Set("events_per_sec", &t.eventsPerSec)
 	m.Set("eta_seconds", &t.etaSeconds)
 	m.Set("elapsed_seconds", &t.elapsedSec)
@@ -108,11 +124,22 @@ func (t *telemetry) addr() string { return t.ln.Addr().String() }
 // are nearly done, so elapsed/done ≈ W times the steady-state per-point
 // cost. The min(done, W)/W factor discounts the estimate during that
 // ramp and becomes exact (1.0) once a full wave of points has finished.
+//
+// Store cache hits are excluded from the rate estimate on both sides: a
+// recalled point completes in microseconds and executes no events, so
+// folding it into elapsed/done would collapse the ETA toward zero while
+// every not-yet-archived point still costs full simulation time. The
+// per-point rate divides by computed = done − cached, and a sweep whose
+// completions are so far all cache hits reports ETA 0 — the honest
+// reading when nothing has been simulated yet.
 func (t *telemetry) update(p engine.Progress) {
 	t.total.Set(int64(p.Total))
 	t.done.Set(int64(p.Done))
 	t.failed.Set(int64(p.Failed))
-	if p.Last != nil && p.Last.Metrics != nil {
+	if p.Last != nil && p.Last.Cached {
+		t.cached.Add(1)
+	}
+	if p.Last != nil && p.Last.Metrics != nil && !p.Last.Cached {
 		if v, ok := p.Last.Metrics.Value("events_executed"); ok {
 			t.events.Add(int64(v))
 		}
@@ -122,7 +149,8 @@ func (t *telemetry) update(p engine.Progress) {
 	if elapsed > 0 {
 		t.eventsPerSec.Set(float64(t.events.Value()) / elapsed)
 	}
-	if p.Done > 0 {
+	computed := p.Done - int(t.cached.Value())
+	if computed > 0 {
 		w := t.workers
 		if w < 1 {
 			w = 1
@@ -130,8 +158,10 @@ func (t *telemetry) update(p engine.Progress) {
 		if w > p.Total {
 			w = p.Total
 		}
-		ramp := float64(min(p.Done, w)) / float64(w)
-		t.etaSeconds.Set(elapsed / float64(p.Done) * float64(p.Total-p.Done) * ramp)
+		ramp := float64(min(computed, w)) / float64(w)
+		t.etaSeconds.Set(elapsed / float64(computed) * float64(p.Total-p.Done) * ramp)
+	} else {
+		t.etaSeconds.Set(0)
 	}
 }
 

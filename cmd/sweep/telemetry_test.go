@@ -2,11 +2,22 @@ package main
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"time"
 
 	"tokencoherence/internal/engine"
+	"tokencoherence/internal/stats"
 )
+
+// snapshotWithEvents builds a metric snapshot reporting n executed
+// events, the shape telemetry reads off each completed result.
+func snapshotWithEvents(t *testing.T, n float64) *stats.Snapshot {
+	t.Helper()
+	ms := stats.NewMetricSet()
+	ms.Gauge(stats.Desc{Name: "events_executed", Unit: "events", Help: "test"}).Set(n)
+	return ms.Snapshot()
+}
 
 // fakeClock advances a telemetry's injectable clock by fixed steps.
 type fakeClock struct {
@@ -84,6 +95,75 @@ func TestTelemetryETAWorkersCappedByTotal(t *testing.T) {
 	}
 }
 
+// TestTelemetryETADiscountsCachedPoints replays a resumed sweep: 16
+// points on 2 workers, the first 8 recalled from the result store
+// within 100ms, then computed points landing one per second. At the
+// first computed completion the naive elapsed/done rate would read
+// 1.1/9 ≈ 0.12 s/point and forecast under a second of work, while seven
+// full simulations (~4s of wall time on 2 workers) actually remain.
+// Subtracting cache hits from the rate keeps the estimate honest.
+func TestTelemetryETADiscountsCachedPoints(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	tel := newTelemetry(2, clock.now)
+
+	cached := engine.Result{Cached: true}
+	for i := 0; i < 8; i++ {
+		clock.t = time.Unix(0, int64(i+1)*10_000_000) // 10ms per recall
+		tel.update(engine.Progress{Done: i + 1, Total: 16, Last: &cached})
+		if eta, _ := secs(tel); eta != 0 {
+			t.Fatalf("after %d pure cache hits: eta = %v, want 0 (nothing simulated yet)", i+1, eta)
+		}
+	}
+	if got := tel.cached.Value(); got != 8 {
+		t.Fatalf("cached = %d, want 8", got)
+	}
+
+	computed := engine.Result{}
+	clock.t = time.Unix(0, 0).Add(1100 * time.Millisecond)
+	tel.update(engine.Progress{Done: 9, Total: 16, Last: &computed})
+	// computed = 1, ramp = min(1,2)/2: eta = 1.1/1 × 7 × 0.5 = 3.85s —
+	// the right order of magnitude for 7 points on 2 workers.
+	if eta, _ := secs(tel); math.Abs(eta-3.85) > 1e-9 {
+		t.Errorf("first computed point: eta = %v, want 3.85 (naive hit-blind estimate would be ~0.86)", eta)
+	}
+
+	// Steady state: completions 10..16 arrive one per second.
+	for done := 10; done <= 16; done++ {
+		clock.t = time.Unix(0, 0).Add(1100*time.Millisecond + time.Duration(done-9)*time.Second)
+		tel.update(engine.Progress{Done: done, Total: 16, Last: &computed})
+		eta, _ := secs(tel)
+		truth := float64(16 - done) // one completion per second from here
+		if done == 16 {
+			if eta != 0 {
+				t.Errorf("after the last point: eta = %v, want 0", eta)
+			}
+			continue
+		}
+		if eta > 2*truth || eta < truth/2 {
+			t.Errorf("after point %d: eta = %.2fs, outside [%.2f, %.2f] around true remaining %.2fs",
+				done, eta, truth/2, 2*truth, truth)
+		}
+	}
+}
+
+// TestTelemetryCachedPointsSkipEventCounters: a recalled result carries
+// the original run's events_executed metric, but this process never
+// executed those events — the live rate counters must not absorb them.
+func TestTelemetryCachedPointsSkipEventCounters(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	tel := newTelemetry(1, clock.now)
+	snap := snapshotWithEvents(t, 5000)
+	clock.tick(time.Second)
+	tel.update(engine.Progress{Done: 1, Total: 2, Last: &engine.Result{Cached: true, Metrics: snap}})
+	if got := tel.events.Value(); got != 0 {
+		t.Errorf("cached point added %d events to the live counter", got)
+	}
+	tel.update(engine.Progress{Done: 2, Total: 2, Last: &engine.Result{Metrics: snap}})
+	if got := tel.events.Value(); got != 5000 {
+		t.Errorf("computed point events = %d, want 5000", got)
+	}
+}
+
 // TestTelemetrySecondSweepKeepsFirstCounting is the regression test for
 // the expvar wipe: starting a second sweep's telemetry while the first
 // still runs must not clear or corrupt the first sweep's counters — the
@@ -91,7 +171,7 @@ func TestTelemetryETAWorkersCappedByTotal(t *testing.T) {
 // published map simply hands the keys to the newest sweep.
 func TestTelemetrySecondSweepKeepsFirstCounting(t *testing.T) {
 	var log bytes.Buffer
-	first, err := startTelemetry("127.0.0.1:0", 2, &log)
+	first, err := startTelemetry("127.0.0.1:0", 2, nil, &log)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +181,7 @@ func TestTelemetrySecondSweepKeepsFirstCounting(t *testing.T) {
 		t.Fatalf("first sweep done = %d, want 3", got)
 	}
 
-	second, err := startTelemetry("127.0.0.1:0", 2, &log)
+	second, err := startTelemetry("127.0.0.1:0", 2, nil, &log)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,7 +118,7 @@ func TestSweepProgressSerialized(t *testing.T) {
 // HTTP as any live dashboard would.
 func TestSweepTelemetryEndpoint(t *testing.T) {
 	var log bytes.Buffer
-	tel, err := startTelemetry("127.0.0.1:0", 1, &log)
+	tel, err := startTelemetry("127.0.0.1:0", 1, nil, &log)
 	if err != nil {
 		t.Fatal(err)
 	}

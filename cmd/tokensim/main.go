@@ -13,7 +13,9 @@
 // Experiments print the corresponding paper table/figure rows; a custom
 // point prints its full statistics, or — with -columns — one CSV row per
 // seed selecting any published metric by name (-list-metrics shows the
-// schema).
+// schema). With -store DIR the custom point reads and fills the same
+// content-addressed result store the sweep command uses: seeds already
+// archived print instantly from the store, byte-identically.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/registry"
+	"tokencoherence/internal/resultstore"
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
 	"tokencoherence/internal/trace"
@@ -75,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceHops  = fs.Bool("trace-hops", false, "include per-link network hops in -trace output (roughly 100x more events)")
 		recorder   = fs.Int("flight-recorder", 0, "flight-recorder ring size in events for the custom point (0 = default 512, negative disables)")
 		deadline   = fs.Duration("deadline", 0, "starvation deadline for the custom point's flight recorder: a transaction exceeding this simulated latency dumps the recorder (0 = default 50ms, negative disables)")
+		storeDir   = fs.String("store", "", "content-addressed result store for the custom point: archived seeds are recalled instead of re-simulated, computed ones are archived (shared with sweep -store)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *traceOut != "" || *recorder != 0 || *deadline != 0 {
 			return fmt.Errorf("-trace, -flight-recorder, and -deadline apply to custom points and cannot be combined with -experiment")
+		}
+		if *storeDir != "" {
+			return fmt.Errorf("-store applies to custom points and cannot be combined with -experiment (archive experiment grids with sweep -store)")
 		}
 		names := []string{*experiment}
 		if *experiment == "all" {
@@ -160,6 +167,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Islands:  *islands,
 	}
 	eng := engine.Engine{Workers: *parallel}
+	if *storeDir != "" {
+		st, serr := resultstore.Open(*storeDir)
+		if serr != nil {
+			return serr
+		}
+		eng.Store = st
+		eng.Reuse = true
+	}
 	var tracers *jobTracers
 	if *traceOut != "" {
 		tracers = &jobTracers{hops: *traceHops, m: make(map[int]*trace.Tracer)}

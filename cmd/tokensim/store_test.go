@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTokensimStoreRecall: a custom point run twice against the same
+// -store must print identical statistics, with the second run's seeds
+// recalled from the archive instead of re-simulated.
+func TestTokensimStoreRecall(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-protocol", "tokenb", "-workload", "apache",
+		"-procs", "4", "-ops", "120", "-warmup", "120", "-seeds", "1,2", "-store", dir}
+	var out1, out2, errw bytes.Buffer
+	if err := run(args, &out1, &errw); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.json"))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("store holds %d entries (err %v), want one per seed", len(entries), err)
+	}
+	if err := run(args, &out2, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("recalled statistics differ from computed:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestTokensimStoreRejectsExperiment: experiments print fixed
+// paper-style tables through the harness, outside the store path.
+func TestTokensimStoreRejectsExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-experiment", "table2", "-store", t.TempDir()}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Errorf("want -store/-experiment conflict error, got %v", err)
+	}
+}

@@ -21,7 +21,13 @@ type Result struct {
 	// machine, interconnect, protocol, and registered probes published.
 	// Sinks and column selectors read results through it by name.
 	Metrics *stats.Snapshot
-	Err     error
+	// Cached marks a result recalled from the Engine's Store instead of
+	// simulated: provenance for telemetry (a recalled point cost no
+	// events and should not feed ETA rate estimates) and for callers that
+	// must know whether any simulation ran. Cached results flow through
+	// sinks identically to computed ones.
+	Cached bool
+	Err    error
 }
 
 // Progress describes a plan's execution state after one more job
@@ -39,11 +45,58 @@ type Progress struct {
 	Last *Result
 }
 
+// Store is a content-addressed result archive keyed by PointKey: the
+// engine fills it with every successfully computed point and, in reuse
+// mode, recalls archived results instead of simulating. Implementations
+// must be safe for concurrent use — workers consult the store in
+// parallel. internal/resultstore provides the durable file-backed
+// implementation.
+type Store interface {
+	// Get returns the archived result for key, reporting found=false for
+	// a clean miss. An error means the store itself failed (corrupt
+	// entry, unreadable directory) and fails the job loudly — a store
+	// that silently recomputes would mask corruption.
+	Get(key string) (run *stats.Run, metrics *stats.Snapshot, found bool, err error)
+	// Put archives a computed result under key. Put must be atomic:
+	// concurrent writers of the same key (two sweep shards sharing a
+	// store) may race, but they write identical content, so last-rename-
+	// wins is correct.
+	Put(key string, run *stats.Run, metrics *stats.Snapshot) error
+}
+
+// EndSink is the optional Sink extension Execute invokes exactly once
+// when emission is over — after the last Emit, on every exit path
+// including context cancellation and sink failure. Buffered sinks flush
+// here, so an interrupted sweep still leaves a valid, parseable partial
+// file; the built-in CSV and JSONL sinks forward End to their writer's
+// Flush method when it has one.
+type EndSink interface {
+	End() error
+}
+
 // Engine executes a Plan's jobs on a bounded worker pool. The zero
 // value is ready to use and runs one worker per available CPU.
 type Engine struct {
 	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Store, when set, archives every successfully computed cacheable
+	// point under its PointKey. With Reuse also set, the store is
+	// consulted before each job runs and a hit replays the archived
+	// result through the normal sink path — byte-identical output,
+	// zero simulation. Uncacheable points (ErrUncacheable) always
+	// simulate and are never archived.
+	Store Store
+	// Reuse enables store lookups (resume mode). Without it a Store is
+	// write-through only: every point recomputes and refreshes its entry,
+	// which is how a store is (re)populated from scratch.
+	Reuse bool
+	// Shard/Shards partition a plan across cooperating processes: with
+	// Shards = N > 1, this engine runs only the jobs whose plan Index ≡
+	// Shard (mod N) — the deterministic plan order is the partition
+	// function, so N shards cover every job exactly once with no
+	// coordination. Results keep their plan-wide Index for merging;
+	// Progress.Total and Sink.Begin report the shard's own job count.
+	Shard, Shards int
 	// Progress, when set, is called after each job completes. Calls come
 	// from the engine's single collector goroutine and never overlap, so
 	// a callback that writes output needs no locking against itself —
@@ -79,6 +132,20 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 	jobs, err := plan.Jobs()
 	if err != nil {
 		return nil, err
+	}
+	if e.Shards > 1 {
+		if e.Shard < 0 || e.Shard >= e.Shards {
+			return nil, fmt.Errorf("engine: shard %d out of range [0, %d)", e.Shard, e.Shards)
+		}
+		owned := make([]Job, 0, (len(jobs)+e.Shards-1)/e.Shards)
+		for _, job := range jobs {
+			if job.Index%e.Shards == e.Shard {
+				owned = append(owned, job)
+			}
+		}
+		jobs = owned
+	} else if e.Shards < 0 || (e.Shards == 0 && e.Shard != 0) {
+		return nil, fmt.Errorf("engine: invalid shard spec %d/%d", e.Shard, e.Shards)
 	}
 	for _, s := range sinks {
 		if err := s.Begin(len(jobs)); err != nil {
@@ -122,7 +189,7 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 				if err := runCtx.Err(); err != nil {
 					results[i].Err = err
 				} else {
-					results[i].Run, results[i].Metrics, results[i].Err = runIsolated(results[i].Job, e.Attach)
+					e.runJob(&results[i])
 				}
 				doneCh <- i
 			}
@@ -163,6 +230,22 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 		}
 	}
 
+	// Emission is over on every path — completion, caller cancellation,
+	// sink failure — so give each sink its one End call now. A buffered
+	// sink flushes here, which is what keeps a Ctrl-C'd sweep's partial
+	// output a valid, parseable file rather than a torn one.
+	var endErr error
+	for _, s := range sinks {
+		if es, ok := s.(EndSink); ok {
+			if err := es.End(); err != nil && endErr == nil {
+				endErr = err
+			}
+		}
+	}
+	if sinkErr == nil {
+		sinkErr = endErr
+	}
+
 	if err := ctx.Err(); err != nil {
 		return results, err
 	}
@@ -174,6 +257,44 @@ func (e Engine) Execute(ctx context.Context, plan Plan, sinks ...Sink) ([]Result
 		}
 	}
 	return results, sinkErr
+}
+
+// runJob executes one job on a worker goroutine, consulting and filling
+// the result store when one is configured. Store failures are loud: a
+// Get that errors (as opposed to cleanly missing) or a Put that cannot
+// persist becomes the job's error, because a silently degraded store
+// would defeat the resume guarantee callers rely on.
+func (e Engine) runJob(r *Result) {
+	key := ""
+	if e.Store != nil {
+		k, err := PointKey(r.Job.Point)
+		switch {
+		case err == nil:
+			key = k
+		case errors.Is(err, ErrUncacheable):
+			// No content identity: simulate normally, never archive.
+		default:
+			r.Err = err
+			return
+		}
+	}
+	if key != "" && e.Reuse {
+		run, snap, found, err := e.Store.Get(key)
+		if err != nil {
+			r.Err = fmt.Errorf("engine: store get %s: %w", key, err)
+			return
+		}
+		if found {
+			r.Run, r.Metrics, r.Cached = run, snap, true
+			return
+		}
+	}
+	r.Run, r.Metrics, r.Err = runIsolated(r.Job, e.Attach)
+	if key != "" && r.Err == nil {
+		if err := e.Store.Put(key, r.Run, r.Metrics); err != nil {
+			r.Err = fmt.Errorf("engine: store put %s: %w", key, err)
+		}
+	}
 }
 
 // runIsolated executes one job, converting a panic into an error so a

@@ -63,6 +63,14 @@ type Point struct {
 	// processor count; it takes precedence over Gen and is safe under
 	// parallel execution.
 	NewGen func(procs int) machine.Generator
+	// GenID names what a Gen/NewGen generator computes, giving an
+	// otherwise-opaque closure a stable content identity for the result
+	// store (see PointKey). Leave it empty to mark the point uncacheable.
+	// Callers own its correctness: two different generators sharing one
+	// GenID would satisfy each other's cache lookups. Points using a
+	// registered Workload ignore it — the workload name and parameters
+	// are already the identity.
+	GenID string
 
 	Procs int
 	// Islands is the number of conservative-parallel kernel islands the
@@ -245,12 +253,13 @@ func RunPointObserved(pt Point, attach func(*machine.System)) (*stats.Run, *stat
 	return run, sys.Metrics.Snapshot(), nil
 }
 
-// buildMachine constructs the point's machine: configuration, topology,
-// system, the protocol's controllers (whose constructors publish the
-// protocol metrics), and finally every registered probe, attached in
-// registration order so probe metrics land after the built-ins in the
-// schema.
-func buildMachine(pt Point, comps components) (*machine.System, []machine.Controller, func() error, error) {
+// effectiveConfig assembles the point's fully-resolved machine
+// configuration: the Table 1 defaults, the point's sizing and bandwidth
+// fields, then the Mutate closure last. It is the single assembly path
+// shared by buildMachine and PointKey, so the configuration that is
+// hashed is — by construction, not by convention — the configuration
+// that runs.
+func (pt Point) effectiveConfig() machine.Config {
 	cfg := machine.DefaultConfig()
 	cfg.Procs = pt.Procs
 	cfg.Islands = pt.Islands
@@ -266,6 +275,16 @@ func buildMachine(pt Point, comps components) (*machine.System, []machine.Contro
 	if pt.Mutate != nil {
 		pt.Mutate(&cfg)
 	}
+	return cfg
+}
+
+// buildMachine constructs the point's machine: configuration, topology,
+// system, the protocol's controllers (whose constructors publish the
+// protocol metrics), and finally every registered probe, attached in
+// registration order so probe metrics land after the built-ins in the
+// schema.
+func buildMachine(pt Point, comps components) (*machine.System, []machine.Controller, func() error, error) {
+	cfg := pt.effectiveConfig()
 
 	topo := comps.topo.New(pt.Procs)
 	if topo.Ordered() != comps.topo.Ordered {

@@ -193,6 +193,19 @@ func (s *CSVSink) Emit(r Result) error {
 	return s.writeRow(func(c Column) string { return c.Value(r) })
 }
 
+// End flushes the underlying writer when it buffers (implements
+// Flush() error), so interrupted sweeps leave complete rows on disk.
+func (s *CSVSink) End() error { return flushWriter(s.W) }
+
+// flushWriter forwards to w's Flush method when it has one (bufio.Writer
+// and friends); unbuffered writers need nothing.
+func flushWriter(w io.Writer) error {
+	if f, ok := w.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 func (s *CSVSink) writeRow(field func(Column) string) error {
 	for i, c := range s.Columns {
 		if i > 0 {
@@ -253,6 +266,9 @@ type jsonlRecord struct {
 
 // Begin implements Sink.
 func (s *JSONLSink) Begin(total int) error { return nil }
+
+// End flushes the underlying writer when it buffers (see CSVSink.End).
+func (s *JSONLSink) End() error { return flushWriter(s.W) }
 
 // Emit writes one line.
 func (s *JSONLSink) Emit(r Result) error {

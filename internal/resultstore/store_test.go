@@ -1,0 +1,154 @@
+package resultstore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"tokencoherence/internal/stats"
+)
+
+func sampleResult() (*stats.Run, *stats.Snapshot) {
+	run := &stats.Run{
+		Misses:       stats.Misses{Issued: 10, ReissuedOnce: 1},
+		Transactions: 42,
+		Elapsed:      12345,
+	}
+	ms := stats.NewMetricSet()
+	ms.Gauge(stats.Desc{Name: "g", Unit: "x", Help: "h"}).Set(1.0 / 3.0)
+	ms.Gauge(stats.Desc{Name: "inf", Unit: "x", Help: "h"}).Set(math.Inf(1))
+	return run, ms.Snapshot()
+}
+
+const key = "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12"
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, snap := sampleResult()
+
+	if _, _, found, err := st.Get(key); err != nil || found {
+		t.Fatalf("empty store: found=%v err=%v", found, err)
+	}
+	if st.Misses() != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses())
+	}
+	if err := st.Put(key, run, snap); err != nil {
+		t.Fatal(err)
+	}
+	gotRun, gotSnap, found, err := st.Get(key)
+	if err != nil || !found {
+		t.Fatalf("after put: found=%v err=%v", found, err)
+	}
+	if !reflect.DeepEqual(run, gotRun) {
+		t.Errorf("run did not round-trip: %+v vs %+v", run, gotRun)
+	}
+	if v, _ := gotSnap.Value("g"); v != 1.0/3.0 {
+		t.Errorf("snapshot value lost: %v", v)
+	}
+	if v, _ := gotSnap.Value("inf"); !math.IsInf(v, 1) {
+		t.Errorf("non-finite snapshot value lost: %v", v)
+	}
+	if st.Hits() != 1 || st.Bytes() == 0 {
+		t.Errorf("hits=%d bytes=%d, want 1 hit and nonzero bytes", st.Hits(), st.Bytes())
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v, want 1", n, err)
+	}
+}
+
+// TestNoTempFilesSurvive: Put must leave only the renamed object, so a
+// store directory never accumulates garbage under normal operation.
+func TestNoTempFilesSurvive(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, snap := sampleResult()
+	if err := st.Put(key, run, snap); err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			t.Errorf("temp file survived: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptEntryIsLoud: a torn or edited entry must fail the lookup
+// with an error, not silently miss (recomputing would mask corruption)
+// and not return garbage.
+func TestCorruptEntryIsLoud(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, snap := sampleResult()
+	if err := st.Put(key, run, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(key)
+	if err := os.WriteFile(path, []byte(`{"key":"`+key+`","run"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := st.Get(key); err == nil {
+		t.Error("want error for truncated entry")
+	}
+	// A complete entry filed under the wrong key must also be loud.
+	other := strings.Repeat("ff", 32)
+	if err := st.Put(other, run, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(st.path(other), path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := st.Get(key); err == nil || !strings.Contains(err.Error(), "misplaced") {
+		t.Errorf("want misplaced-object error, got %v", err)
+	}
+}
+
+// TestConcurrentPutGet exercises the store the way the engine does:
+// many workers writing and reading disjoint and shared keys at once.
+func TestConcurrentPutGet(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, snap := sampleResult()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := strings.Repeat("0123456789abcdef"[i%16:i%16+1], 64)
+				if err := st.Put(k, run, snap); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, _, found, err := st.Get(k); err != nil || !found {
+					t.Errorf("get: found=%v err=%v", found, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, err := st.Len(); err != nil || n != 16 {
+		t.Errorf("Len = %d, %v, want 16", n, err)
+	}
+}

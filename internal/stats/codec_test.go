@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"tokencoherence/internal/msg"
+	"tokencoherence/internal/sim"
+)
+
+// TestRunRoundTrip pins the store's correctness premise: a Run encoded
+// to JSON and decoded back is identical field for field, including the
+// unexported traffic and histogram internals, so every metric a sink
+// derives from it (cycles/txn, bytes/miss, quantiles) is bit-identical.
+func TestRunRoundTrip(t *testing.T) {
+	var run Run
+	m := &msg.Message{Cat: msg.CatData, Kind: msg.KindData}
+	run.Traffic.Record(m, 3)
+	m2 := &msg.Message{Cat: msg.CatRequest, Kind: msg.KindGetS}
+	run.Traffic.Record(m2, 7)
+	run.Misses = Misses{Issued: 100, ReissuedOnce: 7, ReissuedMore: 2, Persistent: 1}
+	run.L1Hits, run.L2Hits, run.Accesses = 12345, 678, 99999
+	run.Upgrades, run.Writeback = 11, 22
+	run.Transactions = 400
+	run.Elapsed = 123456789 * sim.Nanosecond
+	run.MissLatencySum = 5555 * sim.Nanosecond
+	run.MissLatencyCount = 107
+	for _, d := range []sim.Time{0, 1, 100, 1000, 1 << 20} {
+		run.MissLatencies.Observe(d * sim.Nanosecond)
+	}
+
+	b, err := json.Marshal(&run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Run
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run, got) {
+		t.Errorf("run did not round-trip:\n  in  %+v\n  out %+v", run, got)
+	}
+	if got.CyclesPerTransaction() != run.CyclesPerTransaction() ||
+		got.BytesPerMiss() != run.BytesPerMiss() ||
+		got.AvgMissLatency() != run.AvgMissLatency() ||
+		got.MissLatencies.Quantile(0.99) != run.MissLatencies.Quantile(0.99) {
+		t.Error("derived metrics differ after round-trip")
+	}
+}
+
+// TestSnapshotRoundTrip covers the values JSON numbers cannot carry: a
+// transaction-less run's +Inf, NaN, negative zero, and floats needing
+// all 17 digits must all come back bit-identical, with the schema (and
+// its CSV format verbs) intact.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ms := NewMetricSet()
+	g1 := ms.Gauge(Desc{Name: "plain", Unit: "x", Help: "plain value", Fmt: "%.2f"})
+	g1.Set(1.0 / 3.0)
+	g2 := ms.Gauge(Desc{Name: "inf", Unit: "x", Help: "positive infinity"})
+	g2.Set(math.Inf(1))
+	g3 := ms.Gauge(Desc{Name: "nan", Unit: "x", Help: "not a number"})
+	g3.Set(math.NaN())
+	g4 := ms.Gauge(Desc{Name: "negzero", Unit: "x", Help: "negative zero"})
+	g4.Set(math.Copysign(0, -1))
+	ms.Counter(Desc{Name: "big", Unit: "n", Help: "large count"}).Add(1<<53 + 1)
+
+	snap := ms.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap.Descs(), got.Descs()) {
+		t.Errorf("schema did not round-trip:\n  in  %+v\n  out %+v", snap.Descs(), got.Descs())
+	}
+	for _, name := range snap.Names() {
+		want, _ := snap.Value(name)
+		have, ok := got.Value(name)
+		if !ok {
+			t.Errorf("metric %q lost in round-trip", name)
+			continue
+		}
+		if math.Float64bits(want) != math.Float64bits(have) {
+			t.Errorf("metric %q: %v (bits %x) round-tripped to %v (bits %x)",
+				name, want, math.Float64bits(want), have, math.Float64bits(have))
+		}
+		ws, _ := snap.Formatted(name)
+		hs, _ := got.Formatted(name)
+		if ws != hs {
+			t.Errorf("metric %q: formatted %q round-tripped to %q", name, ws, hs)
+		}
+	}
+}
+
+// TestSnapshotDecodeRejectsMismatch guards the decoder against torn or
+// hand-edited store entries.
+func TestSnapshotDecodeRejectsMismatch(t *testing.T) {
+	var s Snapshot
+	if err := json.Unmarshal([]byte(`{"descs":[{"Name":"a"}],"values":[]}`), &s); err == nil {
+		t.Error("want error for desc/value length mismatch")
+	}
+	if err := json.Unmarshal([]byte(`{"descs":[{"Name":"a"}],"values":["zzz"]}`), &s); err == nil {
+		t.Error("want error for unparseable value")
+	}
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"buckets":[1,2],"count":3}`), &h); err == nil {
+		t.Error("want error for wrong bucket count")
+	}
+	var tr Traffic
+	if err := json.Unmarshal([]byte(`{"bytes":[1],"messages":[1]}`), &tr); err == nil {
+		t.Error("want error for wrong category count")
+	}
+}

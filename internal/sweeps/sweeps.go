@@ -91,6 +91,10 @@ func Procs(seed uint64) (engine.Plan, []engine.Column) {
 					NewGen: func(n int) machine.Generator {
 						return workload.NewUniform(2048, 0.3, 5*sim.Nanosecond, n)
 					},
+					// GenID names the closure's content so the point stays
+					// cacheable (engine.PointKey); it must change whenever the
+					// NewUniform arguments above do.
+					GenID: "uniform/blocks=2048/pwrite=0.3/think=5ns",
 				},
 			})
 		}

@@ -1,0 +1,31 @@
+package sweeps_test
+
+import (
+	"testing"
+
+	"tokencoherence/internal/engine"
+	"tokencoherence/internal/sweeps"
+)
+
+// TestAllKindsAreCacheable: every built-in sweep's points must carry a
+// content identity (engine.PointKey), so sweep -store archives them and
+// -resume recalls them. The procs sweep's opaque generator closure is
+// the regression case — it needs its GenID to stay cacheable.
+func TestAllKindsAreCacheable(t *testing.T) {
+	for _, kind := range sweeps.Kinds() {
+		plan, _, err := sweeps.ByKind(kind, "oltp", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		plan.Ops, plan.Warmup = 100, 100
+		jobs, err := plan.Jobs()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, job := range jobs {
+			if _, err := engine.PointKey(job.Point); err != nil {
+				t.Errorf("%s: job %d (%s) is uncacheable: %v", kind, job.Index, job.Variant, err)
+			}
+		}
+	}
+}

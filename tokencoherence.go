@@ -68,6 +68,7 @@ import (
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
 	"tokencoherence/internal/registry"
+	"tokencoherence/internal/resultstore"
 	"tokencoherence/internal/sim"
 	"tokencoherence/internal/stats"
 	"tokencoherence/internal/topology"
@@ -414,6 +415,40 @@ const (
 // completed plan job (Engine.Progress receives it on a single
 // goroutine).
 type Progress = engine.Progress
+
+// --- Result store (sweep-as-a-service) -----------------------------------
+
+// Store is the engine's content-addressed result archive interface:
+// set Engine.Store (and Engine.Reuse for resume semantics) to archive
+// every computed point under its PointKey and recall archived points
+// instead of re-simulating them, with byte-identical sink output.
+type Store = engine.Store
+
+// ResultStore is the durable file-backed Store: one JSON file per
+// result, written atomically, safe for concurrent engines and
+// cooperating processes sharing the directory (the sweep command's
+// -store/-resume/-shard flags build on it).
+type ResultStore = resultstore.Store
+
+// OpenResultStore creates (if needed) and opens the result store rooted
+// at dir.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// PointKey returns a Point's content hash — a hex SHA-256 over its
+// fully-resolved simulation inputs salted with CodeVersion — which is
+// its address in a Store. Points carrying an opaque Gen/NewGen return
+// ErrUncacheable unless Point.GenID names the generator's content.
+func PointKey(pt Point) (string, error) { return engine.PointKey(pt) }
+
+// CodeVersion is the simulator-behavior salt mixed into every PointKey;
+// it changes whenever simulation results can change, invalidating older
+// archives.
+const CodeVersion = engine.CodeVersion
+
+// ErrUncacheable marks a Point with no stable content identity (an
+// anonymous generator closure); the engine simulates such points
+// normally but never archives them.
+var ErrUncacheable = engine.ErrUncacheable
 
 // ProbeSpec registers a measurement probe: a name plus a New function
 // called once per simulation with the run's MetricSet, returning the
