@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"tokencoherence/internal/engine"
+	"tokencoherence/internal/resultstore"
+	"tokencoherence/internal/sweepd"
+	"tokencoherence/internal/sweeps"
+	"tokencoherence/internal/trace"
+)
+
+// planFlags is the -kind/-workload/... group shared by the in-process
+// sweep and the serve subcommand; both must name plans the same way so a
+// worker's local expansion of the advertised PlanSpec reproduces the
+// coordinator's jobs exactly.
+type planFlags struct {
+	kind, workload       string
+	seed                 uint64
+	ops, warmup, islands int
+}
+
+func (p *planFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&p.kind, "kind", "bandwidth", "sweep kind: "+strings.Join(sweeps.Kinds(), ", "))
+	fs.StringVar(&p.workload, "workload", "oltp", "workload for the sweep")
+	fs.Uint64Var(&p.seed, "seed", 1, "random seed")
+	fs.IntVar(&p.ops, "ops", 2000, "measured operations per processor")
+	fs.IntVar(&p.warmup, "warmup", 5000, "warmup operations per processor")
+	fs.IntVar(&p.islands, "islands", 0, "conservative-parallel islands per point")
+}
+
+func (p *planFlags) spec() sweepd.PlanSpec {
+	return sweepd.PlanSpec{
+		Kind: p.kind, Workload: p.workload, Seed: p.seed,
+		Ops: p.ops, Warmup: p.warmup, Islands: p.islands,
+	}
+}
+
+// resolveSpec rebuilds the plan a PlanSpec names — the worker side of
+// the plan agreement, and serve uses it too so both sides run the same
+// code path.
+func resolveSpec(spec sweepd.PlanSpec) (engine.Plan, []engine.Column, error) {
+	plan, cols, err := sweeps.ByKind(spec.Kind, spec.Workload, spec.Seed)
+	if err != nil {
+		return engine.Plan{}, nil, err
+	}
+	plan.Ops = spec.Ops
+	plan.Warmup = spec.Warmup
+	plan.Islands = spec.Islands
+	return plan, cols, nil
+}
+
+// runServe is the `sweep serve` subcommand: run the plan's coordinator,
+// serving leases to `sweep work` daemons and emitting the collected rows
+// on stdout — byte-identical to running the same sweep in-process.
+func runServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var pf planFlags
+	pf.register(fs)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:0", "address to serve the coordinator API on (the chosen address is announced on stderr)")
+		leaseTTL = fs.Duration("lease", sweepd.DefaultLeaseTTL, "lease TTL: a worker that misses heartbeats for this long forfeits its points")
+		linger   = fs.Duration("linger", 2*time.Second, "keep serving this long after the plan completes so polling workers see done instead of a dead socket")
+		format   = fs.String("format", "csv", "output format: csv or json")
+		progress = fs.Bool("progress", false, "report progress on stderr")
+		httpAddr = fs.String("http", "", "serve live sweep telemetry on this address (expvar at /debug/vars)")
+		storeDir = fs.String("store", "", "archive each completed point in this content-addressed result store directory")
+		resume   = fs.Bool("resume", false, "recall archived results from -store instead of leasing them to workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume recalls archived results and requires -store")
+	}
+	spec := pf.spec()
+	plan, cols, err := resolveSpec(spec)
+	if err != nil {
+		return err
+	}
+
+	// Buffer stdout and let the sink's End flush it, exactly like the
+	// in-process execute path.
+	out := bufio.NewWriter(stdout)
+	var sink engine.Sink
+	switch *format {
+	case "csv":
+		sink = &engine.CSVSink{W: out, Columns: cols}
+	case "json":
+		sink = &engine.JSONLSink{W: out}
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	errw := trace.NewSyncWriter(stderr)
+
+	var store *resultstore.Store
+	if *storeDir != "" {
+		if store, err = resultstore.Open(*storeDir); err != nil {
+			return err
+		}
+		store.SetVersion(engine.CodeVersion)
+	}
+	coord := &sweepd.Coordinator{
+		Plan:     plan,
+		Spec:     spec,
+		Store:    store,
+		Reuse:    *resume,
+		LeaseTTL: *leaseTTL,
+		Log:      errw,
+	}
+
+	var tel *telemetry
+	if *httpAddr != "" {
+		if tel, err = startTelemetry(*httpAddr, 0, store, errw); err != nil {
+			return err
+		}
+		defer tel.stop()
+		// The per-worker map: lease counts, completions, failures, and
+		// heartbeat age per worker ID, live at /debug/vars.
+		m := sweepVars()
+		m.Set("workers", expvar.Func(func() any { return coord.WorkerStats() }))
+		m.Set("workers_live", expvar.Func(func() any { return coord.LiveWorkers() }))
+	}
+	if *progress || tel != nil {
+		coord.Progress = func(p engine.Progress) {
+			if tel != nil {
+				tel.update(p)
+			}
+			if *progress {
+				status := "ok"
+				if p.Last.Err != nil {
+					status = "FAILED"
+				}
+				line := fmt.Sprintf("sweep: %d/%d %s %s\n", p.Done, p.Total, jobLabel(p.Last.Job), status)
+				if p.Done == p.Total {
+					line += fmt.Sprintf("sweep: %d/%d points\n", p.Done, p.Total)
+				}
+				io.WriteString(errw, line) //nolint:errcheck // progress is best effort
+			}
+		}
+	}
+
+	if err := coord.Init(sink); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// The announcement is the contract for scripts binding port 0: parse
+	// the address off stderr, hand it to `sweep work -coordinator`.
+	fmt.Fprintf(errw, "sweep: coordinator on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed at Close
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	waitErr := coord.Wait(ctx)
+	if waitErr == nil && *linger > 0 {
+		// Workers poll /lease until they see done; dying the instant the
+		// last result lands would turn their final poll into a connection
+		// error and a pointless retry storm.
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+		}
+	}
+	srv.Close() //nolint:errcheck // listener teardown, best effort
+	return waitErr
+}
+
+// runWork is the `sweep work` subcommand: a worker daemon that joins a
+// coordinator, rebuilds its plan locally, and simulates leased points
+// until the plan completes.
+func runWork(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep work", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		coordURL = fs.String("coordinator", "", "coordinator base URL, e.g. http://host:8080 (required)")
+		id       = fs.String("id", "", "stable worker name (default host-pid)")
+		parallel = fs.Int("parallel", 0, "points simulated concurrently (0 = one per CPU)")
+		storeDir = fs.String("store", "", "local content-addressed result store (write-through archive)")
+		resume   = fs.Bool("resume", false, "serve points already archived in -store without re-simulating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordURL == "" {
+		return fmt.Errorf("work: -coordinator is required")
+	}
+	if *resume && *storeDir == "" {
+		return fmt.Errorf("-resume recalls archived results and requires -store")
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = resultstore.Open(*storeDir); err != nil {
+			return err
+		}
+		store.SetVersion(engine.CodeVersion)
+	}
+	w := &sweepd.Worker{
+		ID:      *id,
+		BaseURL: strings.TrimSuffix(*coordURL, "/"),
+		Resolve: func(spec sweepd.PlanSpec) (engine.Plan, error) {
+			plan, _, err := resolveSpec(spec)
+			return plan, err
+		},
+		Parallel: *parallel,
+		Store:    store,
+		Reuse:    *resume,
+		Log:      trace.NewSyncWriter(stderr),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return w.Run(ctx)
+}
+
+// runStore is the `sweep store` subcommand group. Its one verb, gc,
+// prunes archived envelopes whose embedded version stamp no longer
+// matches this binary's engine.CodeVersion — entries a resumed sweep
+// could never reuse — and sweeps crashed Puts' orphaned temp files.
+func runStore(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 || args[0] != "gc" {
+		fmt.Fprintln(stderr, "usage: sweep store gc -store DIR [-dry-run]")
+		return fmt.Errorf("store: unknown verb %q (want gc)", strings.Join(args, " "))
+	}
+	fs := flag.NewFlagSet("sweep store gc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		storeDir = fs.String("store", "", "result store directory to collect (required)")
+		dryRun   = fs.Bool("dry-run", false, "report what would be pruned without removing anything")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("store gc: -store is required")
+	}
+	st, err := resultstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	got, err := st.GC(engine.CodeVersion, *dryRun)
+	if err != nil {
+		return err
+	}
+	verb := "pruned"
+	if *dryRun {
+		verb = "would prune"
+	}
+	fmt.Fprintf(stdout, "store gc: kept %d current objects; %s %d stale objects (%d bytes) and %d orphaned temp files [version %s]\n",
+		got.Kept, verb, got.Pruned, got.PrunedBytes, got.Temps, engine.CodeVersion)
+	return nil
+}

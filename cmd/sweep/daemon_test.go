@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tokencoherence/internal/engine"
+	"tokencoherence/internal/resultstore"
+	"tokencoherence/internal/stats"
+)
+
+// announceWriter is a stderr sink that watches for the coordinator's
+// "coordinator on http://..." announcement and delivers the URL once —
+// how scripts (and this test) find a serve bound to port 0.
+type announceWriter struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	ch   chan string
+	sent bool
+}
+
+var announceRE = regexp.MustCompile(`coordinator on (http://\S+)`)
+
+func newAnnounceWriter() *announceWriter {
+	return &announceWriter{ch: make(chan string, 1)}
+}
+
+func (w *announceWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if m := announceRE.FindStringSubmatch(w.buf.String()); m != nil {
+			w.sent = true
+			w.ch <- m[1]
+		}
+	}
+	return len(p), nil
+}
+
+func (w *announceWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeWorkEndToEnd drives the real subcommands end to end: `sweep
+// serve` bound to port 0, two `sweep work` daemons pointed at the
+// announced address, and the distributed stdout must be byte-identical
+// to the same sweep run in-process.
+func TestServeWorkEndToEnd(t *testing.T) {
+	planArgs := []string{"-kind", "tokens", "-workload", "oltp", "-seed", "1", "-ops", "60", "-warmup", "20"}
+
+	var ref bytes.Buffer
+	if err := run(append([]string{"-format", "json"}, planArgs...), &ref, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	aw := newAnnounceWriter()
+	serveErr := make(chan error, 1)
+	go func() {
+		// linger must outlast a worker's maximum /lease poll backoff
+		// (500ms): an idle worker that wakes after the last point lands
+		// needs a live socket to learn the plan is done.
+		args := append([]string{"serve", "-addr", "127.0.0.1:0", "-lease", "5s", "-linger", "2s", "-format", "json"}, planArgs...)
+		serveErr <- run(args, &out, aw)
+	}()
+	var url string
+	select {
+	case url = <-aw.ch:
+	case err := <-serveErr:
+		t.Fatalf("serve exited before announcing its address: %v\nstderr: %s", err, aw.String())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve never announced its address\nstderr: %s", aw.String())
+	}
+
+	workErr := make(chan error, 2)
+	for _, id := range []string{"w1", "w2"} {
+		go func(id string) {
+			workErr <- run([]string{"work", "-coordinator", url, "-id", id, "-parallel", "1"}, &bytes.Buffer{}, &bytes.Buffer{})
+		}(id)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workErr; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v\nstderr: %s", err, aw.String())
+	}
+	if !bytes.Equal(out.Bytes(), ref.Bytes()) {
+		t.Errorf("distributed output differs from in-process run:\n got: %s\nwant: %s", out.Bytes(), ref.Bytes())
+	}
+}
+
+// TestStoreGCVerb: `sweep store gc` prunes entries whose version stamp
+// is not this binary's engine.CodeVersion, keeps current ones, and the
+// dry run reports the same counts without removing anything.
+func TestStoreGCVerb(t *testing.T) {
+	dir := t.TempDir()
+	st, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := &stats.Run{Transactions: 1}
+	snap := stats.NewMetricSet().Snapshot()
+	st.SetVersion(engine.CodeVersion)
+	if err := st.Put(strings.Repeat("aa", 32), sample, snap); err != nil {
+		t.Fatal(err)
+	}
+	st.SetVersion("antique-version")
+	if err := st.Put(strings.Repeat("bb", 32), sample, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"store", "gc", "-store", dir, "-dry-run"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kept 1") || !strings.Contains(out.String(), "would prune 1 stale") {
+		t.Errorf("dry-run output: %q", out.String())
+	}
+	if n, _ := st.Len(); n != 2 {
+		t.Fatalf("dry run removed entries: Len=%d, want 2", n)
+	}
+
+	out.Reset()
+	if err := run([]string{"store", "gc", "-store", dir}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pruned 1 stale") {
+		t.Errorf("gc output: %q", out.String())
+	}
+	if n, _ := st.Len(); n != 1 {
+		t.Errorf("after gc: Len=%d, want 1", n)
+	}
+
+	if err := run([]string{"store", "frobnicate"}, &out, &bytes.Buffer{}); err == nil {
+		t.Error("want error for unknown store verb")
+	}
+	if err := run([]string{"store", "gc"}, &out, &bytes.Buffer{}); err == nil {
+		t.Error("want error for store gc without -store")
+	}
+}
+
+// TestWorkFlagValidation: work without a coordinator, and resume without
+// a store, are caught before any network traffic.
+func TestWorkFlagValidation(t *testing.T) {
+	if err := run([]string{"work"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-coordinator") {
+		t.Errorf("work without -coordinator: %v", err)
+	}
+	if err := run([]string{"work", "-coordinator", "http://x", "-resume"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Errorf("work -resume without -store: %v", err)
+	}
+	if err := run([]string{"serve", "-resume"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Errorf("serve -resume without -store: %v", err)
+	}
+}
+
+// TestShardWarningOnOversizedSpec: splitting a plan more ways than it
+// has points used to silently emit empty shard files; now it warns.
+func TestShardWarningOnOversizedSpec(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-kind", "tokens", "-ops", "40", "-warmup", "0", "-format", "json", "-shard", "0/100"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "will be empty") {
+		t.Errorf("no empty-shard warning on stderr: %q", errBuf.String())
+	}
+	// A right-sized spec stays quiet.
+	errBuf.Reset()
+	if err := run([]string{"-kind", "tokens", "-ops", "40", "-warmup", "0", "-format", "json", "-shard", "0/2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errBuf.String(), "will be empty") {
+		t.Errorf("spurious empty-shard warning: %q", errBuf.String())
+	}
+}
+
+// TestTelemetryETATracksLiveWorkers: when a progress report carries its
+// own live capacity (a distributed coordinator's worker count), the ETA
+// divides by that — not by the static pool size the telemetry was
+// started with.
+func TestTelemetryETATracksLiveWorkers(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	tel := newTelemetry(16, clock.now)
+	clock.tick(4 * time.Second)
+	tel.update(engine.Progress{Done: 2, Total: 4, Workers: 2})
+	// elapsed/done × remaining × min(done, workers)/workers with the
+	// report's 2 live workers: 4/2 × 2 × 2/2 = 4s. The static pool of 16
+	// would have read 2s (see TestTelemetryETAWorkersCappedByTotal).
+	if eta, _ := secs(tel); eta != 4 {
+		t.Errorf("eta = %v, want 4 (live capacity ignored?)", eta)
+	}
+}

@@ -28,6 +28,19 @@
 // -resume recomputes only the missing points and emits byte-identical
 // output. -shard i/N partitions one plan across cooperating processes
 // sharing a store; merge reassembles their JSONL outputs byte-exactly.
+// `sweep store gc -store results/` prunes entries stamped by older
+// simulator versions, which no current binary could ever reuse.
+//
+// Sweeps can also run distributed, with no shared filesystem:
+//
+//	sweep serve -kind procs -addr :8080 -format json > out.jsonl
+//	sweep work -coordinator http://host:8080   # on each machine
+//
+// serve runs the plan's coordinator: it leases points to work daemons
+// over HTTP, renews leases on heartbeat, re-issues the points of
+// workers that die, and emits the collected rows in plan order —
+// byte-identical to running the sweep in one process (see
+// internal/sweepd for the protocol and its failure semantics).
 package main
 
 import (
@@ -65,8 +78,17 @@ func main() {
 // run parses args and executes the requested sweep, writing rows to
 // stdout and progress to stderr. It is the testable body of main.
 func run(args []string, stdout, stderr io.Writer) error {
-	if len(args) > 0 && args[0] == "merge" {
-		return runMerge(args[1:], stdout, stderr)
+	if len(args) > 0 {
+		switch args[0] {
+		case "merge":
+			return runMerge(args[1:], stdout, stderr)
+		case "serve":
+			return runServe(args[1:], stdout, stderr)
+		case "work":
+			return runWork(args[1:], stderr)
+		case "store":
+			return runStore(args[1:], stdout, stderr)
+		}
 	}
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -132,6 +154,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	plan.Ops = *ops
 	plan.Warmup = *warmup
 	plan.Islands = *islands
+	if shardCount > 0 {
+		// More shards than points means some shard indices own nothing:
+		// legal (the merge still reassembles correctly) but almost always
+		// a mis-sized -shard spec, so say so instead of silently emitting
+		// an empty file.
+		if jobs, err := plan.Jobs(); err == nil && shardCount > len(jobs) {
+			fmt.Fprintf(stderr, "sweep: warning: -shard %s splits a %d-point plan %d ways; shards >= %d will be empty\n",
+				*shard, len(jobs), shardCount, len(jobs))
+		}
+	}
 	return execute(plan, cols, options{
 		parallel: *parallel,
 		format:   *format,
@@ -237,6 +269,10 @@ func execute(plan engine.Plan, cols []engine.Column, opt options, stdout, stderr
 		if store, err = resultstore.Open(opt.store); err != nil {
 			return err
 		}
+		// Stamp new archive entries with this binary's simulator version
+		// so `sweep store gc` can later prune entries no current binary
+		// could ever reuse.
+		store.SetVersion(engine.CodeVersion)
 		eng.Store = store
 		eng.Reuse = opt.resume
 	}

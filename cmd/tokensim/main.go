@@ -172,6 +172,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if serr != nil {
 			return serr
 		}
+		// Version-stamp new entries so `sweep store gc` can prune them
+		// once the simulator version moves on.
+		st.SetVersion(engine.CodeVersion)
 		eng.Store = st
 		eng.Reuse = true
 	}

@@ -26,25 +26,64 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 
 	"tokencoherence/internal/stats"
 )
 
-// envelope is one stored entry. The key is repeated inside the file so
-// a misplaced or hand-renamed entry is detected at Get instead of
-// silently satisfying the wrong point.
+// envelope is one stored entry — and also the sweepd wire format (see
+// Encode/Decode): a worker streams exactly the bytes the coordinator
+// archives, so duplicate deliveries can be compared byte for byte. The
+// key is repeated inside the file so a misplaced or hand-renamed entry
+// is detected at Get instead of silently satisfying the wrong point.
+// Version records the code-version salt the entry was computed under:
+// the key hash already mixes the salt in, but a hash cannot be inverted,
+// so without the explicit field stale archives from before a version
+// bump are indistinguishable from live ones and accumulate forever (see
+// GC).
 type envelope struct {
 	Key     string          `json:"key"`
+	Version string          `json:"version,omitempty"`
 	Run     *stats.Run      `json:"run"`
 	Metrics *stats.Snapshot `json:"metrics"`
+}
+
+// Encode renders one result as its canonical envelope bytes: the store's
+// on-disk file content and sweepd's wire format. The encoding is
+// deterministic for equal inputs (struct field order is fixed, the stats
+// codecs are exact), which is what lets the sweepd coordinator demand
+// byte-identical envelopes from duplicate deliveries of one key.
+func Encode(key, version string, run *stats.Run, metrics *stats.Snapshot) ([]byte, error) {
+	if run == nil || metrics == nil {
+		return nil, fmt.Errorf("resultstore: refusing to encode incomplete result for %s", key)
+	}
+	raw, err := json.Marshal(envelope{Key: key, Version: version, Run: run, Metrics: metrics})
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return append(raw, '\n'), nil
+}
+
+// Decode parses and validates envelope bytes (see Encode), rejecting
+// incomplete or malformed entries loudly.
+func Decode(raw []byte) (key, version string, run *stats.Run, metrics *stats.Snapshot, err error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return "", "", nil, nil, fmt.Errorf("resultstore: corrupt envelope: %w", err)
+	}
+	if env.Run == nil || env.Metrics == nil {
+		return "", "", nil, nil, fmt.Errorf("resultstore: incomplete envelope for key %q", env.Key)
+	}
+	return env.Key, env.Version, env.Run, env.Metrics, nil
 }
 
 // Store is a file-backed content-addressed result archive implementing
 // engine.Store. All methods are safe for concurrent use — by the
 // engine's workers and by cooperating processes sharing the directory.
 type Store struct {
-	dir string
+	dir     string
+	version string
 
 	// Telemetry counters, exported to cmd/sweep's expvar endpoint.
 	hits   atomic.Uint64
@@ -65,6 +104,13 @@ func Open(dir string) (*Store, error) {
 
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetVersion records the code-version salt stamped into every envelope
+// this store writes (callers pass engine.CodeVersion; the store cannot
+// import the engine package itself without a cycle through the engine's
+// tests). The stamp is what lets GC tell a live entry from one archived
+// under an earlier simulator version.
+func (s *Store) SetVersion(v string) { s.version = v }
 
 // path maps a key to its object file.
 func (s *Store) path(key string) string {
@@ -107,14 +153,19 @@ func (s *Store) Get(key string) (*stats.Run, *stats.Snapshot, bool, error) {
 // writers racing on one key write identical content, so last rename
 // winning is correct.
 func (s *Store) Put(key string, run *stats.Run, metrics *stats.Snapshot) error {
-	if run == nil || metrics == nil {
-		return fmt.Errorf("resultstore: refusing to archive incomplete result for %s", key)
-	}
-	raw, err := json.Marshal(envelope{Key: key, Run: run, Metrics: metrics})
+	raw, err := Encode(key, s.version, run, metrics)
 	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+		return err
 	}
-	raw = append(raw, '\n')
+	return s.PutRaw(key, raw)
+}
+
+// PutRaw archives pre-encoded envelope bytes (see Encode) under key with
+// the same atomic temp-file+rename discipline as Put. The sweepd
+// coordinator uses it to persist a worker's envelope byte-exactly, so
+// the archived file, the wire bytes, and the duplicate-delivery
+// comparison all name one encoding.
+func (s *Store) PutRaw(key string, raw []byte) error {
 	final := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
@@ -164,3 +215,70 @@ func (s *Store) Misses() uint64 { return s.misses.Load() }
 
 // Bytes reports the store bytes this process read plus wrote.
 func (s *Store) Bytes() uint64 { return s.bytes.Load() }
+
+// GCStats reports what one GC pass found and (unless it was a dry run)
+// reclaimed.
+type GCStats struct {
+	// Kept counts entries whose embedded version matches.
+	Kept int
+	// Pruned counts stale entries: version mismatch, missing version
+	// stamp (archived before stamping existed — unverifiable, so treated
+	// as stale), or unreadable/corrupt files that could never satisfy a
+	// Get anyway.
+	Pruned int
+	// PrunedBytes sums the pruned entries' file sizes.
+	PrunedBytes int64
+	// Temps counts orphaned temp files (crashed writers) removed.
+	Temps int
+}
+
+// GC prunes archived envelopes whose embedded version stamp no longer
+// matches version — entries computed under an earlier engine.CodeVersion
+// can never be recalled again (the salt is mixed into every key), so
+// they only accumulate across version bumps. Entries without a stamp and
+// entries that fail to parse are pruned too: neither can be proven
+// current, and a cache may always recompute. Orphaned temp files from
+// crashed writers are swept as well. With dryRun, GC only counts.
+func (s *Store) GC(version string, dryRun bool) (GCStats, error) {
+	var st GCStats
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			st.Temps++
+			if dryRun {
+				return nil
+			}
+			return os.Remove(path)
+		}
+		if filepath.Ext(path) != ".json" {
+			return nil
+		}
+		stale := false
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			stale = true // unreadable: could never satisfy a Get
+		} else {
+			var env envelope
+			if json.Unmarshal(raw, &env) != nil || env.Version != version {
+				stale = true
+			}
+		}
+		if !stale {
+			st.Kept++
+			return nil
+		}
+		st.Pruned++
+		st.PrunedBytes += int64(len(raw))
+		if dryRun {
+			return nil
+		}
+		return os.Remove(path)
+	})
+	return st, err
+}

@@ -152,3 +152,177 @@ func TestConcurrentPutGet(t *testing.T) {
 		t.Errorf("Len = %d, %v, want 16", n, err)
 	}
 }
+
+// TestCrossProcessPutRace simulates two cooperating processes (two Store
+// instances over one directory — the same syscall sequence two real
+// processes would issue) racing Put on the same key while readers poll:
+// every observed state must be complete-or-absent, never torn, and the
+// file that survives must carry the full expected content. This is the
+// atomic-rename contract sweepd's at-least-once execution leans on.
+func TestCrossProcessPutRace(t *testing.T) {
+	dir := t.TempDir()
+	stA, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, snap := sampleResult()
+	want, err := Encode(key, "", run, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for _, st := range []*Store{stA, stB} {
+		writers.Add(1)
+		go func(st *Store) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				if err := st.Put(key, run, snap); err != nil {
+					t.Errorf("racing put: %v", err)
+					return
+				}
+			}
+		}(st)
+	}
+	// Readers on both handles: a Get mid-race must either miss cleanly
+	// (before the first rename lands) or return the complete result —
+	// an error here means a torn or partial entry became visible.
+	for _, st := range []*Store{stA, stB} {
+		readers.Add(1)
+		go func(st *Store) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gotRun, _, found, err := st.Get(key)
+				if err != nil {
+					t.Errorf("racing get: %v", err)
+					return
+				}
+				if found && !reflect.DeepEqual(gotRun, run) {
+					t.Errorf("racing get returned different content: %+v", gotRun)
+					return
+				}
+			}
+		}(st)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	raw, err := os.ReadFile(stA.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(want) {
+		t.Errorf("surviving file differs from canonical encoding:\n got %q\nwant %q", raw, want)
+	}
+	// No temp-file debris from either "process".
+	if st, err := stA.GC("", true); err != nil || st.Temps != 0 {
+		t.Errorf("temp files survived the race: %+v err=%v", st, err)
+	}
+}
+
+// TestGC: entries stamped with the current version survive; entries
+// stamped with an older version, entries with no stamp, and corrupt
+// files are pruned with their byte counts reported, and orphaned temp
+// files are swept. A dry run counts the same set but removes nothing.
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, snap := sampleResult()
+
+	st.SetVersion("v2")
+	live := strings.Repeat("aa", 32)
+	if err := st.Put(live, run, snap); err != nil {
+		t.Fatal(err)
+	}
+	st.SetVersion("v1")
+	stale := strings.Repeat("bb", 32)
+	if err := st.Put(stale, run, snap); err != nil {
+		t.Fatal(err)
+	}
+	st.SetVersion("")
+	unstamped := strings.Repeat("cc", 32)
+	if err := st.Put(unstamped, run, snap); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Repeat("dd", 32)
+	if err := st.PutRaw(corrupt, []byte("{torn")); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "objects", "aa", ".tmp-crashed-123")
+	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dry, err := st.GC("v2", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.Kept != 1 || dry.Pruned != 3 || dry.Temps != 1 || dry.PrunedBytes == 0 {
+		t.Errorf("dry run: %+v, want 1 kept, 3 pruned, 1 temp, nonzero bytes", dry)
+	}
+	if n, _ := st.Len(); n != 4 {
+		t.Errorf("dry run removed entries: Len=%d, want 4", n)
+	}
+
+	got, err := st.GC("v2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dry {
+		t.Errorf("real run found %+v, dry run found %+v", got, dry)
+	}
+	if n, _ := st.Len(); n != 1 {
+		t.Errorf("after GC: Len=%d, want 1", n)
+	}
+	if _, _, found, err := st.Get(live); err != nil || !found {
+		t.Errorf("live entry lost: found=%v err=%v", found, err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("temp file survived GC: %v", err)
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the wire contract sweepd relies on:
+// Decode(Encode(x)) == x, and encoding the decoded value reproduces the
+// original bytes exactly (duplicate-delivery comparison is byte-level).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	run, snap := sampleResult()
+	raw, err := Encode(key, "v9", run, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, v, gotRun, gotSnap, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != key || v != "v9" {
+		t.Errorf("key/version did not round-trip: %q %q", k, v)
+	}
+	if !reflect.DeepEqual(gotRun, run) {
+		t.Errorf("run did not round-trip")
+	}
+	again, err := Encode(k, v, gotRun, gotSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(raw) {
+		t.Errorf("re-encoding decoded envelope changed bytes:\n%q\n%q", raw, again)
+	}
+	if _, _, _, _, err := Decode([]byte(`{"key":"x"}`)); err == nil {
+		t.Error("want error decoding incomplete envelope")
+	}
+}

@@ -1,0 +1,146 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tokencoherence/internal/engine"
+	"tokencoherence/internal/resultstore"
+)
+
+// TestDistributedByteIdentity is the subsystem's acceptance test: a
+// coordinator with real in-process workers over real HTTP, plus a
+// worker that leases points and dies without delivering them, must
+// still produce JSONL byte-identical to a single-process serial run —
+// with the dead worker's leases demonstrably expired and rebalanced.
+func TestDistributedByteIdentity(t *testing.T) {
+	plan := testPlan()
+	plan.Seeds = []uint64{1, 2, 3} // 6 points: enough to spread across workers
+	ref := serialJSONL(t, plan)
+
+	var out bytes.Buffer
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetVersion(engine.CodeVersion)
+	c := &Coordinator{
+		Plan:     plan,
+		Spec:     PlanSpec{Kind: "test"},
+		Store:    store,
+		LeaseTTL: 200 * time.Millisecond,
+		Log:      io.Discard,
+	}
+	if err := c.Init(&engine.JSONLSink{W: &out}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// The casualty: grab two leases over the real API and never
+	// heartbeat or deliver — exactly what a kill -9'd worker looks like
+	// from the coordinator's side.
+	dead := leaseAll(t, c.Handler(), "dead-worker", 2)
+	if len(dead.Assignments) != 2 {
+		t.Fatalf("dead worker leased %d points, want 2", len(dead.Assignments))
+	}
+
+	resolve := func(PlanSpec) (engine.Plan, error) { return plan, nil }
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, parallel := range []int{1, 2} {
+		w := &Worker{
+			ID:        []string{"w1", "w2"}[i],
+			BaseURL:   srv.URL,
+			Resolve:   resolve,
+			Parallel:  parallel,
+			RetryBase: 10 * time.Millisecond,
+			Log:       io.Discard,
+		}
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i+1, err)
+		}
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(out.Bytes(), ref) {
+		t.Errorf("distributed output differs from serial run:\n got: %s\nwant: %s", out.Bytes(), ref)
+	}
+	var health Health
+	do(t, c.Handler(), "GET", "/healthz", nil, &health)
+	if health.Done != 6 || health.Failed != 0 {
+		t.Errorf("healthz: %+v, want 6 done, 0 failed", health)
+	}
+	if health.Expired < 2 {
+		t.Errorf("expired = %d, want >= 2 (the dead worker held 2 leases)", health.Expired)
+	}
+	// Every point was archived in the coordinator's store.
+	if n, err := store.Len(); err != nil || n != 6 {
+		t.Errorf("store Len = %d, %v, want 6", n, err)
+	}
+}
+
+// TestDistributedResume: a second distributed run over the same store
+// completes entirely from the archive — workers connect, see done, and
+// exit without simulating — and still emits the reference bytes.
+func TestDistributedResume(t *testing.T) {
+	plan := testPlan()
+	ref := serialJSONL(t, plan)
+	_, keys, envs := envelopes(t, plan)
+
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range envs {
+		if err := store.PutRaw(keys[i], envs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	c := &Coordinator{Plan: plan, Store: store, Reuse: true, LeaseTTL: 200 * time.Millisecond}
+	if err := c.Init(&engine.JSONLSink{W: &out}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	w := &Worker{
+		ID:      "w1",
+		BaseURL: srv.URL,
+		Resolve: func(PlanSpec) (engine.Plan, error) { return plan, nil },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), ref) {
+		t.Errorf("resumed output differs from serial run")
+	}
+	var health Health
+	do(t, c.Handler(), "GET", "/healthz", nil, &health)
+	if health.Cached != 4 || health.Expired != 0 {
+		t.Errorf("healthz: %+v, want 4 cached, 0 expired", health)
+	}
+}

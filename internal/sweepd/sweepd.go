@@ -1,0 +1,174 @@
+// Package sweepd distributes one sweep plan across machines: a
+// coordinator expands the plan once and serves its points as leases over
+// HTTP/JSON (stdlib only), and workers request leases, run points
+// through the normal engine path, and stream completed result envelopes
+// back.
+//
+// The design leans entirely on the correctness substrate the rest of the
+// harness already provides — every point is an independent deterministic
+// simulation addressed by engine.PointKey — so distribution can be
+// arbitrarily aggressive without risking output fidelity:
+//
+//   - Points never travel over the wire. A plan's closures (mutations,
+//     generators) cannot be serialized, so the coordinator advertises the
+//     PlanSpec it was built from plus a fingerprint over every job's
+//     PointKey; each worker rebuilds the plan from the spec with its own
+//     binary and refuses to serve a coordinator whose fingerprint (or
+//     engine.CodeVersion) differs. A lease is then just plan indices.
+//
+//   - Execution is at-least-once. Leases carry deadlines renewed by
+//     heartbeats; when a worker dies or goes silent its leases expire and
+//     the points are re-issued to live workers. A point computed twice is
+//     harmless because results are deterministic — the coordinator
+//     demands that duplicate envelopes for one key be byte-identical and
+//     fails loudly on divergence rather than silently keeping one.
+//
+//   - Output is byte-identical to a single-process run. The coordinator
+//     archives every envelope in its own content-addressed store and
+//     emits rows through the engine's plan-order sinks, holding results
+//     until their contiguous prefix is complete exactly as the in-process
+//     engine does.
+package sweepd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"tokencoherence/internal/engine"
+)
+
+// PlanSpec names a plan in terms every cooperating process can resolve
+// locally: the sweep kind and its scalar parameters. It is the unit of
+// worker/coordinator agreement — closures stay inside each binary, the
+// spec travels.
+type PlanSpec struct {
+	Kind     string `json:"kind"`
+	Workload string `json:"workload"`
+	Seed     uint64 `json:"seed"`
+	Ops      int    `json:"ops"`
+	Warmup   int    `json:"warmup"`
+	Islands  int    `json:"islands"`
+}
+
+// PlanInfo is the GET /plan response: everything a worker needs to
+// rebuild and verify the coordinator's plan before taking work.
+type PlanInfo struct {
+	// CodeVersion is the coordinator binary's engine.CodeVersion; a
+	// worker built from different simulator code must not run points.
+	CodeVersion string   `json:"code_version"`
+	Spec        PlanSpec `json:"spec"`
+	// Total is the plan's deterministic job count.
+	Total int `json:"total"`
+	// Fingerprint commits the coordinator to its exact job sequence (see
+	// Fingerprint); workers recompute and compare it.
+	Fingerprint string `json:"fingerprint"`
+	// LeaseTTLMillis tells workers the heartbeat budget: a lease not
+	// renewed within this window expires and its point is re-issued.
+	LeaseTTLMillis int64 `json:"lease_ttl_millis"`
+}
+
+// LeaseRequest asks for up to Max points. Worker identifies the daemon
+// for telemetry and lease accounting; it must be stable across requests.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// Assignment is one leased point.
+type Assignment struct {
+	// Lease is the opaque lease ID heartbeats and the result delivery
+	// must name.
+	Lease string `json:"lease"`
+	// Index is the point's plan-wide index.
+	Index int `json:"index"`
+}
+
+// LeaseResponse carries zero or more assignments. Done reports that
+// every point has completed — workers exit. An empty, not-done response
+// means all remaining points are leased elsewhere; the worker should
+// poll again after WaitMillis (a dead peer's leases expire and re-enter
+// the pending queue).
+type LeaseResponse struct {
+	Assignments []Assignment `json:"assignments,omitempty"`
+	Done        bool         `json:"done,omitempty"`
+	WaitMillis  int64        `json:"wait_millis,omitempty"`
+}
+
+// HeartbeatRequest renews the named leases.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Leases []string `json:"leases,omitempty"`
+}
+
+// HeartbeatResponse lists the requested leases that no longer exist —
+// they expired (and were or will be re-issued) before the renewal
+// arrived. The worker may keep computing them: its late result is still
+// correct and the coordinator accepts it idempotently.
+type HeartbeatResponse struct {
+	Expired []string `json:"expired,omitempty"`
+}
+
+// ResultRequest streams one completed point back. Exactly one of
+// Envelope (success: the resultstore wire encoding of the run, see
+// resultstore.Encode) and Error (the point failed deterministically;
+// retrying elsewhere would fail identically) is set.
+type ResultRequest struct {
+	Worker   string `json:"worker"`
+	Lease    string `json:"lease"`
+	Index    int    `json:"index"`
+	Error    string `json:"error,omitempty"`
+	Envelope []byte `json:"envelope,omitempty"`
+}
+
+// WorkerStatus is one row of the coordinator's per-worker telemetry map.
+type WorkerStatus struct {
+	ID        string `json:"id"`
+	Leases    int    `json:"leases"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// LastSeenSec is the age of the worker's last request or heartbeat.
+	LastSeenSec float64 `json:"last_seen_sec"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	// Status is "ok" while the coordinator accepts work, "fatal" after a
+	// divergent duplicate envelope stopped the run.
+	Status  string `json:"status"`
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	Cached  int    `json:"cached"`
+	Workers int    `json:"workers"`
+	Leased  int    `json:"leased"`
+	// Expired counts leases that timed out and had their points
+	// re-issued — the rebalancing activity counter.
+	Expired int `json:"expired"`
+}
+
+// Fingerprint commits a job sequence to a single hash: engine
+// CodeVersion, job count, and per-job plan coordinates plus PointKey.
+// Two processes that compute equal fingerprints from a PlanSpec will
+// compute byte-identical results for every index, which is what makes a
+// lease — a bare index — a safe unit of work distribution. Jobs whose
+// points are uncacheable (engine.ErrUncacheable) contribute their plan
+// coordinates only; such plans still distribute, with correspondingly
+// weaker cross-binary verification. The per-job keys are returned too
+// ("" for uncacheable jobs) since every caller needs them next.
+func Fingerprint(jobs []engine.Job) (string, []string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "version=%s\njobs=%d\n", engine.CodeVersion, len(jobs))
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		k, err := engine.PointKey(j.Point)
+		if err != nil && !errors.Is(err, engine.ErrUncacheable) {
+			return "", nil, fmt.Errorf("sweepd: job %d: %w", j.Index, err)
+		}
+		keys[i] = k
+		fmt.Fprintf(h, "%d %s %s %s %d %s\n",
+			j.Index, j.Variant, j.Mutation, j.Point.Workload, j.Point.Seed, k)
+	}
+	return hex.EncodeToString(h.Sum(nil)), keys, nil
+}
