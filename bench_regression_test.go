@@ -61,6 +61,9 @@ func TestBenchmarkRegression(t *testing.T) {
 		harness.ProtoSnooping:  harness.TopoTree,
 		harness.ProtoDirectory: harness.TopoTorus,
 		harness.ProtoHammer:    harness.TopoTorus,
+
+		harness.ProtoDir2:         harness.TopoTorus,
+		harness.ProtoRegionFilter: harness.TopoTorus,
 	}
 	for proto, limits := range base.Points {
 		proto, limits := proto, limits

@@ -325,6 +325,8 @@ func BenchmarkSimulatePoint(b *testing.B) {
 		{harness.ProtoSnooping, harness.TopoTree},
 		{harness.ProtoDirectory, harness.TopoTorus},
 		{harness.ProtoHammer, harness.TopoTorus},
+		{harness.ProtoDir2, harness.TopoTorus},
+		{harness.ProtoRegionFilter, harness.TopoTorus},
 	}
 	for _, c := range cases {
 		c := c

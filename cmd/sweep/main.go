@@ -220,7 +220,7 @@ func printMetrics(w io.Writer, plan engine.Plan) error {
 // custom plans, Point.Protocol/Topo) accept.
 func printComponents(w io.Writer) {
 	fmt.Fprintf(w, "sweep kinds: %s\n", strings.Join(sweeps.Kinds(), ", "))
-	fmt.Fprintf(w, "protocols:   %s\n", strings.Join(registry.ProtocolNames(), ", "))
+	fmt.Fprintf(w, "protocols:   %s\n", strings.Join(registry.AnnotatedProtocolNames(), ", "))
 	fmt.Fprintf(w, "topologies:  %s\n", strings.Join(registry.TopologyNames(), ", "))
 	fmt.Fprintf(w, "workloads:   %s\n", strings.Join(registry.WorkloadNames(), ", "))
 }

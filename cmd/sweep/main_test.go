@@ -66,7 +66,8 @@ func TestSweepListFlag(t *testing.T) {
 	// workloads must all be enumerated.
 	for _, want := range []string{
 		"sweep kinds:", "bandwidth", "procs", "tokens", "mshr",
-		"protocols:", "tokenb", "snooping", "directory", "hammer", "tokend", "tokenm",
+		"protocols:", "tokenb", "snooping[ordered-fabric]", "directory", "hammer", "tokend", "tokenm",
+		"dir2[scoped]", "regionfilter[scoped]",
 		"topologies:", "torus", "tree",
 		"workloads:", "apache", "oltp", "specjbb", "barnes",
 	} {

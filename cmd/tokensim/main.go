@@ -309,7 +309,7 @@ func pct(a, b uint64) float64 {
 // harness experiments, so users discover what the flags accept —
 // including anything registered beyond the built-ins.
 func printComponents(w io.Writer) {
-	fmt.Fprintf(w, "protocols:   %s\n", strings.Join(registry.ProtocolNames(), ", "))
+	fmt.Fprintf(w, "protocols:   %s\n", strings.Join(registry.AnnotatedProtocolNames(), ", "))
 	fmt.Fprintf(w, "policies:    %s\n", strings.Join(registry.PolicyNames(), ", "))
 	fmt.Fprintf(w, "topologies:  %s\n", strings.Join(registry.TopologyNames(), ", "))
 	fmt.Fprintf(w, "workloads:   %s\n", strings.Join(registry.WorkloadNames(), ", "))

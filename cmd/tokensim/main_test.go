@@ -93,7 +93,8 @@ func TestListComponents(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{
-		"protocols:", "tokenb", "snooping", "directory", "hammer", "tokend", "tokenm",
+		"protocols:", "tokenb", "snooping[ordered-fabric]", "directory", "hammer", "tokend", "tokenm",
+		"dir2[scoped]", "regionfilter[scoped]",
 		"policies:",
 		"topologies:", "torus", "tree",
 		"workloads:", "apache", "oltp", "specjbb", "barnes",

@@ -98,12 +98,15 @@ func (a *Arbiter) Handle(m *msg.Message) {
 }
 
 // broadcastTargets returns every port that tracks persistent requests:
-// all cache controllers plus this home's memory controller.
+// all cache controllers of the root scope plus this home's memory
+// controller. Persistent requests are the machine-wide mechanism, so
+// the set always spans the root scope's members (block-invariant for
+// the built-in scopes), never a cluster.
 func (a *Arbiter) broadcastTargets() []msg.Port {
-	n := a.sys.Cfg.Procs
-	ports := make([]msg.Port, 0, n+1)
-	for i := 0; i < n; i++ {
-		ports = append(ports, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
+	members := a.sys.Scope.Members(0)
+	ports := make([]msg.Port, 0, len(members)+1)
+	for _, n := range members {
+		ports = append(ports, msg.Port{Node: n, Unit: msg.UnitCache})
 	}
 	ports = append(ports, msg.Port{Node: a.id, Unit: msg.UnitMem})
 	return ports
@@ -111,17 +114,22 @@ func (a *Arbiter) broadcastTargets() []msg.Port {
 
 func (a *Arbiter) broadcast(kind msg.Kind, e arbEntry) {
 	a.seq++
-	a.acksPending = a.sys.Cfg.Procs + 1
+	a.acksPending = len(a.broadcastTargetsCached())
 	m := a.isle.Net.NewMessage()
 	*m = msg.Message{
 		Kind: kind, Cat: msg.CatReissue,
 		Src: a.Port(), Addr: e.addr, Requester: e.requester, Seq: a.seq,
 		Acks: e.epoch,
 	}
+	a.isle.Net.MulticastAfter(m, a.broadcastTargetsCached(), a.sys.Cfg.CtrlLatency)
+}
+
+// broadcastTargetsCached memoizes the static activation broadcast set.
+func (a *Arbiter) broadcastTargetsCached() []msg.Port {
 	if a.targets == nil {
 		a.targets = a.broadcastTargets()
 	}
-	a.isle.Net.MulticastAfter(m, a.targets, a.sys.Cfg.CtrlLatency)
+	return a.targets
 }
 
 func (a *Arbiter) startActivation() {

@@ -55,9 +55,24 @@ func BuildTokenM(sys *machine.System) *TokenSystem {
 func build(sys *machine.System, policy func() Policy, hints bool) *TokenSystem {
 	n := sys.Cfg.Procs
 	ts := &TokenSystem{Ledger: NewLedger(sys.Cfg.TokensPerBlock)}
+	// byNode is resolved lazily: only scoped policies need cluster
+	// metadata, and engine validation rejects scoped protocols on
+	// topologies without it before construction starts.
+	var byNode []machine.Scope
 	for i := 0; i < n; i++ {
 		id := msg.NodeID(i)
-		ts.Caches = append(ts.Caches, NewTokenController(sys, id, ts.Ledger, policy()))
+		p := policy()
+		if sp, ok := p.(ScopedPolicy); ok {
+			if byNode == nil {
+				var err error
+				_, byNode, err = sys.ScopesFor()
+				if err != nil {
+					panic(err)
+				}
+			}
+			sp.BindScope(byNode[i])
+		}
+		ts.Caches = append(ts.Caches, NewTokenController(sys, id, ts.Ledger, p))
 		mem := NewMemory(sys, id, ts.Ledger)
 		if hints {
 			mem.EnableHints()

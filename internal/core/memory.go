@@ -75,7 +75,7 @@ func (m *Memory) line(b msg.Block) *memLine {
 	if l, ok := m.lines[b]; ok {
 		return l
 	}
-	if msg.HomeOf(b, m.sys.Cfg.Procs) != m.id {
+	if m.sys.Scope.Home(b) != m.id {
 		panic("core: memory accessed for block with a different home")
 	}
 	m.ledger.InitBlock(b)
@@ -167,8 +167,8 @@ func (m *Memory) redirect(mm *msg.Message, served bool) {
 		targets = append(targets, msg.Port{Node: n, Unit: msg.UnitCache})
 	}
 	if mm.Cat == msg.CatReissue {
-		for i := 0; i < m.sys.Cfg.Procs; i++ {
-			addTarget(msg.NodeID(i))
+		for _, n := range m.sys.Scope.Members(b) {
+			addTarget(n)
 		}
 	} else {
 		switch mm.Kind {

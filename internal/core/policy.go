@@ -22,6 +22,16 @@ type Policy interface {
 	Name() string
 }
 
+// ScopedPolicy is a Policy that additionally wants the issuing node's
+// cluster scope (the coherence realm derived from topology cluster
+// metadata). The builder binds it once at construction time, before any
+// traffic, so Destinations can consult cluster membership without
+// re-deriving it per request.
+type ScopedPolicy interface {
+	Policy
+	BindScope(machine.Scope)
+}
+
 // NewBroadcastPolicy returns TokenB's policy: broadcast every transient
 // request to all other caches plus the home memory.
 func NewBroadcastPolicy() Policy { return broadcastPolicy{} }
@@ -45,10 +55,9 @@ func (broadcastPolicy) Name() string { return "tokenb" }
 func (broadcastPolicy) Observe(*TokenB, *msg.Message) {}
 
 func (broadcastPolicy) Destinations(c *TokenB, m *machine.MSHR, _ bool, buf []msg.Port) []msg.Port {
-	n := c.Cfg.Procs
-	for i := 0; i < n; i++ {
-		if msg.NodeID(i) != c.ID {
-			buf = append(buf, msg.Port{Node: msg.NodeID(i), Unit: msg.UnitCache})
+	for _, n := range c.Scope.Members(m.Block) {
+		if n != c.ID {
+			buf = append(buf, msg.Port{Node: n, Unit: msg.UnitCache})
 		}
 	}
 	return append(buf, c.HomePort(m.Block))

@@ -161,7 +161,7 @@ func (c *TokenB) goPersistent(m *machine.MSHR) {
 	*out = msg.Message{
 		Kind: msg.KindPersistentReq, Cat: msg.CatReissue,
 		Src:  c.CachePort(),
-		Dst:  msg.Port{Node: msg.HomeOf(m.Block, c.Cfg.Procs), Unit: msg.UnitArbiter},
+		Dst:  c.ArbiterPort(m.Block),
 		Addr: m.Block.Base(), Requester: c.CachePort(),
 		Acks: int(c.persistSeq),
 	}
@@ -362,7 +362,7 @@ func (c *TokenB) sendDeactivate(b msg.Block) {
 	*out = msg.Message{
 		Kind: msg.KindPersistentDeactivate, Cat: msg.CatReissue,
 		Src:  c.CachePort(),
-		Dst:  msg.Port{Node: msg.HomeOf(b, c.Cfg.Procs), Unit: msg.UnitArbiter},
+		Dst:  c.ArbiterPort(b),
 		Addr: b.Base(),
 	}
 	c.Net.Send(out)

@@ -18,8 +18,6 @@ import (
 	"tokencoherence/internal/cache"
 	"tokencoherence/internal/machine"
 	"tokencoherence/internal/msg"
-	"tokencoherence/internal/sim"
-	"tokencoherence/internal/stats"
 )
 
 // MOSI stable states in cache.Line.State.
@@ -430,71 +428,27 @@ func (c *Cache) dropLine(b msg.Block) {
 	c.DropL1(b)
 }
 
-// Directory states at the home.
-type dirState uint8
-
-const (
-	dirI dirState = iota // memory owns; no cached copies known
-	dirS                 // memory owns; read-only sharers
-	dirO                 // a cache owns; possibly sharers
-	dirM                 // a cache owns exclusively
-)
-
-type dirLine struct {
-	state   dirState
-	owner   msg.NodeID
-	sharers uint64 // bitset over nodes
-	data    uint64
-	busy    bool
-	// seq numbers this block's home transactions; every outgoing data,
-	// grant, forward and invalidation is stamped with it so caches can
-	// order messages that raced on the unordered fabric.
-	seq uint64
-	// ownerSeq is the transaction that made the current cache owner the
-	// owner; a PutM is genuine only if it carries this epoch.
-	ownerSeq uint64
-	txnSeq   uint64
-	queue    []*msg.Message
-	// txn records the in-flight forwarded transaction.
-	txnKind msg.Kind
-	txnReq  msg.Port
-}
-
-// Memory is the home directory controller for one node's address slice.
+// Memory is the flat home directory controller for one node's slice of
+// the machine-wide address space: the homeCore state machine (see
+// home.go) over the root coherence realm, with the historical identity
+// sharer-bitset layout.
 type Memory struct {
-	sys *machine.System
-	// isle is the controller's island context; event-time message
-	// allocation and sends go through its network view.
-	isle  *machine.Isle
-	id    msg.NodeID
-	lines map[msg.Block]*dirLine
-	// homeReqs is the protocol's named metric: transactions serialized
-	// at home directories.
-	homeReqs *stats.Counter
+	homeCore
+	id msg.NodeID
 }
 
 // NewMemory builds and registers node id's directory controller.
 func NewMemory(sys *machine.System, id msg.NodeID) *Memory {
-	m := &Memory{sys: sys, isle: sys.IsleFor(int(id)), id: id, lines: make(map[msg.Block]*dirLine)}
-	m.homeReqs = sys.Metrics.Counter(stats.Desc{
-		Name: "dir_home_requests", Unit: "count", Fmt: "%.0f",
-		Help: "requests serialized at home directories",
-	})
+	m := &Memory{
+		homeCore: newHomeCore(sys, msg.Port{Node: id, Unit: msg.UnitMem}, nil),
+		id:       id,
+	}
 	sys.Net.Register(m.Port(), m)
 	return m
 }
 
 // Port returns the directory controller's network port.
-func (m *Memory) Port() msg.Port { return msg.Port{Node: m.id, Unit: msg.UnitMem} }
-
-func (m *Memory) line(b msg.Block) *dirLine {
-	if l, ok := m.lines[b]; ok {
-		return l
-	}
-	l := &dirLine{state: dirI}
-	m.lines[b] = l
-	return l
-}
+func (m *Memory) Port() msg.Port { return m.port }
 
 // State reports the directory state for tests.
 func (m *Memory) State(b msg.Block) (state uint8, owner msg.NodeID, sharers int) {
@@ -517,174 +471,6 @@ func (m *Memory) Handle(mm *msg.Message) {
 		m.unblock(l, mm)
 	default:
 		panic("directory: home received unexpected " + mm.Kind.String())
-	}
-}
-
-// latencies: actions that read memory data pay controller + DRAM; pure
-// directory actions pay controller + directory lookup.
-func (m *Memory) dataLat() sim.Time { return m.sys.Cfg.CtrlLatency + m.sys.Cfg.MemLatency }
-func (m *Memory) dirLat() sim.Time  { return m.sys.Cfg.CtrlLatency + m.sys.Cfg.DirLatency }
-
-// newMessage allocates an outgoing message from the network's pool.
-func (m *Memory) newMessage(t msg.Message) *msg.Message {
-	out := m.isle.Net.NewMessage()
-	*out = t
-	return out
-}
-
-func (m *Memory) send(out *msg.Message, lat sim.Time) {
-	m.isle.Net.SendAfter(out, lat)
-}
-
-func (m *Memory) process(l *dirLine, mm *msg.Message) {
-	m.homeReqs.Inc()
-	req := mm.Requester
-	l.seq++
-	seq := l.seq
-	switch mm.Kind {
-	case msg.KindGetS:
-		switch l.state {
-		case dirI, dirS:
-			l.state = dirS
-			l.sharers |= 1 << uint(req.Node)
-			m.send(m.newMessage(msg.Message{
-				Kind: msg.KindData, Cat: msg.CatData,
-				Src: m.Port(), Dst: req, Addr: mm.Addr,
-				HasData: true, Data: l.data, Seq: seq,
-			}), m.dataLat())
-		case dirM, dirO:
-			l.busy = true
-			l.txnKind = msg.KindGetS
-			l.txnReq = req
-			l.txnSeq = seq
-			m.send(m.newMessage(msg.Message{
-				Kind: msg.KindFwdGetS, Cat: msg.CatRequest,
-				Src: m.Port(), Dst: msg.Port{Node: l.owner, Unit: msg.UnitCache},
-				Addr: mm.Addr, Requester: req, Seq: seq,
-			}), m.dirLat())
-		}
-	case msg.KindGetM:
-		switch l.state {
-		case dirI:
-			l.state = dirM
-			l.owner = req.Node
-			l.ownerSeq = seq
-			l.sharers = 0
-			m.send(m.newMessage(msg.Message{
-				Kind: msg.KindData, Cat: msg.CatData,
-				Src: m.Port(), Dst: req, Addr: mm.Addr,
-				HasData: true, Data: l.data, Owner: true, Seq: seq,
-			}), m.dataLat())
-		case dirS:
-			others := l.sharers &^ (1 << uint(req.Node))
-			n := bits.OnesCount64(others)
-			l.state = dirM
-			l.owner = req.Node
-			l.ownerSeq = seq
-			l.sharers = 0
-			m.send(m.newMessage(msg.Message{
-				Kind: msg.KindData, Cat: msg.CatData,
-				Src: m.Port(), Dst: req, Addr: mm.Addr,
-				HasData: true, Data: l.data, Owner: true, Acks: n, Seq: seq,
-			}), m.dataLat())
-			m.sendInvals(others, mm.Addr, req, seq)
-		case dirM, dirO:
-			if l.owner == req.Node {
-				// Upgrade by the current owner: dataless grant plus
-				// invalidations; the directory moves to M immediately.
-				others := l.sharers &^ (1 << uint(req.Node))
-				n := bits.OnesCount64(others)
-				l.state = dirM
-				l.ownerSeq = seq
-				l.sharers = 0
-				m.send(m.newMessage(msg.Message{
-					Kind: msg.KindAck, Cat: msg.CatControl,
-					Src: m.Port(), Dst: req, Addr: mm.Addr, Acks: n, Seq: seq,
-				}), m.dirLat())
-				m.sendInvals(others, mm.Addr, req, seq)
-				return
-			}
-			others := l.sharers &^ ((1 << uint(req.Node)) | (1 << uint(l.owner)))
-			n := bits.OnesCount64(others)
-			l.busy = true
-			l.txnKind = msg.KindGetM
-			l.txnReq = req
-			l.txnSeq = seq
-			m.send(m.newMessage(msg.Message{
-				Kind: msg.KindFwdGetM, Cat: msg.CatRequest,
-				Src: m.Port(), Dst: msg.Port{Node: l.owner, Unit: msg.UnitCache},
-				Addr: mm.Addr, Requester: req, Acks: n, Seq: seq,
-			}), m.dirLat())
-			m.sendInvals(others, mm.Addr, req, seq)
-		}
-	case msg.KindPutM:
-		if (l.state == dirM || l.state == dirO) && l.owner == mm.Src.Node && l.ownerSeq == mm.Seq {
-			l.data = mm.Data
-			if l.state == dirM {
-				l.state = dirI
-			} else {
-				l.state = dirS
-			}
-			l.owner = 0
-			m.send(m.newMessage(msg.Message{
-				Kind: msg.KindWBAck, Cat: msg.CatControl,
-				Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
-			}), m.dirLat())
-		} else {
-			m.send(m.newMessage(msg.Message{
-				Kind: msg.KindWBStale, Cat: msg.CatControl,
-				Src: m.Port(), Dst: mm.Src, Addr: mm.Addr,
-			}), m.dirLat())
-		}
-	}
-}
-
-func (m *Memory) sendInvals(set uint64, addr msg.Addr, req msg.Port, seq uint64) {
-	for set != 0 {
-		node := msg.NodeID(bits.TrailingZeros64(set))
-		set &^= 1 << uint(node)
-		m.send(m.newMessage(msg.Message{
-			Kind: msg.KindInv, Cat: msg.CatRequest,
-			Src: m.Port(), Dst: msg.Port{Node: node, Unit: msg.UnitCache},
-			Addr: addr, Requester: req, Seq: seq,
-		}), m.dirLat())
-	}
-}
-
-func (m *Memory) unblock(l *dirLine, mm *msg.Message) {
-	if !l.busy {
-		panic("directory: unblock on idle line")
-	}
-	req := l.txnReq
-	switch l.txnKind {
-	case msg.KindGetS:
-		if mm.Owner {
-			// Migratory handover: the requester took exclusive ownership.
-			l.state = dirM
-			l.owner = req.Node
-			l.ownerSeq = l.txnSeq
-			l.sharers = 0
-		} else {
-			if l.state == dirM {
-				l.sharers = 0
-			}
-			l.state = dirO
-			l.sharers |= 1 << uint(req.Node)
-			// owner unchanged
-		}
-	case msg.KindGetM:
-		l.state = dirM
-		l.owner = req.Node
-		l.ownerSeq = l.txnSeq
-		l.sharers = 0
-	}
-	l.busy = false
-	// Drain queued requests until one blocks again.
-	for len(l.queue) > 0 && !l.busy {
-		next := l.queue[0]
-		l.queue = l.queue[1:]
-		m.process(l, next)
-		m.isle.Net.FreeMessage(next)
 	}
 }
 

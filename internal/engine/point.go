@@ -31,12 +31,14 @@ import (
 // Built-in protocol names (see internal/registry for the full, possibly
 // user-extended, set).
 const (
-	ProtoTokenB    = "tokenb"
-	ProtoSnooping  = "snooping"
-	ProtoDirectory = "directory"
-	ProtoHammer    = "hammer"
-	ProtoTokenD    = "tokend"
-	ProtoTokenM    = "tokenm"
+	ProtoTokenB       = "tokenb"
+	ProtoSnooping     = "snooping"
+	ProtoDirectory    = "directory"
+	ProtoHammer       = "hammer"
+	ProtoTokenD       = "tokend"
+	ProtoTokenM       = "tokenm"
+	ProtoDir2         = "dir2"
+	ProtoRegionFilter = "regionfilter"
 )
 
 // Built-in topology names.
@@ -170,6 +172,14 @@ func (pt Point) resolve() (components, error) {
 			pairs = append(pairs, pt.Protocol+"/"+name)
 		}
 		return c, fmt.Errorf("engine: protocol %q requires a totally-ordered interconnect but topology %q is unordered (valid pairs: %s)",
+			pt.Protocol, c.topo.Name, strings.Join(pairs, ", "))
+	}
+	if proto.RequiresClusters && !c.topo.Clustered {
+		var pairs []string
+		for _, name := range registry.ClusteredTopologyNames() {
+			pairs = append(pairs, pt.Protocol+"/"+name)
+		}
+		return c, fmt.Errorf("engine: scope-aware protocol %q requires a topology with cluster metadata but %q exposes none (valid pairs: %s)",
 			pt.Protocol, c.topo.Name, strings.Join(pairs, ", "))
 	}
 

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"tokencoherence/internal/machine"
+	"tokencoherence/internal/registry"
 	"tokencoherence/internal/sim"
+	"tokencoherence/internal/topology"
 	"tokencoherence/internal/workload"
 )
 
@@ -57,6 +59,34 @@ func TestValidateOrderingCapability(t *testing.T) {
 	}
 	if err := (Point{Protocol: ProtoSnooping, Topo: TopoTree, Workload: "oltp"}).Validate(); err != nil {
 		t.Errorf("snooping on the tree rejected: %v", err)
+	}
+}
+
+func TestValidateClusterCapability(t *testing.T) {
+	// A scope-aware protocol on a topology without cluster metadata is
+	// the hierarchical "not applicable" bar. Both built-in fabrics expose
+	// clusters, so a clusterless test fabric stands in for the rejection.
+	registry.RegisterTopology(registry.Topology{
+		Name:    "testclusterless",
+		Ordered: false,
+		New:     func(procs int) topology.Topology { return topology.NewTorusFor(procs) },
+		Check:   topology.CheckTorusFor,
+	})
+	for _, proto := range []string{ProtoDir2, ProtoRegionFilter} {
+		err := Point{Protocol: proto, Topo: "testclusterless", Workload: "oltp"}.Validate()
+		if err == nil {
+			t.Fatalf("%s on a clusterless topology not rejected", proto)
+		}
+		for _, want := range []string{"cluster metadata", "valid pairs: " + proto + "/torus, " + proto + "/tree"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q missing %q", err, want)
+			}
+		}
+		for _, topo := range []string{TopoTorus, TopoTree} {
+			if err := (Point{Protocol: proto, Topo: topo, Workload: "oltp"}).Validate(); err != nil {
+				t.Errorf("%s on %s rejected: %v", proto, topo, err)
+			}
+		}
 	}
 }
 

@@ -230,8 +230,9 @@ func PrintTraffic(w io.Writer, title string, bars []TrafficBar) {
 // --- Scalability (question 5) -------------------------------------------
 
 // ScalingRow reports traffic per miss and runtime at one system size,
-// for TokenB, Directory and Hammer on the torus plus the traditional
-// snooping baseline on the ordered broadcast tree.
+// for TokenB, Directory, Hammer and the two hierarchical protocols on
+// the torus plus the traditional snooping baseline on the ordered
+// broadcast tree.
 type ScalingRow struct {
 	Procs int
 
@@ -240,12 +241,16 @@ type ScalingRow struct {
 	DirPerMiss    float64
 	HammerPerMiss float64
 	SnoopPerMiss  float64 // snooping on the tree
+	Dir2PerMiss   float64 // two-level directory over torus rows
+	RegionPerMiss float64 // region-filtered token broadcast
 
 	// Cycles per transaction, per configuration.
 	TokenBCycles float64
 	DirectoryCyc float64
 	HammerCycles float64
 	SnoopCycles  float64 // snooping on the tree
+	Dir2Cycles   float64
+	RegionCycles float64
 
 	// TrafficRatio is TokenB/Directory bytes per miss (the paper's ~2x
 	// at 64 processors); RuntimeRatioTB is Directory/TokenB runtime.
@@ -269,6 +274,8 @@ var scalingConfigs = []struct{ proto, topo string }{
 	{ProtoDirectory, TopoTorus},
 	{ProtoHammer, TopoTorus},
 	{ProtoSnooping, TopoTree},
+	{ProtoDir2, TopoTorus},
+	{ProtoRegionFilter, TopoTorus},
 }
 
 // Scaling runs the uniform-sharing microbenchmark from 4 to maxProcs
@@ -306,6 +313,7 @@ func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
 		}
 		tb, dir := cell(ProtoTokenB), cell(ProtoDirectory)
 		ham, snp := cell(ProtoHammer), cell(ProtoSnooping)
+		d2, rf := cell(ProtoDir2), cell(ProtoRegionFilter)
 		row := ScalingRow{
 			Procs:         procs,
 			TokenBPerMiss: tb.MeanBytesPerMiss(),
@@ -316,6 +324,10 @@ func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
 			HammerCycles:  ham.MeanCyclesPerTxn(),
 			SnoopPerMiss:  snp.MeanBytesPerMiss(),
 			SnoopCycles:   snp.MeanCyclesPerTxn(),
+			Dir2PerMiss:   d2.MeanBytesPerMiss(),
+			Dir2Cycles:    d2.MeanCyclesPerTxn(),
+			RegionPerMiss: rf.MeanBytesPerMiss(),
+			RegionCycles:  rf.MeanCyclesPerTxn(),
 		}
 		if row.DirPerMiss > 0 {
 			row.TrafficRatio = row.TokenBPerMiss / row.DirPerMiss
@@ -330,13 +342,13 @@ func Scaling(opt Options, maxProcs int) ([]ScalingRow, error) {
 
 // PrintScaling formats the scalability study.
 func PrintScaling(w io.Writer, rows []ScalingRow) {
-	fmt.Fprintln(w, "Scalability microbenchmark (question 5): TokenB vs Directory vs Hammer (torus), Snooping (tree)")
-	fmt.Fprintf(w, "%6s %14s %14s %14s %14s %14s %16s\n",
-		"procs", "tokenB B/miss", "dir B/miss", "hammer B/miss", "snoop B/miss", "traffic ratio", "dir/tokenB time")
+	fmt.Fprintln(w, "Scalability microbenchmark (question 5): TokenB vs Directory vs Hammer vs Dir2 vs RegionFilter (torus), Snooping (tree)")
+	fmt.Fprintf(w, "%6s %14s %14s %14s %14s %14s %14s %14s %16s\n",
+		"procs", "tokenB B/miss", "dir B/miss", "hammer B/miss", "snoop B/miss", "dir2 B/miss", "region B/miss", "traffic ratio", "dir/tokenB time")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%6d %14.1f %14.1f %14.1f %14.1f %14.2f %16.2f\n",
+		fmt.Fprintf(w, "%6d %14.1f %14.1f %14.1f %14.1f %14.1f %14.1f %14.2f %16.2f\n",
 			r.Procs, r.TokenBPerMiss, r.DirPerMiss, r.HammerPerMiss, r.SnoopPerMiss,
-			r.TrafficRatio, r.RuntimeRatioTB)
+			r.Dir2PerMiss, r.RegionPerMiss, r.TrafficRatio, r.RuntimeRatioTB)
 	}
 }
 

@@ -28,6 +28,10 @@ const (
 	ProtoHammer    = engine.ProtoHammer
 	ProtoTokenD    = engine.ProtoTokenD
 	ProtoTokenM    = engine.ProtoTokenM
+
+	// Hierarchical protocols (built from topology cluster metadata).
+	ProtoDir2         = engine.ProtoDir2
+	ProtoRegionFilter = engine.ProtoRegionFilter
 )
 
 // Topology names.

@@ -235,6 +235,14 @@ func TestScalingShape(t *testing.T) {
 			t.Errorf("%dp: snooping-on-tree column empty (%.1f B/miss, %.1f cyc/txn)",
 				r.Procs, r.SnoopPerMiss, r.SnoopCycles)
 		}
+		if r.Dir2PerMiss <= 0 || r.Dir2Cycles <= 0 {
+			t.Errorf("%dp: two-level directory column empty (%.1f B/miss, %.1f cyc/txn)",
+				r.Procs, r.Dir2PerMiss, r.Dir2Cycles)
+		}
+		if r.RegionPerMiss <= 0 || r.RegionCycles <= 0 {
+			t.Errorf("%dp: region-filter column empty (%.1f B/miss, %.1f cyc/txn)",
+				r.Procs, r.RegionPerMiss, r.RegionCycles)
+		}
 	}
 }
 

@@ -106,6 +106,12 @@ type CacheBase struct {
 	Sys  *System
 	Isle *Isle
 
+	// Scope is the coherence realm this controller resolves misses in.
+	// InitBase wires the system's root scope (the flat machine-wide
+	// realm); hierarchical protocols re-point it at the node's cluster
+	// scope, rerouting HomePort at the per-cluster tier.
+	Scope Scope
+
 	L1          *cache.Cache
 	L2          *cache.Cache
 	Outstanding map[msg.Block]*MSHR
@@ -156,6 +162,7 @@ func (b *CacheBase) waiterFor(op Op, done func()) func() {
 // InitBase wires the shared state; protocol constructors call it.
 func (b *CacheBase) InitBase(sys *System, id msg.NodeID, hooks CacheHooks) {
 	b.Sys = sys
+	b.Scope = sys.Scope
 	b.Isle = sys.IsleFor(int(id))
 	b.K = b.Isle.K
 	b.Net = b.Isle.Net
@@ -174,9 +181,19 @@ func (b *CacheBase) InitBase(sys *System, id msg.NodeID, hooks CacheHooks) {
 // CachePort returns this controller's network port.
 func (b *CacheBase) CachePort() msg.Port { return msg.Port{Node: b.ID, Unit: msg.UnitCache} }
 
-// HomePort returns the home memory port for a block.
+// HomePort returns the home memory port for a block within this
+// controller's scope (the machine-wide home under the root scope, the
+// cluster home under a cluster scope).
 func (b *CacheBase) HomePort(blk msg.Block) msg.Port {
-	return msg.Port{Node: msg.HomeOf(blk, b.Cfg.Procs), Unit: msg.UnitMem}
+	return msg.Port{Node: b.Scope.Home(blk), Unit: msg.UnitMem}
+}
+
+// ArbiterPort returns the persistent-request arbiter port for a block.
+// Arbiters always live at the root scope's home: persistent requests are
+// the machine-wide starvation-freedom mechanism, so their arbitration
+// point never moves into a cluster.
+func (b *CacheBase) ArbiterPort(blk msg.Block) msg.Port {
+	return msg.Port{Node: b.Sys.Scope.Home(blk), Unit: msg.UnitArbiter}
 }
 
 // Access implements Controller.

@@ -34,6 +34,12 @@ type System struct {
 	Oracle *Oracle
 	Rng    *sim.Source
 
+	// Scope is the machine-wide root coherence realm: all nodes, homes
+	// block-interleaved (msg.HomeOf). Flat protocols resolve every
+	// transaction in it; hierarchical protocols derive cluster scopes
+	// whose Parent chain ends here (see ScopesFor).
+	Scope Scope
+
 	// Cluster coordinates the island kernels; Isles holds the per-island
 	// wiring. IsleFor maps a node to its island.
 	Cluster *sim.Cluster
@@ -147,6 +153,7 @@ func NewSystem(cfg Config, topo topology.Topology, seed uint64) *System {
 		Run:      run,
 		Oracle:   NewOracle(),
 		Rng:      sim.NewSource(seed ^ 0x5bf0_3635_dcf5_9e11),
+		Scope:    NewFlatScope(cfg.Procs),
 		Cluster:  cluster,
 		Metrics:  stats.NewMetricSet(),
 		CutLinks: cut,

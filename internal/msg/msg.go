@@ -120,6 +120,12 @@ const (
 	KindPersistentActivateAck   // node -> arbiter
 	KindPersistentDeactivate    // arbiter -> all nodes
 	KindPersistentDeactivateAck // node -> arbiter
+
+	// Hierarchical coherence (two-level directory authority tier).
+	KindAuthReq   // cluster home -> global authority: request block authority
+	KindAuthGrant // global authority -> cluster home: authority + current data
+	KindRecall    // global authority -> holding cluster home: give authority back
+	KindRecallAck // cluster home -> global authority: authority + data returned
 )
 
 func (k Kind) String() string {
@@ -170,6 +176,14 @@ func (k Kind) String() string {
 		return "PersistentDeactivate"
 	case KindPersistentDeactivateAck:
 		return "PersistentDeactivateAck"
+	case KindAuthReq:
+		return "AuthReq"
+	case KindAuthGrant:
+		return "AuthGrant"
+	case KindRecall:
+		return "Recall"
+	case KindRecallAck:
+		return "RecallAck"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

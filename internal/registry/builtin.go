@@ -18,16 +18,18 @@ func init() {
 	// Topologies: the torus first (the default fabric for unordered
 	// protocols), then the ordered broadcast tree.
 	RegisterTopology(Topology{
-		Name:    "torus",
-		Ordered: false,
-		New:     func(procs int) topology.Topology { return topology.NewTorusFor(procs) },
-		Check:   topology.CheckTorusFor,
+		Name:      "torus",
+		Ordered:   false,
+		Clustered: true, // rows
+		New:       func(procs int) topology.Topology { return topology.NewTorusFor(procs) },
+		Check:     topology.CheckTorusFor,
 	})
 	RegisterTopology(Topology{
-		Name:    "tree",
-		Ordered: true,
-		New:     func(procs int) topology.Topology { return topology.NewTree(procs) },
-		Check:   func(procs int) error { return topology.CheckTree(procs, topology.TreeFanout) },
+		Name:      "tree",
+		Ordered:   true,
+		Clustered: true, // root-child subtrees
+		New:       func(procs int) topology.Topology { return topology.NewTree(procs) },
+		Check:     func(procs int) error { return topology.CheckTree(procs, topology.TreeFanout) },
 	})
 
 	// Protocols, in the order the engine historically enumerated them:
@@ -66,6 +68,29 @@ func init() {
 		Name:  "tokenm",
 		Hints: true,
 		New:   func() core.Policy { return core.NewPredictPolicy() },
+	})
+
+	// Hierarchical protocols append after the historical six, so every
+	// existing Names() listing keeps its prefix. The two-level directory
+	// and the region-filtered token policy both build their realms from
+	// topology cluster metadata.
+	RegisterProtocol(Protocol{
+		Name:             "dir2",
+		RequiresClusters: true,
+		Build: func(sys *machine.System) ([]machine.Controller, func() error) {
+			s, err := directory.Build2(sys)
+			if err != nil {
+				// Engine validation rejects clusterless topologies before
+				// construction; reaching this is a wiring error.
+				panic(err)
+			}
+			return s.Controllers(), nil
+		},
+	})
+	RegisterPolicy(TokenPolicy{
+		Name:   "regionfilter",
+		Scoped: true,
+		New:    func() core.Policy { return core.NewRegionFilterPolicy() },
 	})
 
 	// Workloads: the paper's three commercial mixes in paper order, then

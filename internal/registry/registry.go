@@ -31,6 +31,7 @@ package registry
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"tokencoherence/internal/core"
@@ -111,6 +112,13 @@ type Protocol struct {
 	// and defaults their empty topology to an ordered one.
 	RequiresOrdered bool
 
+	// RequiresClusters marks scope-aware protocols that need a topology
+	// with cluster metadata (hierarchical coherence realms: the
+	// two-level directory, region-filtered token policies). The engine
+	// rejects points pairing such a protocol with a topology whose
+	// registration does not declare Clustered.
+	RequiresClusters bool
+
 	// Build constructs the protocol's per-node controllers on sys. The
 	// returned audit, if non-nil, is run after the simulation to verify
 	// the protocol's global end-of-run invariants (Token Coherence checks
@@ -151,6 +159,12 @@ type TokenPolicy struct {
 	// (used by TokenD and TokenM).
 	Hints bool
 
+	// Scoped marks a scope-aware policy (one implementing
+	// core.ScopedPolicy): the builder binds each cache's cluster realm
+	// at construction, so the induced protocol requires a topology with
+	// cluster metadata.
+	Scoped bool
+
 	// New builds one fresh policy instance; every cache controller gets
 	// its own, so stateful predictors need no locking.
 	New func() core.Policy
@@ -176,7 +190,8 @@ func RegisterPolicy(p TokenPolicy) {
 	}
 	policies.register(p.Name, p)
 	RegisterProtocol(Protocol{
-		Name: p.Name,
+		Name:             p.Name,
+		RequiresClusters: p.Scoped,
 		Build: func(sys *machine.System) ([]machine.Controller, func() error) {
 			ts := core.WithPolicy(p.New, p.Hints)(sys)
 			return ts.Controllers(), ts.Audit
@@ -202,6 +217,12 @@ type Topology struct {
 	// engine verifies the two agree and uses this flag to pair protocols
 	// with fabrics before construction.
 	Ordered bool
+
+	// Clustered declares that the fabric's topologies expose cluster
+	// metadata (topology.Clustered): natural cluster boundaries that
+	// scope-aware protocols build their hierarchical realms from. Both
+	// built-ins declare it (tree root-child subtrees, torus rows).
+	Clustered bool
 
 	// New builds the fabric for procs processor nodes.
 	New func(procs int) topology.Topology
@@ -249,6 +270,53 @@ func OrderedTopologyNames() []string {
 	for _, name := range topologies.list() {
 		if t, ok := topologies.lookup(name); ok && t.Ordered {
 			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ClusteredTopologyNames lists the registered fabrics exposing cluster
+// metadata, for "valid pairs" diagnostics on scope-aware protocols.
+func ClusteredTopologyNames() []string {
+	var out []string
+	for _, name := range topologies.list() {
+		if t, ok := topologies.lookup(name); ok && t.Clustered {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// ProtocolTags reports the named protocol's capability tags for listing
+// surfaces: "ordered-fabric" for protocols requiring a totally-ordered
+// interconnect, "scoped" for scope-aware protocols requiring cluster
+// metadata. Unknown names and protocols with no special requirements
+// report none.
+func ProtocolTags(name string) []string {
+	p, ok := protocols.lookup(name)
+	if !ok {
+		return nil
+	}
+	var tags []string
+	if p.RequiresOrdered {
+		tags = append(tags, "ordered-fabric")
+	}
+	if p.RequiresClusters {
+		tags = append(tags, "scoped")
+	}
+	return tags
+}
+
+// AnnotatedProtocolNames lists the registered protocols in registration
+// order, each suffixed with its capability tags in brackets (e.g.
+// "snooping[ordered-fabric]", "dir2[scoped]"), for -list surfaces.
+func AnnotatedProtocolNames() []string {
+	names := protocols.list()
+	out := make([]string, len(names))
+	for i, name := range names {
+		out[i] = name
+		if tags := ProtocolTags(name); len(tags) > 0 {
+			out[i] = name + "[" + strings.Join(tags, ",") + "]"
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package registry
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -303,5 +304,40 @@ func TestBuiltinTopologySizing(t *testing.T) {
 		if err := torus.Check(n); err == nil {
 			t.Errorf("torus.Check(%d) = nil, want error", n)
 		}
+	}
+}
+
+// TestProtocolCapabilityAnnotations pins the -list surface both CLIs
+// print: capability tags mark the ordered-fabric and scope-aware
+// protocols, and the clustered-topology listing feeds the engine's
+// valid-pairs errors.
+func TestProtocolCapabilityAnnotations(t *testing.T) {
+	cases := map[string][]string{
+		"tokenb":       nil,
+		"snooping":     {"ordered-fabric"},
+		"dir2":         {"scoped"},
+		"regionfilter": {"scoped"},
+	}
+	for name, want := range cases {
+		got := ProtocolTags(name)
+		if len(got) != len(want) {
+			t.Errorf("ProtocolTags(%q) = %v, want %v", name, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("ProtocolTags(%q) = %v, want %v", name, got, want)
+			}
+		}
+	}
+	annotated := strings.Join(AnnotatedProtocolNames(), ", ")
+	for _, want := range []string{"snooping[ordered-fabric]", "dir2[scoped]", "regionfilter[scoped]"} {
+		if !strings.Contains(annotated, want) {
+			t.Errorf("annotated listing %q missing %q", annotated, want)
+		}
+	}
+	clustered := ClusteredTopologyNames()
+	if len(clustered) < 2 || clustered[0] != "torus" || clustered[1] != "tree" {
+		t.Errorf("ClusteredTopologyNames() = %v, want torus, tree prefix", clustered)
 	}
 }

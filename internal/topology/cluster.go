@@ -1,0 +1,54 @@
+package topology
+
+import "tokencoherence/internal/msg"
+
+// Clustered is a topology with natural cluster boundaries: a partition
+// of the processor nodes into groups that are tightly connected in the
+// link graph. Hierarchical protocols (two-level directories, region
+// filters) use the partition as their scope boundaries, the same way the
+// island kernel uses Partitioned for its goroutine boundaries.
+//
+// The partition must be a disjoint cover of [0, Nodes()): every node
+// belongs to exactly one cluster, and cluster indices are dense in
+// [0, NumClusters()).
+type Clustered interface {
+	Topology
+	// NumClusters reports how many clusters partition the nodes.
+	NumClusters() int
+	// ClusterOf maps a node to its cluster index in [0, NumClusters()).
+	ClusterOf(n msg.NodeID) int
+}
+
+// Clusters materializes a Clustered topology's partition as ordered
+// member lists: Clusters(t)[c] holds cluster c's nodes in ascending
+// order. The result is freshly allocated on each call.
+func Clusters(t Clustered) [][]msg.NodeID {
+	out := make([][]msg.NodeID, t.NumClusters())
+	for i := 0; i < t.Nodes(); i++ {
+		n := msg.NodeID(i)
+		c := t.ClusterOf(n)
+		out[c] = append(out[c], n)
+	}
+	return out
+}
+
+// NumClusters partitions the tree at its top tier: one cluster per child
+// subtree of the root switch (4 for the paper's fan-out, so 16 nodes
+// split 4x4, 64 split 4x16, 256 split 4x64). Traffic within a cluster
+// shares the subtree's switches; only cross-cluster traffic must cross
+// the root bottleneck, which is exactly the boundary hierarchical
+// protocols want to avoid.
+func (t *Tree) NumClusters() int { return t.width[t.levels-1] }
+
+// ClusterOf returns the index of node n's root-child subtree (its
+// tier-(levels-1) ancestor).
+func (t *Tree) ClusterOf(n msg.NodeID) int { return int(n) / t.pow[t.levels-1] }
+
+// NumClusters partitions the torus into its rows: each row is a
+// contiguous block of node IDs connected in a ring by its East/West
+// links, mirroring the row-block partition PartitionActors uses for the
+// island kernel.
+func (t *Torus) NumClusters() int { return t.h }
+
+// ClusterOf returns node n's row index.
+func (t *Torus) ClusterOf(n msg.NodeID) int { return int(n) / t.w }

@@ -15,9 +15,10 @@ import (
 )
 
 // TestCrossProtocolDifferentialInvariant is the repository's strongest
-// correctness net: all six protocols execute the same workload with the
-// same seed (hence the exact same per-processor operation streams), on
-// both interconnects, and every run must (a) pass the coherence oracle,
+// correctness net: all eight protocols — the six flat ones plus the
+// hierarchical dir2 and regionfilter — execute the same workload with
+// the same seed (hence the exact same per-processor operation streams),
+// on both interconnects, and every run must (a) pass the coherence oracle,
 // (b) pass the token-conservation audit where applicable, and (c) end
 // with the same final memory image — the last committed version of every
 // block — pairwise across all runs. Timing differs wildly between
@@ -45,7 +46,7 @@ func TestCrossProtocolDifferentialInvariant(t *testing.T) {
 	var results []result
 
 	for _, topo := range []string{"tree", "torus"} {
-		for _, proto := range []string{"tokenb", "tokend", "tokenm", "snooping", "directory", "hammer"} {
+		for _, proto := range []string{"tokenb", "tokend", "tokenm", "snooping", "directory", "hammer", "dir2", "regionfilter"} {
 			if proto == "snooping" && topo == "torus" {
 				continue // snooping requires the totally-ordered tree
 			}
@@ -93,6 +94,8 @@ func TestCrossProtocolDifferentialInvariant64(t *testing.T) {
 		{"snooping", "tree"}, // ordered fabric class
 		{"tokenb", "torus"},  // unordered fabric class
 		{"directory", "torus"},
+		{"dir2", "torus"},         // hierarchical: two-level directory over torus rows
+		{"regionfilter", "torus"}, // hierarchical: region-filtered token broadcast
 	}
 	type result struct {
 		name  string
@@ -164,6 +167,15 @@ func runDifferentialPoint(t *testing.T, proto, topoName string, procs, ops, warm
 		ctrls = directory.Build(sys).Controllers()
 	case "hammer":
 		ctrls = hammer.Build(sys).Controllers()
+	case "dir2":
+		s2, err := directory.Build2(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrls = s2.Controllers()
+	case "regionfilter":
+		ts := core.WithPolicy(core.NewRegionFilterPolicy, false)(sys)
+		ctrls, audit = ts.Controllers(), ts.Audit
 	default:
 		t.Fatalf("unknown protocol %q", proto)
 	}
@@ -183,9 +195,9 @@ func runDifferentialPoint(t *testing.T, proto, topoName string, procs, ops, warm
 }
 
 // TestCrossProtocolDifferentialInvariant256 drives the differential net
-// to the 256-processor ceiling on four kernel islands: all six protocols
-// (snooping on the four-level ordered tree, the rest on the 16x16
-// torus) execute the same streams and must agree on the final memory
+// to the 256-processor ceiling on four kernel islands: all eight
+// protocols (snooping on the four-level ordered tree, the rest on the
+// 16x16 torus) execute the same streams and must agree on the final memory
 // image, oracle- and audit-clean. Skipped in -short mode; the
 // 64-processor variant covers islands there.
 func TestCrossProtocolDifferentialInvariant256(t *testing.T) {
@@ -207,7 +219,7 @@ func TestCrossProtocolDifferentialInvariant256(t *testing.T) {
 		image map[msg.Block]uint64
 	}
 	var results []result
-	for _, proto := range []string{"tokenb", "tokend", "tokenm", "snooping", "directory", "hammer"} {
+	for _, proto := range []string{"tokenb", "tokend", "tokenm", "snooping", "directory", "hammer", "dir2", "regionfilter"} {
 		topo := "torus"
 		if proto == "snooping" {
 			topo = "tree"

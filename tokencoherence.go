@@ -86,6 +86,12 @@ const (
 	ProtoHammer    = engine.ProtoHammer
 	ProtoTokenD    = engine.ProtoTokenD
 	ProtoTokenM    = engine.ProtoTokenM
+
+	// Hierarchical protocols, built from topology cluster metadata
+	// (both built-in fabrics expose it: tree root-child subtrees,
+	// torus rows).
+	ProtoDir2         = engine.ProtoDir2
+	ProtoRegionFilter = engine.ProtoRegionFilter
 )
 
 // Topology identifiers accepted by Point.Topo (built-ins; see
